@@ -1,0 +1,313 @@
+package touch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"touch/internal/geom"
+)
+
+func TestUnknownAlgorithm(t *testing.T) {
+	_, err := SpatialJoin("quantum", GenerateUniform(5, 1), GenerateUniform(5, 2), nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegativeEps(t *testing.T) {
+	_, err := DistanceJoin(AlgTOUCH, GenerateUniform(5, 1), GenerateUniform(5, 2), -1, nil)
+	if err == nil {
+		t.Fatal("negative eps must error")
+	}
+}
+
+func TestAlgorithmsListComplete(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) != 8 {
+		t.Fatalf("expected the paper's 8 algorithms, got %d", len(algs))
+	}
+	a := GenerateUniform(50, 1)
+	b := GenerateUniform(80, 2)
+	for _, alg := range algs {
+		if _, err := SpatialJoin(alg, a, b, nil); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestJoinOrderHeuristicPreservesOrientation(t *testing.T) {
+	// A bigger than B triggers the internal swap; pairs must still be
+	// (A, B) oriented.
+	a := GenerateUniform(400, 11)
+	b := GenerateUniform(100, 12)
+	res, err := DistanceJoin(AlgTOUCH, a, b, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("premise: expected matches")
+	}
+	for _, p := range res.Pairs {
+		if int(p.A) >= len(a) || int(p.B) >= len(b) {
+			t.Fatalf("pair %v outside (A,B) ID ranges %d/%d", p, len(a), len(b))
+		}
+	}
+	// KeepOrder must give the identical result set.
+	keep, err := DistanceJoin(AlgTOUCH, a, b, 60, &Options{KeepOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep.Pairs) != len(res.Pairs) {
+		t.Fatalf("KeepOrder changed the result: %d vs %d", len(keep.Pairs), len(res.Pairs))
+	}
+	got := pairsKey(res.Pairs)
+	for _, p := range keep.Pairs {
+		if got[p] == 0 {
+			t.Fatalf("pair %v missing under heuristic order", p)
+		}
+	}
+}
+
+func TestNoPairsOption(t *testing.T) {
+	a := GenerateUniform(100, 21)
+	b := GenerateUniform(200, 22)
+	res, err := DistanceJoin(AlgTOUCH, a, b, 60, &Options{NoPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != nil {
+		t.Fatal("NoPairs must suppress materialization")
+	}
+	if res.Stats.Results == 0 {
+		t.Fatal("results must still be counted")
+	}
+}
+
+func TestCustomSinkReceivesOrientedPairs(t *testing.T) {
+	a := GenerateUniform(300, 31) // bigger: swap will happen
+	b := GenerateUniform(100, 32)
+	var got []Pair
+	sink := funcSink(func(x, y geom.ID) { got = append(got, Pair{A: x, B: y}) })
+	res, err := DistanceJoin(AlgTOUCH, a, b, 10, &Options{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != nil {
+		t.Fatal("custom sink must suppress Result.Pairs")
+	}
+	if int64(len(got)) != res.Stats.Results {
+		t.Fatalf("sink received %d pairs, stats say %d", len(got), res.Stats.Results)
+	}
+	for _, p := range got {
+		if int(p.A) >= len(a) || int(p.B) >= len(b) {
+			t.Fatalf("sink pair %v not (A,B)-oriented", p)
+		}
+	}
+}
+
+type funcSink func(a, b geom.ID)
+
+func (f funcSink) Emit(a, b geom.ID) { f(a, b) }
+
+func TestWorkersOptionMatchesSequential(t *testing.T) {
+	a := GenerateClustered(300, 41)
+	b := GenerateClustered(600, 42)
+	seq, err := DistanceJoin(AlgTOUCH, a, b, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DistanceJoin(AlgTOUCH, a, b, 8, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pairsKey(seq.Pairs)
+	got := pairsKey(par.Pairs)
+	if len(want) != len(got) {
+		t.Fatalf("parallel %d pairs, sequential %d", len(got), len(want))
+	}
+	for p := range want {
+		if got[p] == 0 {
+			t.Fatalf("parallel missing %v", p)
+		}
+	}
+}
+
+func TestPBSMCustomResolution(t *testing.T) {
+	a := GenerateUniform(200, 51)
+	b := GenerateUniform(300, 52)
+	opt := &Options{}
+	opt.PBSM.Resolution = 37
+	res, err := DistanceJoin(AlgPBSM, a, b, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DistanceJoin(AlgNL, a, b, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(ref.Pairs) {
+		t.Fatalf("custom resolution wrong: %d vs %d", len(res.Pairs), len(ref.Pairs))
+	}
+}
+
+func TestIndexReuse(t *testing.T) {
+	a := GenerateUniform(200, 61)
+	idx := BuildIndex(a.Expand(10), TOUCHConfig{Partitions: 32})
+	for seed := int64(70); seed < 73; seed++ {
+		b := GenerateUniform(400, seed)
+		res := idx.Join(b, nil)
+		ref, err := DistanceJoin(AlgNL, a, b, 10, &Options{KeepOrder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Pairs) != len(ref.Pairs) {
+			t.Fatalf("seed %d: index join %d pairs, oracle %d", seed, len(res.Pairs), len(ref.Pairs))
+		}
+	}
+}
+
+func TestIndexDistanceJoin(t *testing.T) {
+	a := GenerateUniform(150, 81)
+	b := GenerateUniform(250, 82)
+	idx := BuildIndex(a, TOUCHConfig{})
+	res := idx.DistanceJoin(b, 12, &Options{NoPairs: true})
+	ref, err := DistanceJoin(AlgNL, a, b, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != ref.Stats.Results {
+		t.Fatalf("index distance join %d, oracle %d", res.Stats.Results, ref.Stats.Results)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Pairs: []Pair{{A: 2, B: 1}, {A: 1, B: 2}, {A: 1, B: 1}}}
+	r.Stats.Results = 3
+	r.SortPairs()
+	want := []Pair{{A: 1, B: 1}, {A: 1, B: 2}, {A: 2, B: 1}}
+	for i := range want {
+		if r.Pairs[i] != want[i] {
+			t.Fatalf("SortPairs = %v", r.Pairs)
+		}
+	}
+	if sel := r.Selectivity(10, 10); sel != 0.03 {
+		t.Fatalf("Selectivity = %g", sel)
+	}
+	if sel := r.Selectivity(0, 10); sel != 0 {
+		t.Fatal("empty input selectivity must be 0")
+	}
+	if !strings.Contains(r.String(), "results=3") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestReadWriteDatasetRoundTrip(t *testing.T) {
+	ds := GenerateGaussian(137, 3)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(ds))
+	}
+	for i := range ds {
+		if got[i].Box != ds[i].Box {
+			t.Fatalf("object %d: %v != %v", i, got[i].Box, ds[i].Box)
+		}
+		if got[i].ID != geom.ID(i) {
+			t.Fatalf("object %d has ID %d", i, got[i].ID)
+		}
+	}
+}
+
+func TestReadDatasetFormats(t *testing.T) {
+	in := "# comment\n\n1 2 3 4 5 6\n7,8,9,10,11,12\n"
+	ds, err := ReadDataset(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("parsed %d objects", len(ds))
+	}
+	if ds[1].Box.Min != (Point{7, 8, 9}) {
+		t.Fatalf("comma form parsed as %v", ds[1].Box)
+	}
+	// Corners in any order normalize.
+	ds, err = ReadDataset(strings.NewReader("4 5 6 1 2 3\n"))
+	if err != nil || ds[0].Box.Min != (Point{1, 2, 3}) {
+		t.Fatalf("normalization failed: %v %v", ds, err)
+	}
+}
+
+func TestReadDatasetErrors(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("short line must error")
+	}
+	if _, err := ReadDataset(strings.NewReader("a b c d e f\n")); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+	if ds, err := ReadDataset(strings.NewReader("")); err != nil || len(ds) != 0 {
+		t.Fatal("empty input must parse to empty dataset")
+	}
+}
+
+func TestDistanceJoinEquivalenceAcrossEps(t *testing.T) {
+	// Growing eps must grow the result monotonically.
+	a := GenerateUniform(150, 91)
+	b := GenerateUniform(300, 92)
+	prev := int64(-1)
+	for _, eps := range []float64{0, 2, 5, 10, 20} {
+		res, err := DistanceJoin(AlgTOUCH, a, b, eps, &Options{NoPairs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Results < prev {
+			t.Fatalf("eps=%g: results %d below previous %d", eps, res.Stats.Results, prev)
+		}
+		prev = res.Stats.Results
+	}
+}
+
+func TestEmptyDatasetsAllAlgorithms(t *testing.T) {
+	ds := GenerateUniform(10, 1)
+	for _, alg := range Algorithms() {
+		for _, pair := range [][2]Dataset{{nil, ds}, {ds, nil}, {nil, nil}} {
+			res, err := SpatialJoin(alg, pair[0], pair[1], nil)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if len(res.Pairs) != 0 {
+				t.Fatalf("%s: empty join returned pairs", alg)
+			}
+		}
+	}
+}
+
+func TestSeededJoinViaAPI(t *testing.T) {
+	// The related-work seeded tree join (not part of the paper's
+	// evaluated set) must agree with the oracle through the public API.
+	a := GenerateClustered(300, 93)
+	b := GenerateClustered(700, 94)
+	res, err := DistanceJoin(AlgSeeded, a, b, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DistanceJoin(AlgNL, a, b, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(ref.Pairs) {
+		t.Fatalf("seeded %d pairs, oracle %d", len(res.Pairs), len(ref.Pairs))
+	}
+	want := pairsKey(ref.Pairs)
+	for _, p := range res.Pairs {
+		if want[p] == 0 {
+			t.Fatalf("seeded produced spurious pair %v", p)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Benchmarks regenerating every table and figure of the TOUCH paper at
+// reduced scale, plus per-algorithm microbenchmarks. Each BenchmarkFigN
+// / BenchmarkTable1 target runs the same harness code as
+// `touchbench -exp figN`, writing to io.Discard; run the command-line
+// tool for full-scale, human-readable output.
+//
+//	go test -bench=. -benchmem
+package touch_test
+
+import (
+	"io"
+	"testing"
+
+	"touch"
+	"touch/internal/bench"
+)
+
+// benchScale keeps every experiment in testing.B territory (fractions of
+// a second to seconds per iteration on one core).
+const benchScale = 0.005
+
+func runExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	exp, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	rc := bench.RunConfig{Scale: scale, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(rc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Selectivity regenerates Table 1 (dataset selectivities).
+func BenchmarkTable1Selectivity(b *testing.B) { runExperiment(b, "table1", benchScale) }
+
+// BenchmarkLoading regenerates §6.3 (load time vs join time).
+func BenchmarkLoading(b *testing.B) { runExperiment(b, "loading", benchScale) }
+
+// BenchmarkFig8 regenerates Figure 8 (small uniform datasets, all eight
+// algorithms, ε=10).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8", 0.05) }
+
+// BenchmarkFig9 regenerates Figure 9 (large uniform datasets, ε=5).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9", benchScale) }
+
+// BenchmarkFig10 regenerates Figure 10 (large Gaussian datasets, ε=5).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10", benchScale) }
+
+// BenchmarkFig11 regenerates Figure 11 (large clustered datasets, ε=5).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11", benchScale) }
+
+// BenchmarkFig12 regenerates Figure 12 (ε 5 vs 10 across datasets).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12", benchScale) }
+
+// BenchmarkFig13 regenerates Figure 13 (TOUCH filtering capability).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13", benchScale) }
+
+// BenchmarkFig14 regenerates Figure 14 (fanout impact).
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14", benchScale) }
+
+// BenchmarkFig15 regenerates Figure 15 (neuroscience density scaling).
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15", benchScale) }
+
+// BenchmarkFig16 regenerates Figure 16 (neuroscience datasets, ε∈{5,10}).
+func BenchmarkFig16(b *testing.B) { runExperiment(b, "fig16", benchScale) }
+
+// BenchmarkAblation runs the local-join strategy ablation (a study this
+// repository adds beyond the paper's figures).
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation", benchScale) }
+
+// Per-algorithm microbenchmarks on a fixed 8K × 24K uniform workload
+// with ε=5, reporting comparisons and result counts alongside ns/op.
+func benchmarkAlgorithm(b *testing.B, alg touch.Algorithm) {
+	b.Helper()
+	a := touch.GenerateUniform(8_000, 1)
+	bb := touch.GenerateUniform(24_000, 2)
+	b.ResetTimer()
+	var cmp, results int64
+	for i := 0; i < b.N; i++ {
+		res, err := touch.DistanceJoin(alg, a, bb, 5, &touch.Options{NoPairs: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp = res.Stats.Comparisons
+		results = res.Stats.Results
+	}
+	b.ReportMetric(float64(cmp), "comparisons")
+	b.ReportMetric(float64(results), "results")
+}
+
+func BenchmarkJoinTOUCH(b *testing.B)   { benchmarkAlgorithm(b, touch.AlgTOUCH) }
+func BenchmarkJoinNL(b *testing.B)      { benchmarkAlgorithm(b, touch.AlgNL) }
+func BenchmarkJoinPS(b *testing.B)      { benchmarkAlgorithm(b, touch.AlgPS) }
+func BenchmarkJoinPBSM500(b *testing.B) { benchmarkAlgorithm(b, touch.AlgPBSM500) }
+func BenchmarkJoinPBSM100(b *testing.B) { benchmarkAlgorithm(b, touch.AlgPBSM100) }
+func BenchmarkJoinS3(b *testing.B)      { benchmarkAlgorithm(b, touch.AlgS3) }
+func BenchmarkJoinINL(b *testing.B)     { benchmarkAlgorithm(b, touch.AlgINL) }
+func BenchmarkJoinRTree(b *testing.B)   { benchmarkAlgorithm(b, touch.AlgRTree) }
+
+// BenchmarkTOUCHPhases isolates the three TOUCH phases by reusing a
+// prebuilt index: the loop measures assignment + join only, the way the
+// neuroscientists' build-once pipeline would see it.
+func BenchmarkTOUCHPhases(b *testing.B) {
+	a := touch.GenerateUniform(8_000, 1).Expand(5)
+	probe := touch.GenerateUniform(24_000, 2)
+	idx := touch.BuildIndex(a, touch.TOUCHConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Join(probe, &touch.Options{NoPairs: true})
+	}
+}
+
+// BenchmarkParallelTOUCH measures the slab driver at 4 workers on the
+// microbenchmark workload.
+func BenchmarkParallelTOUCH(b *testing.B) {
+	a := touch.GenerateUniform(8_000, 1)
+	bb := touch.GenerateUniform(24_000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := touch.DistanceJoin(touch.AlgTOUCH, a, bb, 5,
+			&touch.Options{NoPairs: true, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"touch"
+)
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	ds := touch.GenerateUniform(25, 1)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := touch.WriteDataset(f, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("read %d objects, want %d", len(got), len(ds))
+	}
+	for i := range ds {
+		if got[i].Box != ds[i].Box {
+			t.Fatalf("object %d: %v != %v", i, got[i].Box, ds[i].Box)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := readFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

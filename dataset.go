@@ -1,0 +1,100 @@
+package touch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+)
+
+// Dataset generators: thin re-exports of internal/datagen with the
+// paper's default parameters (boxes with sides uniform in (0,1] in a
+// 1000³ universe; §6.2).
+
+// GenerateUniform returns n uniformly distributed boxes.
+func GenerateUniform(n int, seed int64) Dataset { return datagen.UniformSet(n, seed) }
+
+// GenerateGaussian returns n Gaussian-distributed boxes (μ=500, σ=250).
+func GenerateGaussian(n int, seed int64) Dataset { return datagen.GaussianSet(n, seed) }
+
+// GenerateClustered returns n boxes scattered around 100 random cluster
+// centers (σ=220).
+func GenerateClustered(n int, seed int64) Dataset { return datagen.ClusteredSet(n, seed) }
+
+// NeuroConfig configures the synthetic neuroscience workload; see
+// DefaultNeuroConfig for the paper's dataset sizes.
+type NeuroConfig = datagen.NeuroConfig
+
+// DefaultNeuroConfig returns the paper's neuroscience dataset shape:
+// 644K axon and 1.285M dendrite cylinders in a 285-unit cubic volume.
+func DefaultNeuroConfig(seed int64) NeuroConfig { return datagen.DefaultNeuroConfig(seed) }
+
+// GenerateNeuro grows synthetic neuron morphologies and returns the axon
+// (A) and dendrite (B) cylinder sets of the touch-detection workload.
+func GenerateNeuro(cfg NeuroConfig) (axons, dendrites CylinderSet) {
+	return datagen.GenerateNeuro(cfg)
+}
+
+// RefineCylinders keeps only the candidate pairs whose exact cylinder
+// geometry is within eps — the refinement phase following the MBR
+// filtering phase.
+func RefineCylinders(a, b CylinderSet, pairs []Pair, eps float64) []Pair {
+	return geom.Refine(a, b, pairs, eps)
+}
+
+// ReadDataset parses a dataset from a text stream with one object per
+// line: six whitespace- or comma-separated numbers
+//
+//	minX minY minZ maxX maxY maxZ
+//
+// Empty lines and lines starting with '#' are skipped. Objects receive
+// sequential IDs starting at 0.
+func ReadDataset(r io.Reader) (Dataset, error) {
+	var ds Dataset
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		if len(fields) != 2*geom.Dims {
+			return nil, fmt.Errorf("touch: line %d: want %d numbers, got %d", lineNo, 2*geom.Dims, len(fields))
+		}
+		var v [2 * geom.Dims]float64
+		for i, f := range fields {
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("touch: line %d: %v", lineNo, err)
+			}
+			v[i] = x
+		}
+		box := geom.NewBox(Point{v[0], v[1], v[2]}, Point{v[3], v[4], v[5]})
+		ds = append(ds, Object{ID: geom.ID(len(ds)), Box: box})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("touch: reading dataset: %w", err)
+	}
+	return ds, nil
+}
+
+// WriteDataset writes a dataset in the format ReadDataset parses.
+func WriteDataset(w io.Writer, ds Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := range ds {
+		b := &ds[i].Box
+		_, err := fmt.Fprintf(bw, "%g %g %g %g %g %g\n",
+			b.Min[0], b.Min[1], b.Min[2], b.Max[0], b.Max[1], b.Max[2])
+		if err != nil {
+			return fmt.Errorf("touch: writing dataset: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,58 @@
+package touch
+
+import (
+	"time"
+
+	"touch/internal/core"
+	"touch/internal/stats"
+)
+
+// Index is a reusable TOUCH partitioning tree built once over a dataset
+// and joined against many probe datasets — the scenario §4.3 of the
+// paper mentions ("should one of the datasets already be indexed with a
+// hierarchical index ... the tree building phase can be skipped").
+type Index struct {
+	tree *core.Tree
+	lenA int
+}
+
+// BuildIndex constructs the TOUCH tree on the dataset with the given
+// configuration (zero value = paper defaults: 1024 partitions, fanout 2).
+func BuildIndex(a Dataset, cfg TOUCHConfig) *Index {
+	return &Index{tree: core.Build(a, cfg), lenA: len(a)}
+}
+
+// Join runs TOUCH's assignment and join phases against b, reusing the
+// prebuilt tree. Result pairs are in (index dataset, b) orientation.
+func (ix *Index) Join(b Dataset, opt *Options) *Result {
+	o := opt.normalized()
+	res := &Result{}
+	var sink Sink
+	switch {
+	case o.Sink != nil:
+		sink = o.Sink
+	case o.NoPairs:
+		sink = &stats.CountSink{}
+	default:
+		collect := &stats.CollectSink{}
+		sink = collect
+		defer func() { res.Pairs = collect.Pairs }()
+	}
+
+	ix.tree.ResetAssignments()
+	c := &res.Stats
+	start := time.Now()
+	ix.tree.Assign(b, c)
+	c.AssignTime += time.Since(start)
+	start = time.Now()
+	ix.tree.JoinPhase(c, sink)
+	c.JoinTime += time.Since(start)
+	return res
+}
+
+// DistanceJoin is Join with the probe dataset's boxes enlarged by eps —
+// note that for a reusable index the expansion must be applied to the
+// probe side, unlike the one-shot DistanceJoin which expands A.
+func (ix *Index) DistanceJoin(b Dataset, eps float64, opt *Options) *Result {
+	return ix.Join(b.Expand(eps), opt)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Figure 15: Execution time for increasingly dense neuroscience datasets, ε=5",
+		Description: "Subsets of 20%..100% of the axon/dendrite datasets joined with " +
+			"every large-set algorithm.",
+		Run: runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Figure 16: Neuroscience datasets, ε ∈ {5,10}",
+		Description: "Axons (644K) × dendrites (1.285M): execution time, comparisons " +
+			"and memory for every large-set algorithm, plus TOUCH's filtering share.",
+		Run: runFig16,
+	})
+}
+
+func runFig15(rc RunConfig, w io.Writer) error {
+	rc = rc.fill()
+	algs := rc.algorithms(largeSet())
+	var rows []seriesRow
+	for _, pct := range []int{20, 40, 60, 80, 100} {
+		axons, dendrites := neuroDatasets(rc, float64(pct)/100)
+		ms, err := runPoint(algs, axons, dendrites, 5)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, seriesRow{Label: fmt.Sprintf("%d%%", pct), Measurements: ms})
+	}
+	return writeSeries(w, "Figure 15 — neuroscience density scaling (ε=5)",
+		"density", algs, rows, timeMetric())
+}
+
+func runFig16(rc RunConfig, w io.Writer) error {
+	rc = rc.fill()
+	algs := rc.algorithms(largeSet())
+	axons, dendrites := neuroDatasets(rc, 1.0)
+	var rows []seriesRow
+	for _, eps := range []float64{5, 10} {
+		ms, err := runPoint(algs, axons, dendrites, eps)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, seriesRow{Label: fmt.Sprintf("ε=%g", eps), Measurements: ms})
+		// Report TOUCH's filtering share (the paper quotes 26.58% for
+		// ε=5 and 21.23% for ε=10).
+		for _, m := range ms {
+			if m.Alg == "touch" {
+				fmt.Fprintf(w, "TOUCH filtering at ε=%g: %d of %d dendrite objects (%.2f%%)\n",
+					eps, m.Stats.Filtered, len(dendrites),
+					100*float64(m.Stats.Filtered)/float64(len(dendrites)))
+			}
+		}
+	}
+	title := fmt.Sprintf("Figure 16 — neuroscience (A=%s axons, B=%s dendrites)",
+		thousands(len(axons)), thousands(len(dendrites)))
+	return writeSeries(w, title, "predicate", algs, rows,
+		timeMetric(), comparisonsMetric(), memoryMetric())
+}

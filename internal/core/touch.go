@@ -1,0 +1,269 @@
+// Package core implements TOUCH, the paper's contribution: an in-memory
+// spatial join built on hierarchical data-oriented partitioning.
+//
+// TOUCH runs in three phases (§4.2):
+//
+//  1. Tree building — dataset A is grouped into p buckets with STR; the
+//     buckets become the leaves of a tree whose upper levels group f
+//     nodes (the fanout) per parent, again with STR.
+//  2. Assignment — every object of dataset B descends from the root to
+//     the lowest node whose MBR it overlaps without overlapping a
+//     sibling; objects overlapping no MBR are filtered out entirely.
+//  3. Join — each node holding B objects is joined against the A objects
+//     in its descendant leaves through an equi-width grid local join
+//     (Algorithm 4) with reference-point duplicate avoidance.
+//
+// Unlike PBSM there is no replication of B objects (single assignment,
+// Lemma 3: no duplicate results before the local join), and unlike S3 the
+// partitioning follows the data, not space.
+package core
+
+import (
+	"time"
+
+	"touch/internal/geom"
+	"touch/internal/stats"
+	"touch/internal/str"
+)
+
+// Default parameter values from the paper's experimental setup (§6.1):
+// fanout 2, 1024 partitions, 500 grid cells per dimension for the local
+// join.
+const (
+	DefaultFanout     = 2
+	DefaultPartitions = 1024
+	DefaultLocalCells = 500
+	// DefaultCellFactor keeps local-join cells "considerably larger than
+	// the average size of the objects" (§5.2.2): cell side >= factor ×
+	// average object extent.
+	DefaultCellFactor = 2.0
+)
+
+// Config carries TOUCH's tunable parameters (§5.2).
+type Config struct {
+	// Partitions is the number of STR buckets dataset A is grouped into
+	// (the leaves of the tree). Default 1024.
+	Partitions int
+	// Fanout is the number of children per inner node. Smaller fanouts
+	// make the tree higher, distributing B objects over more levels and
+	// reducing comparisons (§5.2.1). Default 2.
+	Fanout int
+	// LocalCells caps the local-join grid resolution per dimension.
+	// Default 500.
+	LocalCells int
+	// CellFactor scales the minimum local-join cell side relative to the
+	// average B-object extent within the node. Default 2.
+	CellFactor float64
+	// LocalJoin selects the local-join strategy (Algorithm 4 variants);
+	// the zero value is the grid with pre-test deduplication. See
+	// LocalJoinKind for the ablation alternatives.
+	LocalJoin LocalJoinKind
+}
+
+func (c *Config) fillDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = DefaultPartitions
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = DefaultFanout
+	}
+	if c.Fanout == 1 {
+		panic("core: fanout 1 would never converge to a root")
+	}
+	if c.LocalCells <= 0 {
+		c.LocalCells = DefaultLocalCells
+	}
+	if c.CellFactor <= 0 {
+		c.CellFactor = DefaultCellFactor
+	}
+}
+
+// Node is one node of the TOUCH partitioning tree. Leaves reference
+// objects of dataset A (Entries); any node may additionally accumulate
+// objects of dataset B (BEntities) during the assignment phase.
+type Node struct {
+	MBR       geom.Box
+	Children  []*Node
+	Entries   []geom.Object // A objects; leaves only
+	BEntities []geom.Object // B objects assigned to this node
+
+	// Subtree aggregates maintained at build time, used to size the
+	// local-join grid: number of A objects below this node and the sum
+	// of their mean box extents.
+	countA  int
+	extSumA float64
+}
+
+// Leaf reports whether the node is a leaf of the tree.
+func (n *Node) Leaf() bool { return len(n.Children) == 0 }
+
+// Tree is the hierarchical data-oriented partitioning built on dataset A.
+type Tree struct {
+	Root   *Node
+	Height int // levels, 1 = single leaf
+	Nodes  int
+	Leaves int
+	SizeA  int // objects indexed
+	cfg    Config
+
+	peakGridBytes int64 // largest transient local-join grid seen
+}
+
+// Build runs the tree-building phase (Algorithm 2) on dataset A. An
+// empty dataset produces a single empty leaf.
+func Build(a geom.Dataset, cfg Config) *Tree {
+	cfg.fillDefaults()
+	t := &Tree{SizeA: len(a), cfg: cfg}
+	if len(a) == 0 {
+		t.Root = &Node{MBR: geom.EmptyBox()}
+		t.Height, t.Nodes, t.Leaves = 1, 1, 1
+		return t
+	}
+	bucketSize := str.GroupSizeFor(len(a), cfg.Partitions)
+	groups := str.PackObjects(a, bucketSize)
+	level := make([]*Node, len(groups))
+	for i, g := range groups {
+		n := &Node{Entries: g, MBR: geom.EmptyBox(), countA: len(g)}
+		for _, o := range g {
+			n.MBR = n.MBR.Union(o.Box)
+			for d := 0; d < geom.Dims; d++ {
+				n.extSumA += o.Box.Extent(d)
+			}
+		}
+		n.extSumA /= geom.Dims
+		level[i] = n
+	}
+	t.Leaves = len(level)
+	t.Nodes = len(level)
+	t.Height = 1
+	for len(level) > 1 {
+		parents := str.Pack(level, func(n *Node) geom.Point { return n.MBR.Center() }, cfg.Fanout)
+		next := make([]*Node, len(parents))
+		for i, g := range parents {
+			n := &Node{Children: g, MBR: geom.EmptyBox()}
+			for _, ch := range g {
+				n.MBR = n.MBR.Union(ch.MBR)
+				n.countA += ch.countA
+				n.extSumA += ch.extSumA
+			}
+			next[i] = n
+		}
+		level = next
+		t.Nodes += len(level)
+		t.Height++
+	}
+	t.Root = level[0]
+	return t
+}
+
+// AssignOne places one object of dataset B in the tree following
+// Algorithm 3 and returns the node it was assigned to, or nil when the
+// object was filtered (it overlaps no MBR and therefore cannot intersect
+// any object of A). Child-MBR tests are charged to c.NodeTests.
+func (t *Tree) AssignOne(o geom.Object, c *stats.Counters) *Node {
+	p := t.Root
+	c.NodeTests++
+	if !p.MBR.Intersects(o.Box) {
+		return nil
+	}
+	for !p.Leaf() {
+		var hit *Node
+		multi := false
+		for _, ch := range p.Children {
+			c.NodeTests++
+			if ch.MBR.Intersects(o.Box) {
+				if hit != nil {
+					multi = true
+					break
+				}
+				hit = ch
+			}
+		}
+		if hit == nil {
+			// Inside p's MBR but in dead space between the children.
+			return nil
+		}
+		if multi {
+			return p
+		}
+		p = hit
+	}
+	return p
+}
+
+// ResetAssignments clears every node's BEntities so the tree can be
+// joined against another probe dataset (build once, join many).
+func (t *Tree) ResetAssignments() {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.BEntities = nil
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(t.Root)
+}
+
+// Assign runs the assignment phase for all of dataset B, storing each
+// object in its node's BEntities and counting filtered objects.
+func (t *Tree) Assign(b geom.Dataset, c *stats.Counters) {
+	for _, o := range b {
+		if n := t.AssignOne(o, c); n != nil {
+			n.BEntities = append(n.BEntities, o)
+		} else {
+			c.Filtered++
+		}
+	}
+}
+
+// JoinPhase runs the third phase: every node holding B objects is joined
+// with the A objects of its descendant leaves via the grid local join.
+func (t *Tree) JoinPhase(c *stats.Counters, sink stats.Sink) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.BEntities) > 0 {
+			t.localJoin(n, c, sink)
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(t.Root)
+}
+
+// staticBytes is the analytic footprint of the tree structure, the A
+// references in the buckets and the assigned B references — the memory
+// the paper attributes to TOUCH ("the buckets constructed based on
+// dataset A in addition to the tree", §6.4).
+func (t *Tree) staticBytes() int64 {
+	bytes := int64(t.Nodes) * stats.BytesPerNode
+	bytes += int64(t.SizeA) * stats.BytesPerRef // bucket entries
+	var walk func(n *Node) int64
+	walk = func(n *Node) int64 {
+		b := int64(len(n.BEntities)) * stats.BytesPerRef
+		for _, ch := range n.Children {
+			b += walk(ch)
+		}
+		return b
+	}
+	return bytes + walk(t.Root)
+}
+
+// Join runs all three TOUCH phases: build the tree on a, assign b, join.
+// Phase timings land in c.BuildTime / c.AssignTime / c.JoinTime and the
+// static structure footprint in c.MemoryBytes.
+func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+	start := time.Now()
+	t := Build(a, cfg)
+	c.BuildTime += time.Since(start)
+
+	start = time.Now()
+	t.Assign(b, c)
+	c.AssignTime += time.Since(start)
+	c.MemoryBytes += t.staticBytes()
+
+	start = time.Now()
+	t.JoinPhase(c, sink)
+	c.JoinTime += time.Since(start)
+	c.MemoryBytes += t.peakGridBytes
+}

@@ -1,0 +1,177 @@
+// Package datagen generates the workloads of the TOUCH paper's
+// evaluation: synthetic 3-D box datasets with uniform, Gaussian and
+// clustered distributions (§6.2) and a synthetic stand-in for the
+// proprietary rat-brain neuroscience model (§6.7) built from branching
+// neuron morphologies of cylinders.
+//
+// All generators are deterministic given a seed, so every experiment in
+// the repository is exactly reproducible.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"touch/internal/geom"
+)
+
+// Distribution selects the spatial distribution of a synthetic dataset.
+type Distribution int
+
+// The three synthetic distributions of the paper's Figure 7.
+const (
+	Uniform Distribution = iota
+	Gaussian
+	Clustered
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Clustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution converts a name produced by String back to a
+// Distribution value.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "gaussian":
+		return Gaussian, nil
+	case "clustered":
+		return Clustered, nil
+	default:
+		return 0, fmt.Errorf("datagen: unknown distribution %q", s)
+	}
+}
+
+// Config describes a synthetic dataset. The defaults (see DefaultConfig)
+// are the paper's: boxes with side lengths uniform in (0, MaxSide] placed
+// in a cube of Space units per dimension; Gaussian placement uses
+// μ = Space/2, σ = Sigma; the clustered distribution draws Clusters
+// uniformly random centers and scatters objects around them with a
+// Gaussian of standard deviation ClusterSigma.
+type Config struct {
+	N            int          // number of objects
+	Seed         int64        // RNG seed; same seed ⇒ same dataset
+	Distribution Distribution // spatial distribution of box centers
+	Space        float64      // side of the cubic universe (paper: 1000)
+	MaxSide      float64      // max box side length (paper: 1)
+	Sigma        float64      // Gaussian σ (paper: 250)
+	Clusters     int          // number of cluster centers (paper: up to 100)
+	ClusterSigma float64      // per-cluster Gaussian σ (paper: 220)
+}
+
+// DefaultConfig returns the paper's synthetic-data parameters for the
+// given distribution, object count and seed.
+func DefaultConfig(dist Distribution, n int, seed int64) Config {
+	return Config{
+		N:            n,
+		Seed:         seed,
+		Distribution: dist,
+		Space:        1000,
+		MaxSide:      1,
+		Sigma:        250,
+		Clusters:     100,
+		// The paper prints "σ = 220", but that would smear the 100
+		// clusters into a near-uniform cloud, contradicting both its
+		// Figure 7(c) (visibly distinct clusters) and its Figure 13
+		// (4.07% of clustered dataset B filtered at 1.6M×1.6M, which
+		// requires real dead space between clusters). σ = 22 reproduces
+		// the 4% filtering almost exactly, so we read 220 as a typo.
+		ClusterSigma: 22,
+	}
+}
+
+// Generate produces a dataset according to cfg. Object IDs are 0..N-1 in
+// generation order. Box centers outside the universe are clamped to it,
+// matching a constant space of Space units in each dimension.
+func Generate(cfg Config) geom.Dataset {
+	if cfg.N < 0 {
+		panic(fmt.Sprintf("datagen: negative N %d", cfg.N))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := make(geom.Dataset, cfg.N)
+
+	var centers []geom.Point
+	if cfg.Distribution == Clustered {
+		k := cfg.Clusters
+		if k <= 0 {
+			k = 1
+		}
+		centers = make([]geom.Point, k)
+		for i := range centers {
+			for d := 0; d < geom.Dims; d++ {
+				centers[i][d] = rng.Float64() * cfg.Space
+			}
+		}
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		var c geom.Point
+		switch cfg.Distribution {
+		case Uniform:
+			for d := 0; d < geom.Dims; d++ {
+				c[d] = rng.Float64() * cfg.Space
+			}
+		case Gaussian:
+			for d := 0; d < geom.Dims; d++ {
+				c[d] = clamp(rng.NormFloat64()*cfg.Sigma+cfg.Space/2, 0, cfg.Space)
+			}
+		case Clustered:
+			center := centers[rng.Intn(len(centers))]
+			for d := 0; d < geom.Dims; d++ {
+				c[d] = clamp(rng.NormFloat64()*cfg.ClusterSigma+center[d], 0, cfg.Space)
+			}
+		default:
+			panic(fmt.Sprintf("datagen: unknown distribution %d", cfg.Distribution))
+		}
+		var half geom.Point
+		for d := 0; d < geom.Dims; d++ {
+			half[d] = rng.Float64() * cfg.MaxSide / 2
+		}
+		ds[i] = geom.Object{
+			ID:  geom.ID(i),
+			Box: geom.NewBox(geom.Sub(c, half), geom.Add(c, half)),
+		}
+	}
+	return ds
+}
+
+// UniformSet, GaussianSet and ClusteredSet are convenience wrappers using
+// the paper's default parameters.
+
+// UniformSet returns n uniformly distributed boxes.
+func UniformSet(n int, seed int64) geom.Dataset {
+	return Generate(DefaultConfig(Uniform, n, seed))
+}
+
+// GaussianSet returns n Gaussian-distributed boxes (μ=500, σ=250).
+func GaussianSet(n int, seed int64) geom.Dataset {
+	return Generate(DefaultConfig(Gaussian, n, seed))
+}
+
+// ClusteredSet returns n boxes scattered around 100 random cluster
+// centers (σ=220).
+func ClusteredSet(n int, seed int64) geom.Dataset {
+	return Generate(DefaultConfig(Clustered, n, seed))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"touch/internal/geom"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Gaussian, Clustered} {
+		a := Generate(DefaultConfig(dist, 500, 7))
+		b := Generate(DefaultConfig(dist, 500, 7))
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", dist)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: object %d differs across runs", dist, i)
+			}
+		}
+		c := Generate(DefaultConfig(dist, 500, 8))
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical data", dist)
+		}
+	}
+}
+
+func TestCountsAndIDs(t *testing.T) {
+	ds := UniformSet(1234, 1)
+	if len(ds) != 1234 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	for i := range ds {
+		if ds[i].ID != geom.ID(i) {
+			t.Fatalf("object %d has ID %d", i, ds[i].ID)
+		}
+	}
+	if len(Generate(DefaultConfig(Uniform, 0, 1))) != 0 {
+		t.Fatal("N=0 must be empty")
+	}
+}
+
+func TestNegativeNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative N must panic")
+		}
+	}()
+	Generate(DefaultConfig(Uniform, -1, 1))
+}
+
+func TestBoxesWithinBoundsAndSizes(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Gaussian, Clustered} {
+		cfg := DefaultConfig(dist, 2000, 3)
+		ds := Generate(cfg)
+		for i := range ds {
+			b := ds[i].Box
+			if !b.Valid() {
+				t.Fatalf("%s: invalid box %v", dist, b)
+			}
+			for d := 0; d < geom.Dims; d++ {
+				if b.Extent(d) > cfg.MaxSide {
+					t.Fatalf("%s: side %g exceeds MaxSide %g", dist, b.Extent(d), cfg.MaxSide)
+				}
+				// Centers are clamped to the universe; a box can stick
+				// out by at most half a side.
+				if b.Min[d] < -cfg.MaxSide/2 || b.Max[d] > cfg.Space+cfg.MaxSide/2 {
+					t.Fatalf("%s: box %v outside universe", dist, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributionStatistics(t *testing.T) {
+	// Gaussian: mean near 500, std near 250 (clamping shrinks it a bit).
+	g := Generate(DefaultConfig(Gaussian, 20000, 5))
+	mean, std := momentsDim0(g)
+	if math.Abs(mean-500) > 15 {
+		t.Errorf("gaussian mean = %g, want ≈ 500", mean)
+	}
+	if std < 180 || std > 260 {
+		t.Errorf("gaussian std = %g, want ≈ 250 (minus clamping)", std)
+	}
+	// Uniform: mean near 500, std near 1000/sqrt(12) ≈ 289.
+	u := Generate(DefaultConfig(Uniform, 20000, 5))
+	mean, std = momentsDim0(u)
+	if math.Abs(mean-500) > 15 {
+		t.Errorf("uniform mean = %g", mean)
+	}
+	if math.Abs(std-288.7) > 20 {
+		t.Errorf("uniform std = %g, want ≈ 289", std)
+	}
+}
+
+func momentsDim0(ds geom.Dataset) (mean, std float64) {
+	for i := range ds {
+		mean += ds[i].Box.Center()[0]
+	}
+	mean /= float64(len(ds))
+	for i := range ds {
+		d := ds[i].Box.Center()[0] - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(ds)))
+}
+
+func TestClusteredIsClumped(t *testing.T) {
+	// The clustered distribution must be much "clumpier" than uniform:
+	// measure occupancy of a coarse grid — clustered data leaves many
+	// cells empty.
+	occupancy := func(ds geom.Dataset) int {
+		bin := func(v float64) int {
+			i := int(v / 25)
+			if i < 0 {
+				return 0
+			}
+			if i > 39 {
+				return 39
+			}
+			return i
+		}
+		seen := make(map[[3]int]bool)
+		for i := range ds {
+			c := ds[i].Box.Center()
+			seen[[3]int{bin(c[0]), bin(c[1]), bin(c[2])}] = true
+		}
+		return len(seen)
+	}
+	u := occupancy(Generate(DefaultConfig(Uniform, 5000, 9)))
+	c := occupancy(Generate(DefaultConfig(Clustered, 5000, 9)))
+	if c >= u {
+		t.Fatalf("clustered occupancy %d should be below uniform %d", c, u)
+	}
+}
+
+func TestClusteredRespectsClusterCount(t *testing.T) {
+	cfg := DefaultConfig(Clustered, 1000, 11)
+	cfg.Clusters = 1
+	cfg.ClusterSigma = 5
+	ds := Generate(cfg)
+	// All objects near a single center: the dataset MBR must be small.
+	mbr := ds.MBR()
+	for d := 0; d < geom.Dims; d++ {
+		if mbr.Extent(d) > 100 {
+			t.Fatalf("single tight cluster spans %g in dim %d", mbr.Extent(d), d)
+		}
+	}
+	// Clusters <= 0 falls back to one center rather than panicking.
+	cfg.Clusters = 0
+	if got := Generate(cfg); len(got) != 1000 {
+		t.Fatal("Clusters=0 must still generate")
+	}
+}
+
+func TestParseDistributionRoundTrip(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Gaussian, Clustered} {
+		got, err := ParseDistribution(dist.String())
+		if err != nil || got != dist {
+			t.Fatalf("round trip %v: got %v err %v", dist, got, err)
+		}
+	}
+	if _, err := ParseDistribution("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	if s := Distribution(99).String(); s == "" {
+		t.Fatal("unknown distribution must still print")
+	}
+}
+
+func TestUnknownDistributionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown distribution must panic in Generate")
+		}
+	}()
+	cfg := DefaultConfig(Uniform, 10, 1)
+	cfg.Distribution = Distribution(42)
+	Generate(cfg)
+}

@@ -1,0 +1,173 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"touch/internal/geom"
+)
+
+func smallNeuro(seed int64) NeuroConfig {
+	return NeuroConfig{Axons: 3000, Dendrites: 6000, Seed: seed, Volume: 285}
+}
+
+func TestGenerateNeuroCounts(t *testing.T) {
+	a, d := GenerateNeuro(smallNeuro(1))
+	if len(a) != 3000 || len(d) != 6000 {
+		t.Fatalf("counts = %d/%d, want 3000/6000", len(a), len(d))
+	}
+}
+
+func TestGenerateNeuroDeterministic(t *testing.T) {
+	a1, d1 := GenerateNeuro(smallNeuro(2))
+	a2, d2 := GenerateNeuro(smallNeuro(2))
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("axons differ across runs")
+		}
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("dendrites differ across runs")
+		}
+	}
+}
+
+func TestNeuroCylindersValid(t *testing.T) {
+	a, d := GenerateNeuro(smallNeuro(3))
+	for _, set := range []geom.CylinderSet{a, d} {
+		for i, c := range set {
+			if c.Radius <= 0 {
+				t.Fatalf("cylinder %d has radius %g", i, c.Radius)
+			}
+			if c.Axis.Length() <= 0 {
+				t.Fatalf("cylinder %d has zero-length axis", i)
+			}
+			for dd := 0; dd < geom.Dims; dd++ {
+				if c.Axis.P[dd] < 0 || c.Axis.P[dd] > 285 || c.Axis.Q[dd] < 0 || c.Axis.Q[dd] > 285 {
+					t.Fatalf("cylinder %d axis outside tissue volume: %+v", i, c.Axis)
+				}
+			}
+		}
+	}
+}
+
+func TestNeuroCenterHeavyDensity(t *testing.T) {
+	// The arbor placement must produce the paper's "dense center, sparse
+	// periphery" property that drives filtering: axons concentrate in the
+	// column core, while dendrites spread far wider.
+	a, d := GenerateNeuro(smallNeuro(4))
+	center := geom.NewBox(
+		geom.Point{285 * 0.25, 285 * 0.25, 285 * 0.25},
+		geom.Point{285 * 0.75, 285 * 0.75, 285 * 0.75})
+	frac := func(set geom.CylinderSet) float64 {
+		in := 0
+		for _, c := range set {
+			if center.ContainsPoint(c.Axis.P) {
+				in++
+			}
+		}
+		return float64(in) / float64(len(set))
+	}
+	fa, fd := frac(a), frac(d)
+	// The central box is 1/8 of the volume; uniform data would put
+	// 12.5% there. Axons must concentrate strongly; dendrites must be
+	// clearly wider-spread than axons.
+	if fa < 0.5 {
+		t.Fatalf("only %.1f%% of axons in the central octant; axons not center-heavy", 100*fa)
+	}
+	if fd >= fa {
+		t.Fatalf("dendrites (%.1f%%) must spread wider than axons (%.1f%%)", 100*fd, 100*fa)
+	}
+}
+
+func TestNeuroMeanBoxVolume(t *testing.T) {
+	// The paper reports an average object MBR volume of 1.34 units³;
+	// the generator's defaults must land in that neighbourhood.
+	a, _ := GenerateNeuro(smallNeuro(5))
+	total := 0.0
+	for _, c := range a {
+		total += c.MBR().Volume()
+	}
+	mean := total / float64(len(a))
+	if mean < 0.3 || mean > 5 {
+		t.Fatalf("mean MBR volume %.2f outside the plausible band around 1.34", mean)
+	}
+}
+
+func TestNeuroBranchContinuity(t *testing.T) {
+	// Consecutive cylinders within a branch must chain end to start —
+	// the generator grows branches as random walks.
+	cfg := smallNeuro(6)
+	cfg.Segments = 10
+	a, _ := GenerateNeuro(cfg)
+	chained := 0
+	for i := 1; i < len(a); i++ {
+		if a[i].Axis.P == a[i-1].Axis.Q {
+			chained++
+		}
+	}
+	// Most consecutive pairs chain (breaks happen at branch/neuron
+	// boundaries only: every Segments-th cylinder).
+	frac := float64(chained) / float64(len(a)-1)
+	if frac < 0.8 {
+		t.Fatalf("only %.1f%% of cylinders chain; branches are not walks", 100*frac)
+	}
+}
+
+func TestScaledNeuroConfig(t *testing.T) {
+	cfg := ScaledNeuroConfig(1, 0.01)
+	if cfg.Axons != 6440 || cfg.Dendrites != 12850 {
+		t.Fatalf("scaled counts = %d/%d", cfg.Axons, cfg.Dendrites)
+	}
+	if cfg.Volume != 285 {
+		t.Fatal("scaling must keep the volume fixed (density scaling)")
+	}
+}
+
+func TestNeuroZeroCounts(t *testing.T) {
+	a, d := GenerateNeuro(NeuroConfig{Axons: 0, Dendrites: 0, Seed: 1})
+	if len(a) != 0 || len(d) != 0 {
+		t.Fatal("zero counts must generate nothing")
+	}
+	a, d = GenerateNeuro(NeuroConfig{Axons: 10, Dendrites: 0, Seed: 1})
+	if len(a) != 10 || len(d) != 0 {
+		t.Fatalf("axons-only: %d/%d", len(a), len(d))
+	}
+}
+
+func TestNeuroNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counts must panic")
+		}
+	}()
+	GenerateNeuro(NeuroConfig{Axons: -1})
+}
+
+func TestNeuroAxonDendriteProximity(t *testing.T) {
+	// Axons and dendrites of the same tissue must actually touch — the
+	// whole point of the workload. Use a denser configuration (smaller
+	// volume) so a brute-force scan finds pairs quickly.
+	cfg := smallNeuro(8)
+	cfg.Volume = 60
+	a, d := GenerateNeuro(cfg)
+	found := false
+	for i := 0; i < len(a) && !found; i++ {
+		for j := 0; j < len(d) && !found; j++ {
+			if a[i].WithinDistance(d[j], 5) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no axon-dendrite pair within distance 5; workload degenerate")
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	v := normalize(geom.Point{0, 0, 0})
+	if math.Abs(geom.Norm(v)-1) > 1e-12 {
+		t.Fatal("normalize of zero vector must return a unit vector")
+	}
+}

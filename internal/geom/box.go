@@ -1,0 +1,238 @@
+// Package geom provides the 3-D geometric primitives shared by every
+// spatial-join algorithm in this repository: axis-aligned boxes (MBRs),
+// points, line segments and cylinders, together with the ε-expansion used
+// to reduce a distance join to an intersection join.
+//
+// All coordinates are float64 and boxes are closed intervals in every
+// dimension: two boxes that merely touch on a face, edge or corner are
+// considered intersecting, matching the "distance ≤ ε" predicate of the
+// TOUCH paper.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dims is the dimensionality of the space. The TOUCH paper evaluates on
+// 3-D data (neuroscience models and synthetic 3-D boxes).
+const Dims = 3
+
+// Point is a location in 3-D space.
+type Point [Dims]float64
+
+// Box is an axis-aligned minimum bounding rectangle (MBR) in 3-D,
+// represented by its minimum and maximum corners. A valid box has
+// Min[d] <= Max[d] for every dimension d; a zero-extent box (Min == Max)
+// is valid and represents a point.
+type Box struct {
+	Min Point
+	Max Point
+}
+
+// NewBox returns the box spanned by the two corner points, normalizing
+// the coordinates so that Min[d] <= Max[d] in every dimension.
+func NewBox(a, b Point) Box {
+	var box Box
+	for d := 0; d < Dims; d++ {
+		box.Min[d] = math.Min(a[d], b[d])
+		box.Max[d] = math.Max(a[d], b[d])
+	}
+	return box
+}
+
+// BoxAt returns the zero-extent box located at p.
+func BoxAt(p Point) Box { return Box{Min: p, Max: p} }
+
+// Valid reports whether the box is normalized (Min <= Max in every
+// dimension) and free of NaNs.
+func (b Box) Valid() bool {
+	for d := 0; d < Dims; d++ {
+		if math.IsNaN(b.Min[d]) || math.IsNaN(b.Max[d]) || b.Min[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and o overlap, where touching boundaries
+// count as overlap (closed-interval semantics).
+func (b Box) Intersects(o Box) bool {
+	for d := 0; d < Dims; d++ {
+		if b.Min[d] > o.Max[d] || o.Min[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether b fully contains o (closed semantics: a box
+// contains itself).
+func (b Box) Contains(o Box) bool {
+	for d := 0; d < Dims; d++ {
+		if o.Min[d] < b.Min[d] || o.Max[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of b.
+func (b Box) ContainsPoint(p Point) bool {
+	for d := 0; d < Dims; d++ {
+		if p[d] < b.Min[d] || p[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Expand grows the box by eps on every side of every dimension and
+// returns the result. Expanding one dataset's boxes by ε turns the
+// distance predicate dist(a,b) ≤ ε into an intersection predicate
+// (per-dimension interval distance ≤ ε ⇔ expanded boxes overlap).
+func (b Box) Expand(eps float64) Box {
+	for d := 0; d < Dims; d++ {
+		b.Min[d] -= eps
+		b.Max[d] += eps
+	}
+	return b
+}
+
+// Union returns the smallest box enclosing both b and o.
+func (b Box) Union(o Box) Box {
+	for d := 0; d < Dims; d++ {
+		b.Min[d] = math.Min(b.Min[d], o.Min[d])
+		b.Max[d] = math.Max(b.Max[d], o.Max[d])
+	}
+	return b
+}
+
+// Intersection returns the overlap region of b and o. The second return
+// value is false when the boxes do not intersect, in which case the
+// returned box is the zero value.
+func (b Box) Intersection(o Box) (Box, bool) {
+	var r Box
+	for d := 0; d < Dims; d++ {
+		r.Min[d] = math.Max(b.Min[d], o.Min[d])
+		r.Max[d] = math.Min(b.Max[d], o.Max[d])
+		if r.Min[d] > r.Max[d] {
+			return Box{}, false
+		}
+	}
+	return r, true
+}
+
+// Center returns the center point of the box.
+func (b Box) Center() Point {
+	var c Point
+	for d := 0; d < Dims; d++ {
+		c[d] = (b.Min[d] + b.Max[d]) / 2
+	}
+	return c
+}
+
+// Extent returns the side length of the box in dimension d.
+func (b Box) Extent(d int) float64 { return b.Max[d] - b.Min[d] }
+
+// Volume returns the volume of the box (product of extents).
+func (b Box) Volume() float64 {
+	v := 1.0
+	for d := 0; d < Dims; d++ {
+		v *= b.Extent(d)
+	}
+	return v
+}
+
+// Margin returns the sum of the box's side lengths (the 3-D analogue of
+// the perimeter, used by packing heuristics).
+func (b Box) Margin() float64 {
+	m := 0.0
+	for d := 0; d < Dims; d++ {
+		m += b.Extent(d)
+	}
+	return m
+}
+
+// Distance returns the minimum Euclidean distance between the two boxes;
+// zero when they intersect.
+func (b Box) Distance(o Box) float64 {
+	sum := 0.0
+	for d := 0; d < Dims; d++ {
+		gap := math.Max(b.Min[d]-o.Max[d], o.Min[d]-b.Max[d])
+		if gap > 0 {
+			sum += gap * gap
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// AxisDistance returns the per-dimension (L∞-style) distance between the
+// boxes: the largest single-axis gap, zero when they intersect. This is
+// exactly the predicate captured by ε-expansion of MBRs.
+func (b Box) AxisDistance(o Box) float64 {
+	worst := 0.0
+	for d := 0; d < Dims; d++ {
+		gap := math.Max(b.Min[d]-o.Max[d], o.Min[d]-b.Max[d])
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// ReferencePoint returns the canonical point of the pair (b, o) used for
+// duplicate avoidance in grid-partitioned joins: the minimum corner of the
+// intersection of the two boxes (Dittrich & Seeger's reference-point
+// method). It must only be called for intersecting boxes; the second
+// return value is false otherwise.
+func (b Box) ReferencePoint(o Box) (Point, bool) {
+	var p Point
+	for d := 0; d < Dims; d++ {
+		lo := math.Max(b.Min[d], o.Min[d])
+		hi := math.Min(b.Max[d], o.Max[d])
+		if lo > hi {
+			return Point{}, false
+		}
+		p[d] = lo
+	}
+	return p, true
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string {
+	return fmt.Sprintf("[%g,%g,%g]-[%g,%g,%g]",
+		b.Min[0], b.Min[1], b.Min[2], b.Max[0], b.Max[1], b.Max[2])
+}
+
+// EmptyBox returns the identity element for Union: a box with +Inf minima
+// and -Inf maxima. Union of EmptyBox with any box yields that box.
+func EmptyBox() Box {
+	var b Box
+	for d := 0; d < Dims; d++ {
+		b.Min[d] = math.Inf(1)
+		b.Max[d] = math.Inf(-1)
+	}
+	return b
+}
+
+// IsEmpty reports whether the box is the EmptyBox identity (or otherwise
+// inverted in some dimension).
+func (b Box) IsEmpty() bool {
+	for d := 0; d < Dims; d++ {
+		if b.Min[d] > b.Max[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// MBROf returns the minimum bounding box of a set of boxes, or EmptyBox
+// when the set is empty.
+func MBROf(boxes []Box) Box {
+	mbr := EmptyBox()
+	for _, b := range boxes {
+		mbr = mbr.Union(b)
+	}
+	return mbr
+}

@@ -1,0 +1,61 @@
+package geom
+
+// Cylinder is a capsule-shaped solid: all points within Radius of the
+// axis Segment. The neuroscience models of the TOUCH paper represent
+// every neuron branch (axon or dendrite) as a chain of such cylinders;
+// the filtering phase of the join works on their MBRs, while the
+// refinement phase consults the exact shape through Distance.
+type Cylinder struct {
+	Axis   Segment
+	Radius float64
+}
+
+// MBR returns the minimum bounding box of the cylinder: the box of the
+// axis segment grown by the radius on every side. This is exact for the
+// capsule model.
+func (c Cylinder) MBR() Box { return c.Axis.MBR().Expand(c.Radius) }
+
+// Distance returns the minimum Euclidean distance between the surfaces
+// of the two cylinders; zero when they intersect or one contains the
+// other's axis region.
+func (c Cylinder) Distance(o Cylinder) float64 {
+	d := c.Axis.Distance(o.Axis) - c.Radius - o.Radius
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// WithinDistance reports whether the two cylinders are within eps of each
+// other — the exact "touch" predicate used to place synapses in the
+// neuroscience application (§3 of the paper).
+func (c Cylinder) WithinDistance(o Cylinder, eps float64) bool {
+	return c.Axis.Distance(o.Axis) <= c.Radius+o.Radius+eps
+}
+
+// CylinderSet is a dataset with exact cylinder geometry. Index i holds
+// the shape of the object with ID i in the corresponding MBR Dataset.
+type CylinderSet []Cylinder
+
+// Objects derives the MBR dataset used by the filtering phase: object i
+// gets ID i and the cylinder's bounding box.
+func (cs CylinderSet) Objects() Dataset {
+	ds := make(Dataset, len(cs))
+	for i, c := range cs {
+		ds[i] = Object{ID: ID(i), Box: c.MBR()}
+	}
+	return ds
+}
+
+// Refine keeps only the candidate pairs whose exact cylinder geometry is
+// within eps, implementing the refinement phase that the paper leaves to
+// an off-the-shelf second stage. The pairs' A/B IDs index into a and b.
+func Refine(a, b CylinderSet, pairs []Pair, eps float64) []Pair {
+	out := pairs[:0:0] // fresh backing array; callers keep the candidates
+	for _, p := range pairs {
+		if a[p.A].WithinDistance(b[p.B], eps) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCylinderMBR(t *testing.T) {
+	c := Cylinder{Axis: Segment{P: Point{0, 0, 0}, Q: Point{4, 0, 0}}, Radius: 1}
+	want := NewBox(Point{-1, -1, -1}, Point{5, 1, 1})
+	if c.MBR() != want {
+		t.Fatalf("MBR = %v, want %v", c.MBR(), want)
+	}
+}
+
+func TestCylinderDistance(t *testing.T) {
+	a := Cylinder{Axis: Segment{P: Point{0, 0, 0}, Q: Point{4, 0, 0}}, Radius: 1}
+	b := Cylinder{Axis: Segment{P: Point{0, 5, 0}, Q: Point{4, 5, 0}}, Radius: 1}
+	if got := a.Distance(b); !almostEq(got, 3) {
+		t.Errorf("Distance = %g, want 3 (axis gap 5 minus two radii)", got)
+	}
+	// Overlapping capsules have distance zero.
+	c := Cylinder{Axis: Segment{P: Point{0, 1.5, 0}, Q: Point{4, 1.5, 0}}, Radius: 1}
+	if got := a.Distance(c); got != 0 {
+		t.Errorf("overlapping Distance = %g, want 0", got)
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	a := Cylinder{Axis: Segment{P: Point{0, 0, 0}, Q: Point{4, 0, 0}}, Radius: 1}
+	b := Cylinder{Axis: Segment{P: Point{0, 5, 0}, Q: Point{4, 5, 0}}, Radius: 1}
+	if !a.WithinDistance(b, 3) {
+		t.Error("WithinDistance(3) should hold at exact distance 3")
+	}
+	if a.WithinDistance(b, 2.999) {
+		t.Error("WithinDistance(2.999) should not hold")
+	}
+}
+
+func TestCylinderSetObjects(t *testing.T) {
+	cs := CylinderSet{
+		{Axis: Segment{P: Point{0, 0, 0}, Q: Point{1, 0, 0}}, Radius: 0.5},
+		{Axis: Segment{P: Point{5, 5, 5}, Q: Point{6, 7, 5}}, Radius: 0.25},
+	}
+	ds := cs.Objects()
+	if len(ds) != 2 {
+		t.Fatalf("Objects len = %d", len(ds))
+	}
+	for i := range ds {
+		if ds[i].ID != ID(i) {
+			t.Errorf("object %d has ID %d", i, ds[i].ID)
+		}
+		if ds[i].Box != cs[i].MBR() {
+			t.Errorf("object %d box mismatch", i)
+		}
+	}
+}
+
+// TestMBRFilterIsConservative checks the relationship the two-phase join
+// relies on: if two cylinders are within eps, their eps-expanded MBRs
+// overlap (no false negatives in the filtering phase).
+func TestMBRFilterIsConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		a := randomCylinder(rng)
+		b := randomCylinder(rng)
+		eps := rng.Float64() * 3
+		if a.WithinDistance(b, eps) {
+			if !a.MBR().Expand(eps).Intersects(b.MBR()) {
+				t.Fatalf("filter false negative: %+v vs %+v eps=%g", a, b, eps)
+			}
+		}
+	}
+}
+
+func TestRefine(t *testing.T) {
+	// Three cylinders in a row; a0 close to b0, far from b1.
+	as := CylinderSet{
+		{Axis: Segment{P: Point{0, 0, 0}, Q: Point{1, 0, 0}}, Radius: 0.1},
+	}
+	bs := CylinderSet{
+		{Axis: Segment{P: Point{0, 0.5, 0}, Q: Point{1, 0.5, 0}}, Radius: 0.1},
+		{Axis: Segment{P: Point{0, 9, 0}, Q: Point{1, 9, 0}}, Radius: 0.1},
+	}
+	candidates := []Pair{{A: 0, B: 0}, {A: 0, B: 1}}
+	got := Refine(as, bs, candidates, 0.5)
+	if len(got) != 1 || got[0] != (Pair{A: 0, B: 0}) {
+		t.Fatalf("Refine = %v, want [{0 0}]", got)
+	}
+	// The input slice must be left intact.
+	if len(candidates) != 2 {
+		t.Fatal("Refine mutated the candidate slice")
+	}
+	if out := Refine(as, bs, nil, 1); len(out) != 0 {
+		t.Fatal("Refine of no candidates must be empty")
+	}
+}
+
+// TestRefineMatchesBruteForce cross-checks Refine against directly
+// testing all pairs.
+func TestRefineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var as, bs CylinderSet
+	for i := 0; i < 40; i++ {
+		as = append(as, randomCylinder(rng))
+		bs = append(bs, randomCylinder(rng))
+		bs = append(bs, randomCylinder(rng))
+	}
+	eps := 1.5
+	var all []Pair
+	for i := range as {
+		for j := range bs {
+			all = append(all, Pair{A: ID(i), B: ID(j)})
+		}
+	}
+	got := Refine(as, bs, all, eps)
+	want := 0
+	for i := range as {
+		for j := range bs {
+			if as[i].WithinDistance(bs[j], eps) {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("Refine kept %d pairs, brute force %d", len(got), want)
+	}
+}
+
+func randomCylinder(rng *rand.Rand) Cylinder {
+	p := randomPoint(rng, 10)
+	dir := Point{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	q := Add(p, Scale(dir, 0.5))
+	return Cylinder{Axis: Segment{P: p, Q: q}, Radius: 0.1 + rng.Float64()*0.4}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	ds := Dataset{
+		{ID: 0, Box: NewBox(Point{0, 0, 0}, Point{2, 2, 2})},
+		{ID: 1, Box: NewBox(Point{4, 4, 4}, Point{5, 5, 5})},
+	}
+	if ds.MBR() != NewBox(Point{0, 0, 0}, Point{5, 5, 5}) {
+		t.Errorf("Dataset.MBR = %v", ds.MBR())
+	}
+	exp := ds.Expand(1)
+	if exp[0].Box != NewBox(Point{-1, -1, -1}, Point{3, 3, 3}) {
+		t.Errorf("Expand[0] = %v", exp[0].Box)
+	}
+	if ds[0].Box != NewBox(Point{0, 0, 0}, Point{2, 2, 2}) {
+		t.Error("Expand mutated the source dataset")
+	}
+	// Average extent: box0 sides 2, box1 sides 1 → mean 1.5.
+	if got := ds.AverageExtent(); !almostEq(got, 1.5) {
+		t.Errorf("AverageExtent = %g, want 1.5", got)
+	}
+	if (Dataset{}).AverageExtent() != 0 {
+		t.Error("empty dataset AverageExtent must be 0")
+	}
+	if !(Dataset{}).MBR().IsEmpty() {
+		t.Error("empty dataset MBR must be empty")
+	}
+
+	mathCheck := math.Abs(exp.AverageExtent() - (ds.AverageExtent() + 2))
+	if mathCheck > 1e-12 {
+		t.Error("Expand must grow every extent by 2·eps")
+	}
+}

@@ -1,0 +1,64 @@
+package geom
+
+// ID identifies a spatial object within its dataset. IDs are assigned by
+// the dataset loader or generator and are unique per dataset, not across
+// datasets.
+type ID = int32
+
+// Object is a spatial object as seen by the filtering phase of a join:
+// an identifier plus its minimum bounding rectangle. The exact geometry
+// (cylinder, sphere, polygon, ...) is only consulted by the optional
+// refinement phase.
+type Object struct {
+	ID  ID
+	Box Box
+}
+
+// Dataset is a collection of spatial objects. All join algorithms take
+// plain slices; none of them require the input to be sorted or indexed.
+type Dataset []Object
+
+// MBR returns the minimum bounding box of the whole dataset (EmptyBox for
+// an empty dataset).
+func (ds Dataset) MBR() Box {
+	mbr := EmptyBox()
+	for i := range ds {
+		mbr = mbr.Union(ds[i].Box)
+	}
+	return mbr
+}
+
+// Expand returns a copy of the dataset with every object's box grown by
+// eps on all sides. The original dataset is not modified.
+func (ds Dataset) Expand(eps float64) Dataset {
+	out := make(Dataset, len(ds))
+	for i, o := range ds {
+		o.Box = o.Box.Expand(eps)
+		out[i] = o
+	}
+	return out
+}
+
+// AverageExtent returns the mean side length of the objects' boxes across
+// all dimensions; zero for an empty dataset. Used to size grid cells
+// "considerably larger than the average size of the objects" (§5.2.2).
+func (ds Dataset) AverageExtent() float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range ds {
+		for d := 0; d < Dims; d++ {
+			sum += ds[i].Box.Extent(d)
+		}
+	}
+	return sum / float64(len(ds)*Dims)
+}
+
+// Pair is one result of a spatial join: the IDs of an object from dataset
+// A and an object from dataset B whose MBRs overlap (after ε-expansion,
+// for a distance join).
+type Pair struct {
+	A ID
+	B ID
+}

@@ -1,0 +1,108 @@
+package geom
+
+import "math"
+
+// Segment is a line segment between two points in 3-D, the skeleton of a
+// cylinder in the neuroscience models (each neuron branch is a chain of
+// cylinders).
+type Segment struct {
+	P, Q Point
+}
+
+// Sub returns a - b.
+func Sub(a, b Point) Point {
+	return Point{a[0] - b[0], a[1] - b[1], a[2] - b[2]}
+}
+
+// Add returns a + b.
+func Add(a, b Point) Point {
+	return Point{a[0] + b[0], a[1] + b[1], a[2] + b[2]}
+}
+
+// Scale returns s * a.
+func Scale(a Point, s float64) Point {
+	return Point{a[0] * s, a[1] * s, a[2] * s}
+}
+
+// Dot returns the dot product of a and b.
+func Dot(a, b Point) float64 {
+	return a[0]*b[0] + a[1]*b[1] + a[2]*b[2]
+}
+
+// Norm returns the Euclidean length of a.
+func Norm(a Point) float64 { return math.Sqrt(Dot(a, a)) }
+
+// DistancePoints returns the Euclidean distance between two points.
+func DistancePoints(a, b Point) float64 { return Norm(Sub(a, b)) }
+
+// Lerp returns the point p + t*(q-p).
+func Lerp(p, q Point, t float64) Point { return Add(p, Scale(Sub(q, p), t)) }
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return DistancePoints(s.P, s.Q) }
+
+// MBR returns the minimum bounding box of the segment.
+func (s Segment) MBR() Box { return NewBox(s.P, s.Q) }
+
+// Distance returns the minimum Euclidean distance between the two
+// segments, using the standard closest-point parametrization with
+// clamping (Eberly). It is exact up to floating-point rounding and
+// handles degenerate (zero-length) segments.
+func (s Segment) Distance(t Segment) float64 {
+	d1 := Sub(s.Q, s.P) // direction of s
+	d2 := Sub(t.Q, t.P) // direction of t
+	r := Sub(s.P, t.P)
+	a := Dot(d1, d1) // squared length of s
+	e := Dot(d2, d2) // squared length of t
+	f := Dot(d2, r)
+
+	const tiny = 1e-300
+	var sc, tc float64
+	switch {
+	case a <= tiny && e <= tiny:
+		// Both segments degenerate to points.
+		return DistancePoints(s.P, t.P)
+	case a <= tiny:
+		// s degenerates to a point: project onto t.
+		sc = 0
+		tc = clamp01(f / e)
+	default:
+		c := Dot(d1, r)
+		if e <= tiny {
+			// t degenerates to a point: project onto s.
+			tc = 0
+			sc = clamp01(-c / a)
+		} else {
+			b := Dot(d1, d2)
+			denom := a*e - b*b // always >= 0
+			if denom > tiny {
+				sc = clamp01((b*f - c*e) / denom)
+			} else {
+				// Parallel segments: pick an arbitrary sc.
+				sc = 0
+			}
+			tc = (b*sc + f) / e
+			// If tc is outside [0,1], clamp and recompute sc.
+			if tc < 0 {
+				tc = 0
+				sc = clamp01(-c / a)
+			} else if tc > 1 {
+				tc = 1
+				sc = clamp01((b - c) / a)
+			}
+		}
+	}
+	c1 := Lerp(s.P, s.Q, sc)
+	c2 := Lerp(t.P, t.Q, tc)
+	return DistancePoints(c1, c2)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,191 @@
+// Package grid provides the uniform space-partitioning grid shared by
+// PBSM (global partitioning) and TOUCH's local join (Algorithm 4 of the
+// paper), including the cell-coordinate arithmetic behind the
+// reference-point duplicate-avoidance rule.
+package grid
+
+import (
+	"fmt"
+
+	"touch/internal/geom"
+)
+
+// Coords identifies a grid cell by its integer coordinates per dimension.
+type Coords [geom.Dims]int
+
+// Grid is a uniform equi-width grid over a rectangular universe. Cells
+// are half-open along every dimension except the last cell of each row,
+// which absorbs the universe's upper boundary, so every point of the
+// universe maps to exactly one cell.
+type Grid struct {
+	Universe geom.Box
+	Res      Coords             // number of cells per dimension (>= 1)
+	cell     [geom.Dims]float64 // cell side length per dimension
+}
+
+// New creates a grid with res cells in every dimension over the given
+// universe. res must be >= 1; a degenerate universe (zero extent in some
+// dimension) is allowed and collapses that dimension to a single cell.
+func New(universe geom.Box, res int) *Grid {
+	if res < 1 {
+		panic(fmt.Sprintf("grid: resolution %d < 1", res))
+	}
+	var r Coords
+	for d := 0; d < geom.Dims; d++ {
+		r[d] = res
+	}
+	return NewRes(universe, r)
+}
+
+// NewRes creates a grid with a separate resolution per dimension.
+func NewRes(universe geom.Box, res Coords) *Grid {
+	g := &Grid{Universe: universe, Res: res}
+	for d := 0; d < geom.Dims; d++ {
+		if res[d] < 1 {
+			panic(fmt.Sprintf("grid: resolution %d < 1 in dim %d", res[d], d))
+		}
+		ext := universe.Extent(d)
+		if ext <= 0 {
+			g.Res[d] = 1
+			g.cell[d] = 1 // any positive value; everything maps to cell 0
+			continue
+		}
+		g.cell[d] = ext / float64(res[d])
+	}
+	return g
+}
+
+// NewCellSize creates a grid whose cells are cubes of (at least) the
+// given side length, clamping the per-dimension resolution to maxRes.
+// Used by TOUCH's local join to keep cells "considerably larger than the
+// average size of the objects" (§5.2.2).
+func NewCellSize(universe geom.Box, side float64, maxRes int) *Grid {
+	if side <= 0 {
+		panic(fmt.Sprintf("grid: cell side %g <= 0", side))
+	}
+	if maxRes < 1 {
+		maxRes = 1
+	}
+	var res Coords
+	for d := 0; d < geom.Dims; d++ {
+		n := int(universe.Extent(d) / side)
+		if n < 1 {
+			n = 1
+		}
+		if n > maxRes {
+			n = maxRes
+		}
+		res[d] = n
+	}
+	return NewRes(universe, res)
+}
+
+// CellSide returns the cell side length in dimension d.
+func (g *Grid) CellSide(d int) float64 { return g.cell[d] }
+
+// Cells returns the total number of cells in the grid.
+func (g *Grid) Cells() int {
+	n := 1
+	for d := 0; d < geom.Dims; d++ {
+		n *= g.Res[d]
+	}
+	return n
+}
+
+// CoordsOf returns the coordinates of the cell containing p, clamped to
+// the grid (points outside the universe map to the nearest border cell,
+// which is what both PBSM and the local join need for clamped ranges).
+func (g *Grid) CoordsOf(p geom.Point) Coords {
+	var c Coords
+	for d := 0; d < geom.Dims; d++ {
+		c[d] = g.clampIndex(d, p[d])
+	}
+	return c
+}
+
+func (g *Grid) clampIndex(d int, v float64) int {
+	i := int((v - g.Universe.Min[d]) / g.cell[d])
+	if i < 0 {
+		return 0
+	}
+	if i >= g.Res[d] {
+		return g.Res[d] - 1
+	}
+	return i
+}
+
+// Range returns the inclusive cell-coordinate range overlapped by the
+// box, clamped to the grid.
+func (g *Grid) Range(b geom.Box) (lo, hi Coords) {
+	for d := 0; d < geom.Dims; d++ {
+		lo[d] = g.clampIndex(d, b.Min[d])
+		hi[d] = g.clampIndex(d, b.Max[d])
+	}
+	return lo, hi
+}
+
+// Key linearizes cell coordinates into a single comparable key.
+func (g *Grid) Key(c Coords) int64 {
+	return (int64(c[0])*int64(g.Res[1])+int64(c[1]))*int64(g.Res[2]) + int64(c[2])
+}
+
+// KeyCoords is the inverse of Key.
+func (g *Grid) KeyCoords(k int64) Coords {
+	var c Coords
+	c[2] = int(k % int64(g.Res[2]))
+	k /= int64(g.Res[2])
+	c[1] = int(k % int64(g.Res[1]))
+	c[0] = int(k / int64(g.Res[1]))
+	return c
+}
+
+// CellBox returns the spatial region of the cell at c.
+func (g *Grid) CellBox(c Coords) geom.Box {
+	var b geom.Box
+	for d := 0; d < geom.Dims; d++ {
+		b.Min[d] = g.Universe.Min[d] + float64(c[d])*g.cell[d]
+		b.Max[d] = b.Min[d] + g.cell[d]
+	}
+	return b
+}
+
+// RefCell returns the cell of the canonical reference point of the pair
+// of boxes — the componentwise maximum of the two minimum corners,
+// clamped to the grid. When the boxes overlap, that point lies in their
+// intersection (it is the intersection's minimum corner), so the pair is
+// processed exactly once: in this cell. When they do not overlap the
+// point is still well defined, letting local joins skip duplicate *tests*
+// before paying for the intersection check.
+func (g *Grid) RefCell(a, b *geom.Box) Coords {
+	var c Coords
+	for d := 0; d < geom.Dims; d++ {
+		v := a.Min[d]
+		if b.Min[d] > v {
+			v = b.Min[d]
+		}
+		c[d] = g.clampIndex(d, v)
+	}
+	return c
+}
+
+// ForEachCell visits every cell in the inclusive coordinate range
+// [lo, hi], in row-major order.
+func ForEachCell(lo, hi Coords, visit func(Coords)) {
+	var c Coords
+	for c[0] = lo[0]; c[0] <= hi[0]; c[0]++ {
+		for c[1] = lo[1]; c[1] <= hi[1]; c[1]++ {
+			for c[2] = lo[2]; c[2] <= hi[2]; c[2]++ {
+				visit(c)
+			}
+		}
+	}
+}
+
+// RangeCells returns the number of cells in the inclusive range [lo, hi].
+func RangeCells(lo, hi Coords) int64 {
+	n := int64(1)
+	for d := 0; d < geom.Dims; d++ {
+		n *= int64(hi[d] - lo[d] + 1)
+	}
+	return n
+}

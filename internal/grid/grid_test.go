@@ -1,0 +1,215 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"touch/internal/geom"
+)
+
+func universe() geom.Box {
+	return geom.NewBox(geom.Point{0, 0, 0}, geom.Point{100, 100, 100})
+}
+
+func TestNewBasics(t *testing.T) {
+	g := New(universe(), 10)
+	if g.Cells() != 1000 {
+		t.Fatalf("Cells = %d, want 1000", g.Cells())
+	}
+	for d := 0; d < geom.Dims; d++ {
+		if g.CellSide(d) != 10 {
+			t.Fatalf("CellSide(%d) = %g", d, g.CellSide(d))
+		}
+	}
+}
+
+func TestNewPanicsOnBadRes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resolution 0 must panic")
+		}
+	}()
+	New(universe(), 0)
+}
+
+func TestDegenerateUniverseCollapses(t *testing.T) {
+	flat := geom.NewBox(geom.Point{0, 0, 5}, geom.Point{100, 100, 5})
+	g := New(flat, 10)
+	if g.Res[2] != 1 {
+		t.Fatalf("flat dimension should collapse to 1 cell, got %d", g.Res[2])
+	}
+	lo, hi := g.Range(geom.NewBox(geom.Point{1, 1, 5}, geom.Point{2, 2, 5}))
+	if lo[2] != 0 || hi[2] != 0 {
+		t.Fatal("all boxes must map to cell 0 in a degenerate dimension")
+	}
+}
+
+func TestCoordsOfAndClamping(t *testing.T) {
+	g := New(universe(), 10)
+	cases := []struct {
+		p    geom.Point
+		want Coords
+	}{
+		{geom.Point{0, 0, 0}, Coords{0, 0, 0}},
+		{geom.Point{9.999, 0, 0}, Coords{0, 0, 0}},
+		{geom.Point{10, 0, 0}, Coords{1, 0, 0}},
+		{geom.Point{99.9, 99.9, 99.9}, Coords{9, 9, 9}},
+		{geom.Point{100, 100, 100}, Coords{9, 9, 9}}, // upper edge absorbed
+		{geom.Point{-5, 50, 200}, Coords{0, 5, 9}},   // clamped outside
+	}
+	for _, tc := range cases {
+		if got := g.CoordsOf(tc.p); got != tc.want {
+			t.Errorf("CoordsOf(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := New(universe(), 10)
+	lo, hi := g.Range(geom.NewBox(geom.Point{5, 15, 25}, geom.Point{25, 15, 39.9}))
+	if lo != (Coords{0, 1, 2}) || hi != (Coords{2, 1, 3}) {
+		t.Fatalf("Range = %v..%v", lo, hi)
+	}
+	if RangeCells(lo, hi) != 3*1*2 {
+		t.Fatalf("RangeCells = %d", RangeCells(lo, hi))
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	g := New(universe(), 7)
+	for x := 0; x < 7; x++ {
+		for y := 0; y < 7; y++ {
+			for z := 0; z < 7; z++ {
+				c := Coords{x, y, z}
+				if got := g.KeyCoords(g.Key(c)); got != c {
+					t.Fatalf("round trip %v -> %d -> %v", c, g.Key(c), got)
+				}
+			}
+		}
+	}
+}
+
+func TestKeyUnique(t *testing.T) {
+	g := NewRes(universe(), Coords{3, 5, 7})
+	seen := make(map[int64]bool)
+	var c Coords
+	for c[0] = 0; c[0] < 3; c[0]++ {
+		for c[1] = 0; c[1] < 5; c[1]++ {
+			for c[2] = 0; c[2] < 7; c[2]++ {
+				k := g.Key(c)
+				if seen[k] {
+					t.Fatalf("duplicate key %d for %v", k, c)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestCellBox(t *testing.T) {
+	g := New(universe(), 10)
+	b := g.CellBox(Coords{1, 2, 3})
+	want := geom.NewBox(geom.Point{10, 20, 30}, geom.Point{20, 30, 40})
+	if b != want {
+		t.Fatalf("CellBox = %v, want %v", b, want)
+	}
+	// The cell box must contain exactly the points mapping to the cell
+	// (up to the shared boundary).
+	if g.CoordsOf(b.Center()) != (Coords{1, 2, 3}) {
+		t.Fatal("center of cell box maps elsewhere")
+	}
+}
+
+func TestNewCellSize(t *testing.T) {
+	g := NewCellSize(universe(), 7, 500)
+	for d := 0; d < geom.Dims; d++ {
+		if g.CellSide(d) < 7 {
+			t.Fatalf("cell side %g below requested 7", g.CellSide(d))
+		}
+	}
+	// Cap applies.
+	g = NewCellSize(universe(), 0.001, 16)
+	for d := 0; d < geom.Dims; d++ {
+		if g.Res[d] != 16 {
+			t.Fatalf("resolution %d not capped to 16", g.Res[d])
+		}
+	}
+	// Huge cell side collapses to one cell.
+	g = NewCellSize(universe(), 1e6, 500)
+	if g.Cells() != 1 {
+		t.Fatalf("Cells = %d, want 1", g.Cells())
+	}
+}
+
+func TestNewCellSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cell side 0 must panic")
+		}
+	}()
+	NewCellSize(universe(), 0, 10)
+}
+
+func TestRefCellProperties(t *testing.T) {
+	g := New(universe(), 10)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a := randBox(rng)
+		b := randBox(rng)
+		rc := g.RefCell(&a, &b)
+		if rc != g.RefCell(&b, &a) {
+			t.Fatal("RefCell must be symmetric")
+		}
+		if a.Intersects(b) {
+			// The reference cell must lie within both boxes' cell ranges,
+			// so both sides visit it.
+			loA, hiA := g.Range(a)
+			loB, hiB := g.Range(b)
+			for d := 0; d < geom.Dims; d++ {
+				if rc[d] < loA[d] || rc[d] > hiA[d] || rc[d] < loB[d] || rc[d] > hiB[d] {
+					t.Fatalf("ref cell %v outside ranges %v..%v and %v..%v", rc, loA, hiA, loB, hiB)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachCellVisitsAllOnce(t *testing.T) {
+	lo, hi := Coords{1, 2, 3}, Coords{3, 2, 5}
+	seen := make(map[Coords]int)
+	ForEachCell(lo, hi, func(c Coords) { seen[c]++ })
+	if int64(len(seen)) != RangeCells(lo, hi) {
+		t.Fatalf("visited %d cells, want %d", len(seen), RangeCells(lo, hi))
+	}
+	for c, k := range seen {
+		if k != 1 {
+			t.Fatalf("cell %v visited %d times", c, k)
+		}
+	}
+}
+
+func TestPropCoordsWithinRes(t *testing.T) {
+	g := NewRes(universe(), Coords{4, 9, 13})
+	f := func(x, y, z float64) bool {
+		c := g.CoordsOf(geom.Point{x * 200, y * 200, z * 200})
+		for d := 0; d < geom.Dims; d++ {
+			if c[d] < 0 || c[d] >= g.Res[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randBox(rng *rand.Rand) geom.Box {
+	var c, h geom.Point
+	for d := 0; d < geom.Dims; d++ {
+		c[d] = rng.Float64() * 100
+		h[d] = rng.Float64() * 10
+	}
+	return geom.NewBox(geom.Sub(c, h), geom.Add(c, h))
+}

@@ -1,0 +1,49 @@
+// Package nl implements the nested loop spatial join, the textbook O(n·m)
+// baseline of the TOUCH paper's evaluation. It needs no support data
+// structures at all, making it the most space-efficient — and slowest —
+// approach, and it doubles as the correctness oracle for every other
+// algorithm in this repository's tests.
+package nl
+
+import (
+	"time"
+
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+// Join compares every object of a against every object of b and emits
+// the overlapping pairs.
+func Join(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
+	start := time.Now()
+	for i := range a {
+		ab := &a[i].Box
+		for j := range b {
+			c.Comparisons++
+			if ab.Intersects(b[j].Box) {
+				c.Results++
+				sink.Emit(a[i].ID, b[j].ID)
+			}
+		}
+	}
+	c.JoinTime += time.Since(start)
+}
+
+// DistanceJoin is the brute-force distance join used as the oracle in
+// tests: it reports pairs whose boxes are within eps per-dimension
+// (AxisDistance), which is exactly the predicate that ε-expansion of one
+// dataset's MBRs captures.
+func DistanceJoin(a, b geom.Dataset, eps float64, c *stats.Counters, sink stats.Sink) {
+	start := time.Now()
+	for i := range a {
+		ab := &a[i].Box
+		for j := range b {
+			c.Comparisons++
+			if ab.AxisDistance(b[j].Box) <= eps {
+				c.Results++
+				sink.Emit(a[i].ID, b[j].ID)
+			}
+		}
+	}
+	c.JoinTime += time.Since(start)
+}

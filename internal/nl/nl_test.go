@@ -1,0 +1,101 @@
+package nl
+
+import (
+	"testing"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+func TestJoinExhaustive(t *testing.T) {
+	a := datagen.UniformSet(40, 1).Expand(30)
+	b := datagen.UniformSet(60, 2)
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	Join(a, b, &c, sink)
+
+	if c.Comparisons != int64(len(a)*len(b)) {
+		t.Fatalf("comparisons = %d, want exactly %d", c.Comparisons, len(a)*len(b))
+	}
+	// Every reported pair overlaps; every overlapping pair is reported.
+	want := 0
+	for i := range a {
+		for j := range b {
+			if a[i].Box.Intersects(b[j].Box) {
+				want++
+			}
+		}
+	}
+	if len(sink.Pairs) != want || c.Results != int64(want) {
+		t.Fatalf("got %d pairs (Results=%d), want %d", len(sink.Pairs), c.Results, want)
+	}
+	seen := make(map[geom.Pair]bool)
+	for _, p := range sink.Pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+		if !a[p.A].Box.Intersects(b[p.B].Box) {
+			t.Fatalf("non-overlapping pair %v reported", p)
+		}
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	ds := datagen.UniformSet(5, 1)
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	Join(nil, ds, &c, sink)
+	Join(ds, nil, &c, sink)
+	if len(sink.Pairs) != 0 || c.Comparisons != 0 {
+		t.Fatal("empty joins must do nothing")
+	}
+}
+
+func TestJoinUsesNoMemory(t *testing.T) {
+	a := datagen.UniformSet(30, 1)
+	b := datagen.UniformSet(30, 2)
+	var c stats.Counters
+	Join(a, b, &c, &stats.CountSink{})
+	if c.MemoryBytes != 0 {
+		t.Fatalf("nested loop must need no support structures, got %d bytes", c.MemoryBytes)
+	}
+}
+
+func TestDistanceJoinMatchesExpansion(t *testing.T) {
+	a := datagen.UniformSet(80, 3)
+	b := datagen.UniformSet(120, 4)
+	for _, eps := range []float64{0, 1, 5, 25} {
+		var c1, c2 stats.Counters
+		s1 := &stats.CollectSink{}
+		s2 := &stats.CollectSink{}
+		DistanceJoin(a, b, eps, &c1, s1)
+		Join(a.Expand(eps), b, &c2, s2)
+		if len(s1.Pairs) != len(s2.Pairs) {
+			t.Fatalf("eps=%g: DistanceJoin %d pairs, expanded Join %d",
+				eps, len(s1.Pairs), len(s2.Pairs))
+		}
+		want := make(map[geom.Pair]bool)
+		for _, p := range s2.Pairs {
+			want[p] = true
+		}
+		for _, p := range s1.Pairs {
+			if !want[p] {
+				t.Fatalf("eps=%g: pair %v differs between formulations", eps, p)
+			}
+		}
+	}
+}
+
+func TestDistanceJoinZeroEpsIsIntersection(t *testing.T) {
+	// eps=0 keeps touching pairs (closed predicate).
+	a := geom.Dataset{{ID: 0, Box: geom.NewBox(geom.Point{0, 0, 0}, geom.Point{1, 1, 1})}}
+	b := geom.Dataset{{ID: 0, Box: geom.NewBox(geom.Point{1, 0, 0}, geom.Point{2, 1, 1})}}
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	DistanceJoin(a, b, 0, &c, sink)
+	if len(sink.Pairs) != 1 {
+		t.Fatal("touching pair must match at eps=0")
+	}
+}

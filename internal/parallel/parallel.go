@@ -1,0 +1,144 @@
+// Package parallel provides the embarrassingly-parallel execution mode
+// described in §3 of the TOUCH paper: the space is split into contiguous
+// slabs, each worker joins the objects overlapping its slab in isolation
+// (on the BlueGene/P, one subset per core), and boundary duplicates are
+// suppressed with a reference-point rule on the split axis. Any of the
+// repository's join algorithms can run under this driver unchanged.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+// JoinFunc is the signature shared by all single-threaded joins in this
+// repository once their configuration is bound.
+type JoinFunc func(a, b geom.Dataset, c *stats.Counters, sink stats.Sink)
+
+// Join splits the joint universe into workers contiguous slabs along the
+// longest axis, runs join on each slab concurrently and merges the
+// per-worker counters into c. Result pairs are emitted to sink from
+// multiple goroutines but never concurrently (a mutex serializes Emit),
+// and every overlapping pair is emitted exactly once: a pair spanning a
+// slab boundary is owned by the slab containing the maximum of the two
+// boxes' minima on the split axis.
+func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink stats.Sink) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return
+	}
+	if workers == 1 {
+		join(a, b, c, sink)
+		return
+	}
+
+	universe := a.MBR().Union(b.MBR())
+	axis := longestAxis(universe)
+	lo, width := universe.Min[axis], universe.Extent(axis)
+	if width <= 0 {
+		// Degenerate universe: nothing to split on.
+		join(a, b, c, sink)
+		return
+	}
+	bounds := make([]float64, workers+1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = lo + width*float64(w)/float64(workers)
+	}
+	bounds[workers] = universe.Max[axis] // exact upper edge
+
+	// Boxes by ID for the ownership test at emit time.
+	boxA := boxIndex(a)
+	boxB := boxIndex(b)
+
+	var (
+		mu       sync.Mutex // serializes sink.Emit and counter merging
+		wg       sync.WaitGroup
+		counters = make([]stats.Counters, workers)
+	)
+	for w := 0; w < workers; w++ {
+		w := w
+		slabLo, slabHi := bounds[w], bounds[w+1]
+		sa := slice(a, axis, slabLo, slabHi)
+		sb := slice(b, axis, slabLo, slabHi)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if len(sa) == 0 || len(sb) == 0 {
+				return
+			}
+			var ownedResults int64
+			owned := stats.FuncSink(func(x, y geom.ID) {
+				ref := boxA[x].Min[axis]
+				if m := boxB[y].Min[axis]; m > ref {
+					ref = m
+				}
+				if !owns(ref, slabLo, slabHi, w == 0, w == workers-1) {
+					return
+				}
+				ownedResults++
+				mu.Lock()
+				sink.Emit(x, y)
+				mu.Unlock()
+			})
+			local := &counters[w]
+			join(sa, sb, local, owned)
+			// The inner algorithm counted every emitted pair, including
+			// boundary duplicates this slab does not own; the ownership
+			// sink holds the true count.
+			local.Results = ownedResults
+		}()
+	}
+	wg.Wait()
+	for w := range counters {
+		c.Add(counters[w])
+	}
+}
+
+// owns reports whether the reference coordinate belongs to the half-open
+// slab [lo, hi). The first slab additionally owns coordinates below lo
+// and the last slab owns the universe's exact upper edge, so the rule is
+// total over the universe.
+func owns(ref, lo, hi float64, first, last bool) bool {
+	if ref < lo {
+		return first
+	}
+	if ref >= hi {
+		return last && ref <= hi
+	}
+	return true
+}
+
+// slice returns the objects whose interval on the axis intersects the
+// closed slab [lo, hi].
+func slice(ds geom.Dataset, axis int, lo, hi float64) geom.Dataset {
+	var out geom.Dataset
+	for i := range ds {
+		if ds[i].Box.Min[axis] <= hi && ds[i].Box.Max[axis] >= lo {
+			out = append(out, ds[i])
+		}
+	}
+	return out
+}
+
+func longestAxis(b geom.Box) int {
+	axis := 0
+	for d := 1; d < geom.Dims; d++ {
+		if b.Extent(d) > b.Extent(axis) {
+			axis = d
+		}
+	}
+	return axis
+}
+
+func boxIndex(ds geom.Dataset) map[geom.ID]geom.Box {
+	m := make(map[geom.ID]geom.Box, len(ds))
+	for i := range ds {
+		m[ds[i].ID] = ds[i].Box
+	}
+	return m
+}

@@ -1,0 +1,163 @@
+package parallel
+
+import (
+	"testing"
+
+	"touch/internal/core"
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/nl"
+	"touch/internal/stats"
+	"touch/internal/sweep"
+)
+
+func oracle(a, b geom.Dataset) map[geom.Pair]bool {
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	nl.Join(a, b, &c, sink)
+	m := make(map[geom.Pair]bool, len(sink.Pairs))
+	for _, p := range sink.Pairs {
+		m[p] = true
+	}
+	return m
+}
+
+func touchJoin(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
+	core.Join(a, b, core.Config{}, c, sink)
+}
+
+func runParallel(t *testing.T, a, b geom.Dataset, workers int, join JoinFunc) ([]geom.Pair, stats.Counters) {
+	t.Helper()
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	Join(a, b, workers, join, &c, sink)
+	return sink.Pairs, c
+}
+
+func verify(t *testing.T, name string, got []geom.Pair, want map[geom.Pair]bool) {
+	t.Helper()
+	seen := make(map[geom.Pair]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("%s: duplicate pair %v across slabs", name, p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Fatalf("%s: spurious pair %v", name, p)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%s: got %d pairs, want %d", name, len(seen), len(want))
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Clustered} {
+		a := datagen.Generate(datagen.DefaultConfig(dist, 400, 221)).Expand(8)
+		b := datagen.Generate(datagen.DefaultConfig(dist, 900, 222))
+		want := oracle(a, b)
+		for _, workers := range []int{1, 2, 3, 8, 16} {
+			got, c := runParallel(t, a, b, workers, touchJoin)
+			verify(t, dist.String(), got, want)
+			if c.Results != int64(len(got)) {
+				t.Fatalf("workers=%d: Results=%d pairs=%d", workers, c.Results, len(got))
+			}
+		}
+	}
+}
+
+func TestParallelWithDifferentInnerAlgorithms(t *testing.T) {
+	a := datagen.GaussianSet(300, 231).Expand(8)
+	b := datagen.GaussianSet(700, 232)
+	want := oracle(a, b)
+	inner := map[string]JoinFunc{
+		"nl":    nl.Join,
+		"sweep": sweep.Join,
+		"touch": touchJoin,
+	}
+	for name, join := range inner {
+		got, _ := runParallel(t, a, b, 4, join)
+		verify(t, name, got, want)
+	}
+}
+
+func TestParallelEmptyInputs(t *testing.T) {
+	ds := datagen.UniformSet(10, 1)
+	got, _ := runParallel(t, nil, ds, 4, nl.Join)
+	if len(got) != 0 {
+		t.Fatal("empty A")
+	}
+	got, _ = runParallel(t, ds, nil, 4, nl.Join)
+	if len(got) != 0 {
+		t.Fatal("empty B")
+	}
+}
+
+func TestParallelBoundaryOwnership(t *testing.T) {
+	// Objects straddling slab boundaries must be reported exactly once.
+	// Build a workload where every object crosses the midpoint, so with
+	// 2 workers every pair appears in both slabs.
+	var a, b geom.Dataset
+	for i := 0; i < 50; i++ {
+		f := float64(i)
+		a = append(a, geom.Object{ID: geom.ID(i), Box: geom.NewBox(
+			geom.Point{40 - f/10, f, 0}, geom.Point{60 + f/10, f + 1, 1})})
+		b = append(b, geom.Object{ID: geom.ID(i), Box: geom.NewBox(
+			geom.Point{45, f, 0}, geom.Point{55, f + 1.5, 1})})
+	}
+	want := oracle(a, b)
+	if len(want) == 0 {
+		t.Fatal("premise: boundary workload must have matches")
+	}
+	for _, workers := range []int{2, 3, 5} {
+		got, _ := runParallel(t, a, b, workers, nl.Join)
+		verify(t, "boundary", got, want)
+	}
+}
+
+func TestParallelUpperEdgeOwned(t *testing.T) {
+	// A pair whose reference coordinate is exactly the universe's upper
+	// edge must be owned by the last slab, not dropped.
+	a := geom.Dataset{
+		{ID: 0, Box: geom.NewBox(geom.Point{0, 0, 0}, geom.Point{10, 1, 1})},
+		{ID: 1, Box: geom.NewBox(geom.Point{100, 0, 0}, geom.Point{100, 1, 1})}, // point at edge
+	}
+	b := geom.Dataset{
+		{ID: 0, Box: geom.NewBox(geom.Point{100, 0, 0}, geom.Point{100, 1, 1})},
+	}
+	want := oracle(a, b)
+	got, _ := runParallel(t, a, b, 4, nl.Join)
+	verify(t, "edge", got, want)
+}
+
+func TestParallelDegenerateUniverse(t *testing.T) {
+	// All objects at the same location: zero-width universe falls back
+	// to a single worker.
+	box := geom.NewBox(geom.Point{5, 5, 5}, geom.Point{5, 5, 5})
+	var a, b geom.Dataset
+	for i := 0; i < 10; i++ {
+		a = append(a, geom.Object{ID: geom.ID(i), Box: box})
+		b = append(b, geom.Object{ID: geom.ID(i), Box: box})
+	}
+	got, _ := runParallel(t, a, b, 4, nl.Join)
+	if len(got) != 100 {
+		t.Fatalf("got %d pairs, want 100", len(got))
+	}
+}
+
+func TestParallelMoreWorkersThanObjects(t *testing.T) {
+	a := datagen.UniformSet(5, 241).Expand(20)
+	b := datagen.UniformSet(7, 242)
+	want := oracle(a, b)
+	got, _ := runParallel(t, a, b, 64, nl.Join)
+	verify(t, "overprovisioned", got, want)
+}
+
+func TestParallelCountersMerged(t *testing.T) {
+	a := datagen.UniformSet(200, 251).Expand(10)
+	b := datagen.UniformSet(400, 252)
+	_, c := runParallel(t, a, b, 4, nl.Join)
+	if c.Comparisons == 0 {
+		t.Fatal("worker comparisons must merge into the caller's counters")
+	}
+}

@@ -1,0 +1,240 @@
+package pbsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/nl"
+	"touch/internal/stats"
+)
+
+func oracle(a, b geom.Dataset) map[geom.Pair]bool {
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	nl.Join(a, b, &c, sink)
+	m := make(map[geom.Pair]bool, len(sink.Pairs))
+	for _, p := range sink.Pairs {
+		m[p] = true
+	}
+	return m
+}
+
+func run(t *testing.T, a, b geom.Dataset, cfg Config) ([]geom.Pair, stats.Counters) {
+	t.Helper()
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	Join(a, b, cfg, &c, sink)
+	return sink.Pairs, c
+}
+
+func verify(t *testing.T, name string, got []geom.Pair, want map[geom.Pair]bool) {
+	t.Helper()
+	seen := make(map[geom.Pair]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("%s: duplicate result pair %v (dedup failed)", name, p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Fatalf("%s: spurious pair %v", name, p)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%s: got %d pairs, want %d", name, len(seen), len(want))
+	}
+}
+
+func TestJoinMatchesOracleAllDistributions(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		a := datagen.Generate(datagen.DefaultConfig(dist, 400, 61)).Expand(7)
+		b := datagen.Generate(datagen.DefaultConfig(dist, 900, 62))
+		want := oracle(a, b)
+		for _, res := range []int{100, 500} {
+			got, c := run(t, a, b, Config{Resolution: res})
+			verify(t, dist.String(), got, want)
+			if c.Results != int64(len(got)) {
+				t.Fatalf("%s res=%d: Results=%d pairs=%d", dist, res, c.Results, len(got))
+			}
+		}
+	}
+}
+
+func TestResolutionsAgree(t *testing.T) {
+	a := datagen.UniformSet(300, 71).Expand(10)
+	b := datagen.UniformSet(500, 72)
+	var counts []int
+	for _, res := range []int{1, 2, 7, 33, 100, 500} {
+		got, _ := run(t, a, b, Config{Resolution: res})
+		counts = append(counts, len(got))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("different resolutions disagree: %v", counts)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	ds := datagen.UniformSet(5, 1)
+	for _, pair := range [][2]geom.Dataset{{nil, ds}, {ds, nil}, {nil, nil}} {
+		got, c := run(t, pair[0], pair[1], Config{})
+		if len(got) != 0 || c.Comparisons != 0 {
+			t.Fatal("empty join must do nothing")
+		}
+	}
+}
+
+func TestReplicationCountedAndComparisonsInflated(t *testing.T) {
+	// Big objects replicate into many cells, and PBSM (unlike TOUCH)
+	// pays duplicate comparisons for them — the paper's explanation for
+	// its super-linear growth with ε.
+	a := datagen.UniformSet(200, 81).Expand(40)
+	b := datagen.UniformSet(200, 82).Expand(40)
+	want := oracle(a, b)
+	got, c := run(t, a, b, Config{Resolution: 50})
+	verify(t, "fat", got, want)
+	if c.Replicas == 0 {
+		t.Fatal("fat objects must replicate")
+	}
+	if c.Comparisons <= int64(len(want)) {
+		t.Fatalf("expected duplicate tests beyond %d results, got %d comparisons",
+			len(want), c.Comparisons)
+	}
+	// Memory must account every replica entry.
+	if c.MemoryBytes < c.Replicas*entryBytes {
+		t.Fatalf("memory %d does not cover %d replicas", c.MemoryBytes, c.Replicas)
+	}
+}
+
+func TestComparisonsGrowSuperlinearlyWithEps(t *testing.T) {
+	a := datagen.UniformSet(500, 91)
+	b := datagen.UniformSet(500, 92)
+	var cmp []int64
+	for _, eps := range []float64{5, 10} {
+		_, c := run(t, a.Expand(eps), b, Config{Resolution: 500})
+		cmp = append(cmp, c.Comparisons)
+	}
+	if cmp[1] <= cmp[0] {
+		t.Fatalf("doubling eps should raise comparisons: %v", cmp)
+	}
+}
+
+func TestCoincidentObjects(t *testing.T) {
+	box := geom.NewBox(geom.Point{10, 10, 10}, geom.Point{12, 12, 12})
+	var a, b geom.Dataset
+	for i := 0; i < 15; i++ {
+		a = append(a, geom.Object{ID: geom.ID(i), Box: box})
+		b = append(b, geom.Object{ID: geom.ID(i), Box: box})
+	}
+	// Add one far-away object so the universe is not degenerate.
+	far := geom.NewBox(geom.Point{500, 500, 500}, geom.Point{501, 501, 501})
+	a = append(a, geom.Object{ID: 15, Box: far})
+	got, _ := run(t, a, b, Config{Resolution: 20})
+	if len(got) != 225 {
+		t.Fatalf("got %d pairs, want 225", len(got))
+	}
+}
+
+func TestRadixSortSortsAndIsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	entries := make([]entry, 10000)
+	for i := range entries {
+		entries[i] = entry{key: int32(rng.Intn(200)), idx: int32(i)}
+	}
+	sorted := radixSort(entries)
+	if len(sorted) != len(entries) {
+		t.Fatal("length changed")
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].key > sorted[i].key {
+			t.Fatal("not sorted by key")
+		}
+		if sorted[i-1].key == sorted[i].key && sorted[i-1].idx >= sorted[i].idx {
+			t.Fatal("not stable within equal keys")
+		}
+	}
+}
+
+func TestRadixSortEdgeCases(t *testing.T) {
+	if got := radixSort(nil); len(got) != 0 {
+		t.Fatal("nil input")
+	}
+	one := []entry{{key: 5, idx: 0}}
+	if got := radixSort(one); len(got) != 1 || got[0].key != 5 {
+		t.Fatal("single entry")
+	}
+	// Large keys exercise multiple digit passes.
+	big := []entry{{key: 1 << 30, idx: 0}, {key: 3, idx: 1}, {key: 1 << 20, idx: 2}}
+	got := radixSort(big)
+	if got[0].key != 3 || got[1].key != 1<<20 || got[2].key != 1<<30 {
+		t.Fatalf("big keys: %v", got)
+	}
+}
+
+func TestPropPBSMEqualsNL(t *testing.T) {
+	f := func(seed int64, rawRes uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		res := int(rawRes%60) + 1
+		a := datagen.Generate(datagen.Config{
+			N: r.Intn(120) + 1, Seed: seed, Distribution: datagen.Clustered,
+			Space: 100, MaxSide: 20, Clusters: 5, ClusterSigma: 30,
+		})
+		b := datagen.Generate(datagen.Config{
+			N: r.Intn(120) + 1, Seed: seed + 1, Distribution: datagen.Clustered,
+			Space: 100, MaxSide: 20, Clusters: 5, ClusterSigma: 30,
+		})
+		want := oracle(a, b)
+		var c stats.Counters
+		sink := &stats.CollectSink{}
+		Join(a, b, Config{Resolution: res}, &c, sink)
+		if len(sink.Pairs) != len(want) {
+			return false
+		}
+		seen := make(map[geom.Pair]bool)
+		for _, p := range sink.Pairs {
+			if seen[p] || !want[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalAccountingDespitePruning(t *testing.T) {
+	// A occupies the whole space (fat, heavily replicated); B only a
+	// corner. Most A replicas are pruned from materialization, but the
+	// accounting must still charge canonical PBSM replication.
+	a := datagen.UniformSet(100, 401).Expand(30)
+	var b geom.Dataset
+	for i := 0; i < 50; i++ {
+		p := geom.Point{float64(i) * 0.1, 0, 0}
+		b = append(b, geom.Object{ID: geom.ID(i), Box: geom.NewBox(p, geom.Add(p, geom.Point{1, 1, 1}))})
+	}
+	// Anchor universe to A's extent.
+	_, c := run(t, a, b, Config{Resolution: 100})
+	if c.Replicas == 0 {
+		t.Fatal("fat A must replicate")
+	}
+	if c.MemoryBytes < c.Replicas*entryBytes {
+		t.Fatalf("memory %d below canonical replication %d", c.MemoryBytes, c.Replicas*entryBytes)
+	}
+}
+
+func TestOccupiedBinarySearch(t *testing.T) {
+	entries := []entry{{key: 2}, {key: 2}, {key: 5}, {key: 9}}
+	for key, want := range map[int32]bool{1: false, 2: true, 3: false, 5: true, 9: true, 10: false} {
+		if got := occupied(entries, key); got != want {
+			t.Errorf("occupied(%d) = %v, want %v", key, got, want)
+		}
+	}
+	if occupied(nil, 1) {
+		t.Error("empty array must report unoccupied")
+	}
+}

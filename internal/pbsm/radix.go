@@ -1,0 +1,46 @@
+package pbsm
+
+// radixSort sorts the replica entries by key with a stable LSD radix
+// sort (16-bit digits). Multiple assignment routinely produces tens of
+// millions of entries per dataset, where a comparison sort becomes the
+// dominant cost of the whole join; counting passes keep it linear.
+// Stability preserves the ascending idx order within each cell, which
+// keeps cell contents xmin-sorted for the plane-sweep local join.
+func radixSort(entries []entry) []entry {
+	if len(entries) < 2 {
+		return entries
+	}
+	maxKey := int32(0)
+	for i := range entries {
+		if entries[i].key > maxKey {
+			maxKey = entries[i].key
+		}
+	}
+	const (
+		digitBits = 16
+		buckets   = 1 << digitBits
+		mask      = buckets - 1
+	)
+	src := entries
+	dst := make([]entry, len(entries))
+	var counts [buckets]int
+	for shift := 0; maxKey>>shift > 0; shift += digitBits {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range src {
+			counts[(src[i].key>>shift)&mask]++
+		}
+		total := 0
+		for i := range counts {
+			counts[i], total = total, total+counts[i]
+		}
+		for i := range src {
+			d := (src[i].key >> shift) & mask
+			dst[counts[d]] = src[i]
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}

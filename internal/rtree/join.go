@@ -1,0 +1,90 @@
+package rtree
+
+import (
+	"time"
+
+	"touch/internal/geom"
+	"touch/internal/stats"
+	"touch/internal/sweep"
+)
+
+// SyncJoin is the synchronous R-tree traversal join (Brinkhoff et al.):
+// both datasets are indexed (here: STR bulk-loaded) and the two trees are
+// descended in lockstep, recursing only into child pairs whose MBRs
+// intersect. Leaf pairs are joined with the plane-sweep local join. This
+// is the paper's "RTree" baseline.
+func SyncJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+	start := time.Now()
+	ta := Bulkload(a, cfg)
+	tb := Bulkload(b, cfg)
+	c.MemoryBytes += ta.MemoryBytes() + tb.MemoryBytes()
+	c.BuildTime += time.Since(start)
+
+	start = time.Now()
+	if len(a) > 0 && len(b) > 0 {
+		c.NodeTests++
+		if ta.Root.MBR.Intersects(tb.Root.MBR) {
+			syncTraverse(ta.Root, tb.Root, c, sink)
+		}
+	}
+	c.JoinTime += time.Since(start)
+}
+
+// syncTraverse recursively joins two nodes whose MBRs are known to
+// intersect. Trees of different heights are handled by descending only
+// the deeper side once a leaf is reached on the other.
+func syncTraverse(na, nb *Node, c *stats.Counters, sink stats.Sink) {
+	switch {
+	case na.Leaf() && nb.Leaf():
+		sweep.JoinSorted(na.Entries, nb.Entries, c, func(x, y *geom.Object) {
+			c.Results++
+			sink.Emit(x.ID, y.ID)
+		})
+	case na.Leaf():
+		for _, ch := range nb.Children {
+			c.NodeTests++
+			if na.MBR.Intersects(ch.MBR) {
+				syncTraverse(na, ch, c, sink)
+			}
+		}
+	case nb.Leaf():
+		for _, ch := range na.Children {
+			c.NodeTests++
+			if ch.MBR.Intersects(nb.MBR) {
+				syncTraverse(ch, nb, c, sink)
+			}
+		}
+	default:
+		for _, ca := range na.Children {
+			for _, cb := range nb.Children {
+				c.NodeTests++
+				if ca.MBR.Intersects(cb.MBR) {
+					syncTraverse(ca, cb, c, sink)
+				}
+			}
+		}
+	}
+}
+
+// INLJoin is the indexed nested loop join: dataset A is indexed and every
+// object of B issues a range query against the index. Per the paper, the
+// repeated root-to-leaf traversals make it slower than SyncJoin even
+// though both perform almost the same number of object comparisons.
+func INLJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+	start := time.Now()
+	ta := Bulkload(a, cfg)
+	c.MemoryBytes += ta.MemoryBytes()
+	c.BuildTime += time.Since(start)
+
+	start = time.Now()
+	if len(a) > 0 {
+		for i := range b {
+			bo := &b[i]
+			ta.Query(bo.Box, c, func(ao *geom.Object) {
+				c.Results++
+				sink.Emit(ao.ID, bo.ID)
+			})
+		}
+	}
+	c.JoinTime += time.Since(start)
+}

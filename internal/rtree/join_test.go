@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"testing"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/nl"
+	"touch/internal/stats"
+)
+
+func oracle(a, b geom.Dataset) map[geom.Pair]bool {
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	nl.Join(a, b, &c, sink)
+	m := make(map[geom.Pair]bool, len(sink.Pairs))
+	for _, p := range sink.Pairs {
+		m[p] = true
+	}
+	return m
+}
+
+func checkAgainstOracle(t *testing.T, name string, got []geom.Pair, want map[geom.Pair]bool) {
+	t.Helper()
+	seen := make(map[geom.Pair]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("%s: duplicate pair %v", name, p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Fatalf("%s: spurious pair %v", name, p)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%s: got %d pairs, want %d", name, len(seen), len(want))
+	}
+}
+
+func TestSyncJoinMatchesOracle(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		a := datagen.Generate(datagen.DefaultConfig(dist, 500, 21)).Expand(6)
+		b := datagen.Generate(datagen.DefaultConfig(dist, 1200, 22))
+		want := oracle(a, b)
+		var c stats.Counters
+		sink := &stats.CollectSink{}
+		SyncJoin(a, b, Config{}, &c, sink)
+		checkAgainstOracle(t, dist.String(), sink.Pairs, want)
+		if c.Results != int64(len(sink.Pairs)) {
+			t.Fatalf("%s: Results=%d pairs=%d", dist, c.Results, len(sink.Pairs))
+		}
+		if c.MemoryBytes == 0 {
+			t.Fatalf("%s: sync join must account two trees", dist)
+		}
+	}
+}
+
+func TestINLJoinMatchesOracle(t *testing.T) {
+	a := datagen.GaussianSet(600, 31).Expand(6)
+	b := datagen.GaussianSet(1500, 32)
+	want := oracle(a, b)
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	INLJoin(a, b, Config{}, &c, sink)
+	checkAgainstOracle(t, "inl", sink.Pairs, want)
+}
+
+func TestJoinsEmptyInputs(t *testing.T) {
+	ds := datagen.UniformSet(10, 1)
+	for _, fn := range []func(a, b geom.Dataset, cfg Config, c *stats.Counters, s stats.Sink){SyncJoin, INLJoin} {
+		var c stats.Counters
+		sink := &stats.CollectSink{}
+		fn(nil, ds, Config{}, &c, sink)
+		fn(ds, nil, Config{}, &c, sink)
+		fn(nil, nil, Config{}, &c, sink)
+		if len(sink.Pairs) != 0 {
+			t.Fatal("joins with empty inputs must produce nothing")
+		}
+	}
+}
+
+func TestSyncJoinDifferentHeights(t *testing.T) {
+	// A tiny A forces a much shallower A-tree than B-tree, exercising
+	// the mixed leaf/inner traversal arms.
+	a := datagen.UniformSet(20, 41).Expand(60)
+	b := datagen.UniformSet(4000, 42)
+	want := oracle(a, b)
+	if len(want) == 0 {
+		t.Fatal("premise: expanded A must hit something")
+	}
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	SyncJoin(a, b, Config{}, &c, sink)
+	checkAgainstOracle(t, "heights", sink.Pairs, want)
+
+	// And the mirrored case.
+	want2 := oracle(b, a)
+	var c2 stats.Counters
+	sink2 := &stats.CollectSink{}
+	SyncJoin(b, a, Config{}, &c2, sink2)
+	checkAgainstOracle(t, "heights-swapped", sink2.Pairs, want2)
+}
+
+func TestINLSlowerButSameComparisonsAsSync(t *testing.T) {
+	// The paper: INL and RTree need almost the same number of
+	// comparisons. (Times differ but are unstable in unit tests, so only
+	// the comparison counts are asserted, within a factor.)
+	a := datagen.UniformSet(2000, 51).Expand(5)
+	b := datagen.UniformSet(4000, 52)
+	var ci, cs stats.Counters
+	INLJoin(a, b, Config{}, &ci, &stats.CountSink{})
+	SyncJoin(a, b, Config{}, &cs, &stats.CountSink{})
+	if ci.Comparisons == 0 || cs.Comparisons == 0 {
+		t.Fatal("premise: joins must compare something")
+	}
+	ratio := float64(ci.Comparisons) / float64(cs.Comparisons)
+	if ratio < 0.2 || ratio > 20 {
+		t.Fatalf("comparison counts should be same order of magnitude; INL=%d sync=%d",
+			ci.Comparisons, cs.Comparisons)
+	}
+	// INL keeps one tree, sync keeps two: INL must use less memory.
+	if ci.MemoryBytes >= cs.MemoryBytes {
+		t.Fatalf("INL memory %d should be below sync %d", ci.MemoryBytes, cs.MemoryBytes)
+	}
+}

@@ -1,0 +1,26 @@
+package rtree
+
+import (
+	"sort"
+
+	"touch/internal/geom"
+	"touch/internal/str"
+)
+
+// packObjects groups objects into leaf-sized tiles with STR and sorts
+// each tile by sweep-axis minimum so that leaf/leaf local joins can use
+// the plane-sweep without re-sorting (the paper runs all index baselines
+// "with the plane-sweep as the local join").
+func packObjects(ds geom.Dataset, leafCap int) [][]geom.Object {
+	groups := str.PackObjects(ds, leafCap)
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].Box.Min[0] < g[j].Box.Min[0] })
+	}
+	return groups
+}
+
+// packNodes groups nodes of one level into parent-sized tiles with STR,
+// keyed by MBR center.
+func packNodes(nodes []*Node, fanout int) [][]*Node {
+	return str.Pack(nodes, func(n *Node) geom.Point { return n.MBR.Center() }, fanout)
+}

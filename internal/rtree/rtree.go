@@ -1,0 +1,204 @@
+// Package rtree implements an in-memory R-tree bulk-loaded with STR
+// (Leutenegger et al.), the structure behind two of the TOUCH paper's
+// baselines: the synchronous R-tree traversal join (Brinkhoff, Kriegel &
+// Seeger, SIGMOD'93) and the indexed nested loop join. The paper's best
+// configuration — fanout 2, 2 KB nodes — is the default.
+package rtree
+
+import (
+	"fmt"
+
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+// DefaultFanout is the inner-node fanout the paper found best for the
+// R-tree baselines ("a fanout of 2 and nodes of 2KB", §6.1).
+const DefaultFanout = 2
+
+// DefaultLeafCapacity is the number of object entries that fit in a 2 KB
+// leaf node, the paper's node size.
+const DefaultLeafCapacity = 2048 / stats.BytesPerObject
+
+// Node is one R-tree node. Leaf nodes carry object entries; inner nodes
+// carry children. Every child's (or entry's) MBR is contained in the
+// node's MBR.
+type Node struct {
+	MBR      geom.Box
+	Children []*Node       // nil for leaves
+	Entries  []geom.Object // nil for inner nodes
+}
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.Children == nil }
+
+// Tree is an immutable, bulk-loaded R-tree.
+type Tree struct {
+	Root   *Node
+	Height int // number of levels; 1 for a tree that is a single leaf
+	Nodes  int // total node count
+	Size   int // number of indexed objects
+}
+
+// Config controls bulk loading.
+type Config struct {
+	Fanout       int // children per inner node (default 2)
+	LeafCapacity int // object entries per leaf (default 2KB worth)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Fanout <= 0 {
+		c.Fanout = DefaultFanout
+	}
+	if c.Fanout == 1 {
+		panic("rtree: fanout 1 would never converge to a root")
+	}
+	if c.LeafCapacity <= 0 {
+		c.LeafCapacity = DefaultLeafCapacity
+	}
+}
+
+// Bulkload builds an R-tree over the dataset using STR packing at every
+// level. An empty dataset yields a tree with a single empty leaf.
+func Bulkload(ds geom.Dataset, cfg Config) *Tree {
+	cfg.fillDefaults()
+	t := &Tree{Size: len(ds)}
+	if len(ds) == 0 {
+		t.Root = &Node{MBR: geom.EmptyBox(), Entries: []geom.Object{}}
+		t.Height = 1
+		t.Nodes = 1
+		return t
+	}
+	// Leaf level.
+	groups := packObjects(ds, cfg.LeafCapacity)
+	level := make([]*Node, len(groups))
+	for i, g := range groups {
+		n := &Node{Entries: g, MBR: geom.EmptyBox()}
+		for _, o := range g {
+			n.MBR = n.MBR.Union(o.Box)
+		}
+		level[i] = n
+	}
+	t.Nodes = len(level)
+	t.Height = 1
+	// Upper levels.
+	for len(level) > 1 {
+		parents := packNodes(level, cfg.Fanout)
+		next := make([]*Node, len(parents))
+		for i, g := range parents {
+			n := &Node{Children: g, MBR: geom.EmptyBox()}
+			for _, ch := range g {
+				n.MBR = n.MBR.Union(ch.MBR)
+			}
+			next[i] = n
+		}
+		level = next
+		t.Nodes += len(level)
+		t.Height++
+	}
+	t.Root = level[0]
+	return t
+}
+
+// MemoryBytes returns the analytic footprint of the tree: node overhead
+// plus one reference per indexed object.
+func (t *Tree) MemoryBytes() int64 {
+	return int64(t.Nodes)*stats.BytesPerNode + int64(t.Size)*stats.BytesPerRef
+}
+
+// Query visits every indexed object whose MBR intersects q. Node-level
+// MBR tests are charged to c.NodeTests and object-level tests to
+// c.Comparisons, matching the paper's metric (a query object probing a
+// leaf compares two objects' boxes).
+func (t *Tree) Query(q geom.Box, c *stats.Counters, visit func(*geom.Object)) {
+	t.query(t.Root, q, c, visit)
+}
+
+func (t *Tree) query(n *Node, q geom.Box, c *stats.Counters, visit func(*geom.Object)) {
+	if n.Leaf() {
+		for i := range n.Entries {
+			c.Comparisons++
+			if q.Intersects(n.Entries[i].Box) {
+				visit(&n.Entries[i])
+			}
+		}
+		return
+	}
+	for _, ch := range n.Children {
+		c.NodeTests++
+		if q.Intersects(ch.MBR) {
+			t.query(ch, q, c, visit)
+		}
+	}
+}
+
+// Validate checks the structural invariants of the tree (for tests):
+// every node's MBR equals the union of its children/entries, leaves are
+// all at the same depth, and capacities are respected. It returns an
+// error describing the first violation found.
+func (t *Tree) Validate(cfg Config) error {
+	cfg.fillDefaults()
+	if t.Root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	depth := -1
+	var walk func(n *Node, level int) error
+	walk = func(n *Node, level int) error {
+		if n.Leaf() {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", depth, level)
+			}
+			if len(n.Entries) > cfg.LeafCapacity {
+				return fmt.Errorf("rtree: leaf with %d > %d entries", len(n.Entries), cfg.LeafCapacity)
+			}
+			if t.Size > 0 && len(n.Entries) == 0 {
+				return fmt.Errorf("rtree: empty leaf in non-empty tree")
+			}
+			mbr := geom.EmptyBox()
+			for _, o := range n.Entries {
+				mbr = mbr.Union(o.Box)
+			}
+			if mbr != n.MBR {
+				return fmt.Errorf("rtree: leaf MBR %v != union %v", n.MBR, mbr)
+			}
+			return nil
+		}
+		if len(n.Children) == 0 {
+			return fmt.Errorf("rtree: inner node without children")
+		}
+		if len(n.Children) > cfg.Fanout {
+			return fmt.Errorf("rtree: inner node with %d > %d children", len(n.Children), cfg.Fanout)
+		}
+		mbr := geom.EmptyBox()
+		for _, ch := range n.Children {
+			mbr = mbr.Union(ch.MBR)
+			if err := walk(ch, level+1); err != nil {
+				return err
+			}
+		}
+		if mbr != n.MBR {
+			return fmt.Errorf("rtree: inner MBR %v != union %v", n.MBR, mbr)
+		}
+		return nil
+	}
+	return walk(t.Root, 0)
+}
+
+// CountObjects returns the number of entries reachable from the root
+// (for tests).
+func (t *Tree) CountObjects() int {
+	var count func(n *Node) int
+	count = func(n *Node) int {
+		if n.Leaf() {
+			return len(n.Entries)
+		}
+		total := 0
+		for _, ch := range n.Children {
+			total += count(ch)
+		}
+		return total
+	}
+	return count(t.Root)
+}

@@ -1,0 +1,111 @@
+package rtree
+
+import (
+	"math"
+	"time"
+
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+// SeededJoin implements the seeded tree join (Lo & Ravishankar,
+// SIGMOD'94), the "one dataset indexed" approach of the paper's related
+// work (§2.2.2): the R-tree on dataset A bootstraps the construction of
+// the R-tree on dataset B. The top of IA — the seed level — becomes the
+// skeleton of IB: every object of B is routed to the seed slot whose MBR
+// needs the least enlargement, each slot's objects are bulk-loaded into
+// a grown subtree, and the two trees are joined with the synchronous
+// traversal. Aligning IB's bounding boxes with IA's reduces the node
+// pairs the traversal must expand.
+func SeededJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+	cfg.fillDefaults()
+	start := time.Now()
+	ta := Bulkload(a, cfg)
+	c.MemoryBytes += ta.MemoryBytes()
+	c.BuildTime += time.Since(start)
+	if len(a) == 0 || len(b) == 0 {
+		return
+	}
+
+	start = time.Now()
+	tb := seedTree(ta, b, cfg)
+	c.MemoryBytes += tb.MemoryBytes()
+	c.AssignTime += time.Since(start)
+
+	start = time.Now()
+	c.NodeTests++
+	if ta.Root.MBR.Intersects(tb.Root.MBR) {
+		syncTraverse(ta.Root, tb.Root, c, sink)
+	}
+	c.JoinTime += time.Since(start)
+}
+
+// seedTargetSlots is the seed-level width: the number of IA nodes used
+// as slots for routing dataset B.
+const seedTargetSlots = 64
+
+// seedTree builds the R-tree on B using IA's seed level as skeleton.
+func seedTree(ta *Tree, b geom.Dataset, cfg Config) *Tree {
+	seeds := seedLevel(ta, seedTargetSlots)
+	// Route each object of B to the seed whose MBR needs the least
+	// enlargement (ties: the smaller MBR), the seeded tree's growth
+	// heuristic.
+	slots := make([][]geom.Object, len(seeds))
+	for i := range b {
+		best, bestCost := 0, math.Inf(1)
+		for s, seed := range seeds {
+			u := seed.MBR.Union(b[i].Box)
+			cost := u.Volume() - seed.MBR.Volume()
+			if cost < bestCost || (cost == bestCost && seed.MBR.Volume() < seeds[best].MBR.Volume()) {
+				best, bestCost = s, cost
+			}
+		}
+		slots[best] = append(slots[best], b[i])
+	}
+	// Grow each slot into a bulk-loaded subtree; assemble under a fresh
+	// root. Subtree heights may differ — the synchronous traversal
+	// handles mixed depths.
+	root := &Node{MBR: geom.EmptyBox()}
+	size, nodes, height := 0, 1, 1
+	for _, objs := range slots {
+		if len(objs) == 0 {
+			continue
+		}
+		sub := Bulkload(objs, cfg)
+		root.Children = append(root.Children, sub.Root)
+		root.MBR = root.MBR.Union(sub.Root.MBR)
+		size += sub.Size
+		nodes += sub.Nodes
+		if sub.Height+1 > height {
+			height = sub.Height + 1
+		}
+	}
+	if len(root.Children) == 0 {
+		// No objects routed (empty B): a single empty leaf.
+		return &Tree{Root: &Node{MBR: geom.EmptyBox(), Entries: []geom.Object{}}, Height: 1, Nodes: 1}
+	}
+	if len(root.Children) == 1 {
+		// Collapse a trivial root.
+		return &Tree{Root: root.Children[0], Height: height - 1, Nodes: nodes - 1, Size: size}
+	}
+	return &Tree{Root: root, Height: height, Nodes: nodes, Size: size}
+}
+
+// seedLevel walks IA breadth-first and returns the first level with at
+// least target nodes (or the deepest level above the leaves).
+func seedLevel(ta *Tree, target int) []*Node {
+	level := []*Node{ta.Root}
+	for {
+		if len(level) >= target {
+			return level
+		}
+		var next []*Node
+		for _, n := range level {
+			next = append(next, n.Children...)
+		}
+		if len(next) == 0 {
+			return level // reached the leaves
+		}
+		level = next
+	}
+}

@@ -1,0 +1,89 @@
+package rtree
+
+import (
+	"testing"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+func TestSeededJoinMatchesOracle(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		a := datagen.Generate(datagen.DefaultConfig(dist, 500, 341)).Expand(6)
+		b := datagen.Generate(datagen.DefaultConfig(dist, 1300, 342))
+		want := oracle(a, b)
+		var c stats.Counters
+		sink := &stats.CollectSink{}
+		SeededJoin(a, b, Config{}, &c, sink)
+		checkAgainstOracle(t, "seeded-"+dist.String(), sink.Pairs, want)
+		if c.Results != int64(len(sink.Pairs)) {
+			t.Fatalf("%s: Results=%d pairs=%d", dist, c.Results, len(sink.Pairs))
+		}
+	}
+}
+
+func TestSeededJoinEmptyInputs(t *testing.T) {
+	ds := datagen.UniformSet(10, 1)
+	for _, pair := range [][2]geom.Dataset{{nil, ds}, {ds, nil}, {nil, nil}} {
+		var c stats.Counters
+		sink := &stats.CollectSink{}
+		SeededJoin(pair[0], pair[1], Config{}, &c, sink)
+		if len(sink.Pairs) != 0 {
+			t.Fatal("empty seeded join must produce nothing")
+		}
+	}
+}
+
+func TestSeededJoinTinyA(t *testing.T) {
+	// A single-leaf IA: the seed level is the root alone, so all of B
+	// lands in one slot and collapses to a plain bulkloaded tree.
+	a := datagen.UniformSet(5, 351).Expand(50)
+	b := datagen.UniformSet(3000, 352)
+	want := oracle(a, b)
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	SeededJoin(a, b, Config{}, &c, sink)
+	checkAgainstOracle(t, "tinyA", sink.Pairs, want)
+}
+
+func TestSeedTreeHoldsAllObjects(t *testing.T) {
+	a := datagen.ClusteredSet(2000, 361)
+	b := datagen.ClusteredSet(5000, 362)
+	ta := Bulkload(a, Config{})
+	tb := seedTree(ta, b, Config{})
+	if got := tb.CountObjects(); got != len(b) {
+		t.Fatalf("seeded tree holds %d objects, want %d", got, len(b))
+	}
+	// Structural invariant: every node MBR contains its children.
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, ch := range n.Children {
+			if !n.MBR.Contains(ch.MBR) {
+				t.Fatalf("child MBR %v outside parent %v", ch.MBR, n.MBR)
+			}
+			walk(ch)
+		}
+		for _, o := range n.Entries {
+			if !n.MBR.Contains(o.Box) {
+				t.Fatalf("entry outside leaf MBR")
+			}
+		}
+	}
+	walk(tb.Root)
+}
+
+func TestSeedLevelWidth(t *testing.T) {
+	a := datagen.UniformSet(10000, 371)
+	ta := Bulkload(a, Config{})
+	level := seedLevel(ta, 64)
+	if len(level) < 64 {
+		t.Fatalf("seed level has %d nodes, want >= 64 for a 10K tree", len(level))
+	}
+	// A tiny tree cannot reach the target and must return its deepest
+	// level without panicking.
+	small := Bulkload(datagen.UniformSet(10, 372), Config{})
+	if got := seedLevel(small, 64); len(got) == 0 {
+		t.Fatal("seed level of a tiny tree must not be empty")
+	}
+}

@@ -1,0 +1,196 @@
+// Package s3 implements the Size Separation Spatial Join (Koudas &
+// Sevcik, SIGMOD'97), the multiple-matching baseline of the TOUCH paper.
+// Each dataset is organized into a hierarchy of L equi-width grids of
+// increasing granularity; every object is assigned — without replication
+// — to a cell of the *finest* level at which it fits entirely inside a
+// single cell. A cell of one hierarchy then only needs to be joined with
+// the same-position cell of the other hierarchy and with the enclosing
+// cells on coarser levels.
+//
+// The paper configures S3 with "a fanout of 3 and 5 levels": level ℓ has
+// 3^ℓ cells per dimension, ℓ = 0..4.
+package s3
+
+import (
+	"time"
+
+	"touch/internal/geom"
+	"touch/internal/grid"
+	"touch/internal/stats"
+	"touch/internal/sweep"
+)
+
+// Defaults from the paper's experimental setup (§6.1).
+const (
+	DefaultLevels = 5
+	DefaultFactor = 3
+)
+
+// Config carries the hierarchy shape: Levels grids, the grid at level ℓ
+// having Factor^ℓ cells per dimension.
+type Config struct {
+	Levels int // number of levels (default 5)
+	Factor int // per-level refinement factor (default 3)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Levels <= 0 {
+		c.Levels = DefaultLevels
+	}
+	if c.Factor <= 1 {
+		c.Factor = DefaultFactor
+	}
+}
+
+// cell holds the objects of one dataset assigned to one grid cell,
+// xmin-sorted (objects are inserted in xmin order), plus a flag marking
+// whether the cell ever participated in a join with a non-empty
+// counterpart — the objects of never-participating cells of dataset B
+// are "filtered" in the paper's sense (they were never compared).
+type cell struct {
+	objs         []geom.Object
+	participated bool
+}
+
+// hierarchy is the level hierarchy of one dataset.
+type hierarchy struct {
+	grids  []*grid.Grid      // per level; grids[l] has factor^l cells/dim
+	levels []map[int64]*cell // occupied cells per level
+	size   int               // objects assigned
+}
+
+// Join performs the S3 join of a and b. Objects are assigned exactly
+// once (no replication, no duplicate results); comparisons are the
+// plane-sweep tests across all joined cell pairs.
+func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+	cfg.fillDefaults()
+	if len(a) == 0 || len(b) == 0 {
+		return
+	}
+
+	start := time.Now()
+	universe := a.MBR().Union(b.MBR())
+	grids := make([]*grid.Grid, cfg.Levels)
+	res := 1
+	for l := 0; l < cfg.Levels; l++ {
+		grids[l] = grid.New(universe, res)
+		res *= cfg.Factor
+	}
+	as := sweep.SortByXMin(a)
+	bs := sweep.SortByXMin(b)
+	c.MemoryBytes += int64(len(as)+len(bs)) * stats.BytesPerObject
+	c.BuildTime += time.Since(start)
+
+	start = time.Now()
+	ha := build(grids, as)
+	hb := build(grids, bs)
+	occupied := 0
+	for l := range ha.levels {
+		occupied += len(ha.levels[l]) + len(hb.levels[l])
+	}
+	c.MemoryBytes += int64(occupied)*stats.BytesPerCell +
+		int64(len(as)+len(bs))*stats.BytesPerRef
+	c.AssignTime += time.Since(start)
+
+	start = time.Now()
+	joinHierarchies(cfg, ha, hb, c, sink)
+	// Filtered = B objects whose cell was never joined against a
+	// non-empty A cell; they were eliminated without any comparison.
+	for _, lv := range hb.levels {
+		for _, cl := range lv {
+			if !cl.participated {
+				c.Filtered += int64(len(cl.objs))
+			}
+		}
+	}
+	c.JoinTime += time.Since(start)
+}
+
+// build assigns every object of ds to the finest level where it fits in
+// a single cell. Because level regions nest (factor^ℓ divides
+// factor^(ℓ+1)), fitting is monotone: scanning from the finest level
+// upward stops at the right level, and level 0 (one cell) always fits.
+func build(grids []*grid.Grid, ds geom.Dataset) *hierarchy {
+	h := &hierarchy{
+		grids:  grids,
+		levels: make([]map[int64]*cell, len(grids)),
+		size:   len(ds),
+	}
+	for l := range h.levels {
+		h.levels[l] = make(map[int64]*cell)
+	}
+	for i := range ds {
+		l, key := assignLevel(grids, ds[i].Box)
+		cl := h.levels[l][key]
+		if cl == nil {
+			cl = &cell{}
+			h.levels[l][key] = cl
+		}
+		cl.objs = append(cl.objs, ds[i])
+	}
+	return h
+}
+
+// assignLevel returns the finest level at which the box fits in a single
+// cell, and that cell's key.
+func assignLevel(grids []*grid.Grid, b geom.Box) (level int, key int64) {
+	for l := len(grids) - 1; l > 0; l-- {
+		lo, hi := grids[l].Range(b)
+		if lo == hi {
+			return l, grids[l].Key(lo)
+		}
+	}
+	lo, _ := grids[0].Range(b)
+	return 0, grids[0].Key(lo)
+}
+
+// joinHierarchies enumerates every cell pair that can contain
+// overlapping objects: each B cell with its same-position A cell and all
+// its A ancestors, plus each A cell with its strictly coarser B
+// ancestors (covering the case where the A object sits on a finer level
+// than the B object). Every (A cell, B cell) pair is visited at most
+// once.
+func joinHierarchies(cfg Config, ha, hb *hierarchy, c *stats.Counters, sink stats.Sink) {
+	emit := func(x, y *geom.Object) {
+		c.Results++
+		sink.Emit(x.ID, y.ID)
+	}
+	// B cells vs same-or-coarser A cells.
+	for lb := 0; lb < cfg.Levels; lb++ {
+		for key, cb := range hb.levels[lb] {
+			coords := hb.grids[lb].KeyCoords(key)
+			for la := lb; la >= 0; la-- {
+				ca := ha.levels[la][ha.grids[la].Key(coords)]
+				if ca != nil {
+					ca.participated = true
+					cb.participated = true
+					sweep.JoinSorted(ca.objs, cb.objs, c, emit)
+				}
+				coords = parentCoords(coords, cfg.Factor)
+			}
+		}
+	}
+	// A cells vs strictly coarser B cells.
+	for la := 1; la < cfg.Levels; la++ {
+		for key, ca := range ha.levels[la] {
+			coords := parentCoords(ha.grids[la].KeyCoords(key), cfg.Factor)
+			for lb := la - 1; lb >= 0; lb-- {
+				cb := hb.levels[lb][hb.grids[lb].Key(coords)]
+				if cb != nil {
+					ca.participated = true
+					cb.participated = true
+					sweep.JoinSorted(ca.objs, cb.objs, c, emit)
+				}
+				coords = parentCoords(coords, cfg.Factor)
+			}
+		}
+	}
+}
+
+// parentCoords maps cell coordinates one level up the hierarchy.
+func parentCoords(c grid.Coords, factor int) grid.Coords {
+	for d := 0; d < geom.Dims; d++ {
+		c[d] /= factor
+	}
+	return c
+}

@@ -1,0 +1,219 @@
+package s3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/grid"
+	"touch/internal/nl"
+	"touch/internal/stats"
+)
+
+func oracle(a, b geom.Dataset) map[geom.Pair]bool {
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	nl.Join(a, b, &c, sink)
+	m := make(map[geom.Pair]bool, len(sink.Pairs))
+	for _, p := range sink.Pairs {
+		m[p] = true
+	}
+	return m
+}
+
+func run(t *testing.T, a, b geom.Dataset, cfg Config) ([]geom.Pair, stats.Counters) {
+	t.Helper()
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	Join(a, b, cfg, &c, sink)
+	return sink.Pairs, c
+}
+
+func verify(t *testing.T, name string, got []geom.Pair, want map[geom.Pair]bool) {
+	t.Helper()
+	seen := make(map[geom.Pair]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("%s: duplicate pair %v (S3 must not replicate)", name, p)
+		}
+		seen[p] = true
+		if !want[p] {
+			t.Fatalf("%s: spurious pair %v", name, p)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%s: got %d pairs, want %d", name, len(seen), len(want))
+	}
+}
+
+func TestJoinMatchesOracleAllDistributions(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		a := datagen.Generate(datagen.DefaultConfig(dist, 400, 101)).Expand(7)
+		b := datagen.Generate(datagen.DefaultConfig(dist, 900, 102))
+		want := oracle(a, b)
+		got, _ := run(t, a, b, Config{})
+		verify(t, dist.String(), got, want)
+	}
+}
+
+func TestDifferentShapesAgree(t *testing.T) {
+	a := datagen.ClusteredSet(400, 111).Expand(10)
+	b := datagen.ClusteredSet(600, 112)
+	want := oracle(a, b)
+	for _, cfg := range []Config{
+		{Levels: 1, Factor: 2},
+		{Levels: 2, Factor: 2},
+		{Levels: 3, Factor: 4},
+		{Levels: 5, Factor: 3},
+		{Levels: 7, Factor: 2},
+	} {
+		got, _ := run(t, a, b, cfg)
+		verify(t, "shape", got, want)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	ds := datagen.UniformSet(5, 1)
+	for _, pair := range [][2]geom.Dataset{{nil, ds}, {ds, nil}, {nil, nil}} {
+		got, c := run(t, pair[0], pair[1], Config{})
+		if len(got) != 0 || c.Comparisons != 0 {
+			t.Fatal("empty join must do nothing")
+		}
+	}
+}
+
+func TestNoReplicationMemoryAccounting(t *testing.T) {
+	a := datagen.UniformSet(500, 121).Expand(10)
+	b := datagen.UniformSet(800, 122)
+	_, c := run(t, a, b, Config{})
+	if c.Replicas != 0 {
+		t.Fatalf("S3 must not replicate, counted %d", c.Replicas)
+	}
+	// One reference per object plus sorted copies plus cell overhead.
+	minBytes := int64(1300) * (stats.BytesPerObject + stats.BytesPerRef)
+	if c.MemoryBytes < minBytes {
+		t.Fatalf("memory %d below structural minimum %d", c.MemoryBytes, minBytes)
+	}
+}
+
+func TestAssignLevelInvariants(t *testing.T) {
+	universe := geom.NewBox(geom.Point{0, 0, 0}, geom.Point{81, 81, 81})
+	grids := make([]*grid.Grid, 5)
+	res := 1
+	for l := range grids {
+		grids[l] = grid.New(universe, res)
+		res *= 3
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		var c, h geom.Point
+		for d := 0; d < geom.Dims; d++ {
+			c[d] = rng.Float64() * 81
+			h[d] = rng.Float64() * 5
+		}
+		box := geom.NewBox(geom.Sub(c, h), geom.Add(c, h))
+		l, key := assignLevel(grids, box)
+		// The object fits in one cell at the assigned level...
+		lo, hi := grids[l].Range(box)
+		if lo != hi {
+			t.Fatalf("box %v at level %d spans %v..%v", box, l, lo, hi)
+		}
+		if grids[l].Key(lo) != key {
+			t.Fatalf("key mismatch at level %d", l)
+		}
+		// ...and does NOT fit at the next finer level (finest-fitting).
+		if l < len(grids)-1 {
+			lo, hi = grids[l+1].Range(box)
+			if lo == hi {
+				t.Fatalf("box %v fits at finer level %d too", box, l+1)
+			}
+		}
+	}
+}
+
+func TestLevelZeroCatchesHugeObjects(t *testing.T) {
+	universe := geom.NewBox(geom.Point{0, 0, 0}, geom.Point{100, 100, 100})
+	grids := []*grid.Grid{grid.New(universe, 1), grid.New(universe, 3)}
+	huge := geom.NewBox(geom.Point{1, 1, 1}, geom.Point{99, 99, 99})
+	l, _ := assignLevel(grids, huge)
+	if l != 0 {
+		t.Fatalf("universe-spanning object assigned to level %d", l)
+	}
+}
+
+func TestBoundaryObjectsJoinAcrossLevels(t *testing.T) {
+	// Two objects touching exactly at a top-level cell boundary: one is
+	// promoted to a coarse level, and the pair must still be found.
+	a := geom.Dataset{
+		{ID: 0, Box: geom.NewBox(geom.Point{499, 0, 0}, geom.Point{501, 2, 2})}, // spans center boundary
+	}
+	b := geom.Dataset{
+		{ID: 0, Box: geom.NewBox(geom.Point{501, 1, 1}, geom.Point{502, 3, 3})},
+		{ID: 1, Box: geom.NewBox(geom.Point{498, 0, 0}, geom.Point{499, 2, 2})},
+	}
+	// Anchor the universe so boundaries are predictable.
+	anchor := geom.Object{ID: 1, Box: geom.NewBox(geom.Point{0, 0, 0}, geom.Point{1000, 0.1, 0.1})}
+	a = append(a, anchor)
+	want := oracle(a, b)
+	got, _ := run(t, a, b, Config{Levels: 4, Factor: 2})
+	verify(t, "boundary", got, want)
+}
+
+func TestFilteringCountsUntouchedBObjects(t *testing.T) {
+	// A occupies one corner; B objects in the far corner are never
+	// joined against a non-empty A cell and count as filtered.
+	var a, b geom.Dataset
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		p := geom.Point{rng.Float64() * 50, rng.Float64() * 50, rng.Float64() * 50}
+		a = append(a, geom.Object{ID: geom.ID(i), Box: geom.NewBox(p, geom.Add(p, geom.Point{1, 1, 1}))})
+	}
+	// Anchor the universe to 1000³ so A and far-B do not share cells.
+	a = append(a, geom.Object{ID: 200, Box: geom.NewBox(geom.Point{999, 999, 999}, geom.Point{1000, 1000, 1000})})
+	for i := 0; i < 100; i++ {
+		p := geom.Point{900 + rng.Float64()*50, 900 + rng.Float64()*50, 900 + rng.Float64()*50}
+		b = append(b, geom.Object{ID: geom.ID(i), Box: geom.NewBox(p, geom.Add(p, geom.Point{1, 1, 1}))})
+	}
+	_, c := run(t, a, b, Config{})
+	if c.Filtered == 0 {
+		t.Fatal("far-away B objects should be filtered")
+	}
+	if c.Filtered > int64(len(b)) {
+		t.Fatalf("filtered %d exceeds |B|=%d", c.Filtered, len(b))
+	}
+}
+
+func TestPropS3EqualsNL(t *testing.T) {
+	f := func(seed int64, rawLevels, rawFactor uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{Levels: int(rawLevels%6) + 1, Factor: int(rawFactor%4) + 2}
+		a := datagen.Generate(datagen.Config{
+			N: r.Intn(150) + 1, Seed: seed, Distribution: datagen.Gaussian,
+			Space: 100, MaxSide: 25, Sigma: 30,
+		})
+		b := datagen.Generate(datagen.Config{
+			N: r.Intn(150) + 1, Seed: seed + 1, Distribution: datagen.Gaussian,
+			Space: 100, MaxSide: 25, Sigma: 30,
+		})
+		want := oracle(a, b)
+		var c stats.Counters
+		sink := &stats.CollectSink{}
+		Join(a, b, cfg, &c, sink)
+		if len(sink.Pairs) != len(want) {
+			return false
+		}
+		seen := make(map[geom.Pair]bool)
+		for _, p := range sink.Pairs {
+			if seen[p] || !want[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

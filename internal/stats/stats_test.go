@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"touch/internal/geom"
+)
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{
+		Comparisons: 1, NodeTests: 2, Filtered: 3, Results: 4, Replicas: 5,
+		MemoryBytes: 6, BuildTime: 7, AssignTime: 8, JoinTime: 9,
+	}
+	b := a
+	a.Add(b)
+	want := Counters{
+		Comparisons: 2, NodeTests: 4, Filtered: 6, Results: 8, Replicas: 10,
+		MemoryBytes: 12, BuildTime: 14, AssignTime: 16, JoinTime: 18,
+	}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestCountersTotal(t *testing.T) {
+	c := Counters{BuildTime: time.Second, AssignTime: 2 * time.Second, JoinTime: 3 * time.Second}
+	if c.Total() != 6*time.Second {
+		t.Fatalf("Total = %v", c.Total())
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{Comparisons: 10, Results: 3, MemoryBytes: 2048}
+	s := c.String()
+	for _, want := range []string{"cmp=10", "results=3", "2.00KB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCountSink(t *testing.T) {
+	var s CountSink
+	for i := 0; i < 5; i++ {
+		s.Emit(geom.ID(i), geom.ID(i))
+	}
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestCollectSink(t *testing.T) {
+	var s CollectSink
+	s.Emit(1, 2)
+	s.Emit(3, 4)
+	if len(s.Pairs) != 2 || s.Pairs[0] != (geom.Pair{A: 1, B: 2}) || s.Pairs[1] != (geom.Pair{A: 3, B: 4}) {
+		t.Fatalf("Pairs = %v", s.Pairs)
+	}
+}
+
+func TestFuncSink(t *testing.T) {
+	var got []geom.Pair
+	s := FuncSink(func(a, b geom.ID) { got = append(got, geom.Pair{A: a, B: b}) })
+	s.Emit(7, 8)
+	if len(got) != 1 || got[0] != (geom.Pair{A: 7, B: 8}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1024, "1.00KB"},
+		{1536, "1.50KB"},
+		{1 << 20, "1.00MB"},
+		{3 << 30, "3.00GB"},
+	}
+	for _, tc := range cases {
+		if got := FormatBytes(tc.n); got != tc.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestByteConstantsSane(t *testing.T) {
+	// The analytic constants must reflect the real struct sizes within
+	// reason; BytesPerObject in particular anchors every algorithm's
+	// sorted-copy accounting.
+	if BytesPerObject != 56 {
+		t.Fatalf("BytesPerObject = %d; update the accounting if geom.Object changed", BytesPerObject)
+	}
+	if BytesPerBox != 48 {
+		t.Fatalf("BytesPerBox = %d", BytesPerBox)
+	}
+	if BytesPerNode <= BytesPerBox {
+		t.Fatal("node overhead must exceed a bare MBR")
+	}
+}

@@ -1,0 +1,118 @@
+// Package str implements Sort-Tile-Recursive packing (Leutenegger, Lopez
+// & Edgington, ICDE'97), the bulk-loading strategy the TOUCH paper uses
+// both to group dataset A into buckets (leaf nodes) and to build the
+// upper levels of its hierarchical partitioning tree, and that the
+// baseline R-tree uses for bulk loading.
+//
+// STR sorts items by the first dimension of their center, slices the
+// sequence into ⌈P^(1/D)⌉ vertical slabs, and recursively tiles each slab
+// on the remaining dimensions, producing P groups of at most groupSize
+// items with small, mostly non-overlapping MBRs.
+package str
+
+import (
+	"math"
+	"slices"
+
+	"touch/internal/geom"
+)
+
+// Pack groups items into tiles of at most groupSize elements using STR.
+// The center function extracts the point used for sorting (typically the
+// MBR center). The input slice is not modified. groupSize must be >= 1.
+//
+// Every input item appears in exactly one output group, and every group
+// except possibly the last few is full.
+func Pack[T any](items []T, center func(T) geom.Point, groupSize int) [][]T {
+	if groupSize < 1 {
+		panic("str: groupSize must be >= 1")
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	work := make([]T, len(items))
+	copy(work, items)
+	out := make([][]T, 0, (len(items)+groupSize-1)/groupSize)
+	return pack(work, center, groupSize, 0, out)
+}
+
+// pack recursively tiles work on dimensions dim..Dims-1, appending the
+// resulting groups to out.
+func pack[T any](work []T, center func(T) geom.Point, groupSize, dim int, out [][]T) [][]T {
+	n := len(work)
+	if n == 0 {
+		return out
+	}
+	if n <= groupSize {
+		out = append(out, work)
+		return out
+	}
+	slices.SortFunc(work, func(a, b T) int {
+		ca, cb := center(a)[dim], center(b)[dim]
+		switch {
+		case ca < cb:
+			return -1
+		case ca > cb:
+			return 1
+		default:
+			return 0
+		}
+	})
+	if dim == geom.Dims-1 {
+		// Last dimension: chop the sorted run into consecutive groups.
+		for i := 0; i < n; i += groupSize {
+			end := i + groupSize
+			if end > n {
+				end = n
+			}
+			out = append(out, work[i:end:end])
+		}
+		return out
+	}
+	// P = number of groups still to produce; S = slabs in this dimension.
+	p := (n + groupSize - 1) / groupSize
+	remaining := geom.Dims - dim
+	s := int(math.Ceil(math.Pow(float64(p), 1/float64(remaining))))
+	if s < 1 {
+		s = 1
+	}
+	slabSize := (n + s - 1) / s
+	for i := 0; i < n; i += slabSize {
+		end := i + slabSize
+		if end > n {
+			end = n
+		}
+		out = pack(work[i:end:end], center, groupSize, dim+1, out)
+	}
+	return out
+}
+
+// PackObjects is Pack specialized to spatial objects, grouping by MBR
+// center.
+func PackObjects(objs []geom.Object, groupSize int) [][]geom.Object {
+	return Pack(objs, func(o geom.Object) geom.Point { return o.Box.Center() }, groupSize)
+}
+
+// PartitionCount returns the number of groups Pack will produce for n
+// items with the given group size: ⌈n / groupSize⌉.
+func PartitionCount(n, groupSize int) int {
+	if groupSize < 1 {
+		panic("str: groupSize must be >= 1")
+	}
+	return (n + groupSize - 1) / groupSize
+}
+
+// GroupSizeFor returns the bucket size needed to split n items into (at
+// most) the requested number of partitions: ⌈n / partitions⌉, minimum 1.
+// This converts the paper's "number of partitions" TOUCH parameter
+// (default 1024) into an STR group size.
+func GroupSizeFor(n, partitions int) int {
+	if partitions < 1 {
+		panic("str: partitions must be >= 1")
+	}
+	g := (n + partitions - 1) / partitions
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

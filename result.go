@@ -1,0 +1,50 @@
+package touch
+
+import (
+	"fmt"
+	"sort"
+
+	"touch/internal/stats"
+)
+
+// FormatBytes renders a byte count in human units (KB/MB/GB).
+func FormatBytes(n int64) string { return stats.FormatBytes(n) }
+
+// Result is the outcome of one join execution: the matched pairs (unless
+// suppressed via Options.NoPairs or redirected to Options.Sink) and the
+// execution statistics.
+type Result struct {
+	// Pairs holds one entry per matched pair, in (A, B) orientation —
+	// Pair.A identifies the object from the first dataset passed to the
+	// join even when the join-order heuristic swapped the datasets
+	// internally.
+	Pairs []Pair
+	// Stats carries comparisons, filtered counts, analytic memory and
+	// phase timings.
+	Stats Stats
+}
+
+// Selectivity returns |results| / (|A|·|B|), the join selectivity metric
+// of the paper's Table 1, given the input dataset sizes.
+func (r *Result) Selectivity(lenA, lenB int) float64 {
+	if lenA == 0 || lenB == 0 {
+		return 0
+	}
+	return float64(r.Stats.Results) / (float64(lenA) * float64(lenB))
+}
+
+// SortPairs orders the result pairs by (A, B) for deterministic output
+// and comparison across algorithms.
+func (r *Result) SortPairs() {
+	sort.Slice(r.Pairs, func(i, j int) bool {
+		if r.Pairs[i].A != r.Pairs[j].A {
+			return r.Pairs[i].A < r.Pairs[j].A
+		}
+		return r.Pairs[i].B < r.Pairs[j].B
+	})
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("results=%d %s", r.Stats.Results, r.Stats.String())
+}

@@ -1,0 +1,248 @@
+// Package touch is a from-scratch Go implementation of TOUCH — the
+// in-memory spatial join by hierarchical data-oriented partitioning of
+// Nobari et al. (SIGMOD 2013) — together with every baseline the paper
+// evaluates against: nested loop, plane-sweep, PBSM (Patel & DeWitt), S3
+// (Koudas & Sevcik), the indexed nested loop join and the synchronous
+// R-tree traversal join (Brinkhoff et al.).
+//
+// The package answers two kinds of queries over 3-D datasets of spatial
+// objects approximated by minimum bounding rectangles (MBRs):
+//
+//   - SpatialJoin: all pairs (a ∈ A, b ∈ B) whose MBRs intersect.
+//   - DistanceJoin: all pairs within distance ε (per-dimension), reduced
+//     to an intersection join by enlarging one dataset's boxes by ε.
+//
+// Every join reports the paper's implementation-independent metrics —
+// object–object comparisons, filtered objects, analytic memory footprint
+// and per-phase timings — through the Stats of its Result.
+//
+// A minimal distance join:
+//
+//	a := touch.GenerateUniform(10_000, 1)
+//	b := touch.GenerateUniform(40_000, 2)
+//	res, err := touch.DistanceJoin(touch.AlgTOUCH, a, b, 5, nil)
+//	if err != nil { ... }
+//	fmt.Println(len(res.Pairs), res.Stats.Comparisons)
+package touch
+
+import (
+	"errors"
+	"fmt"
+
+	"touch/internal/core"
+	"touch/internal/geom"
+	"touch/internal/nl"
+	"touch/internal/parallel"
+	"touch/internal/pbsm"
+	"touch/internal/rtree"
+	"touch/internal/s3"
+	"touch/internal/stats"
+	"touch/internal/sweep"
+)
+
+// Re-exported geometric types; see the geom package for their methods.
+type (
+	// Point is a location in 3-D space.
+	Point = geom.Point
+	// Box is an axis-aligned minimum bounding rectangle.
+	Box = geom.Box
+	// Object is a spatial object: an ID plus its MBR.
+	Object = geom.Object
+	// Dataset is an unsorted, unindexed collection of objects.
+	Dataset = geom.Dataset
+	// Pair is one join result: the IDs of the matched objects.
+	Pair = geom.Pair
+	// Segment is a 3-D line segment.
+	Segment = geom.Segment
+	// Cylinder is a capsule (segment + radius), the shape of the
+	// neuroscience models' neuron branches.
+	Cylinder = geom.Cylinder
+	// CylinderSet is a dataset with exact cylinder geometry.
+	CylinderSet = geom.CylinderSet
+	// Stats carries comparison counts, filtering counts, analytic memory
+	// footprint and phase timings of one join execution.
+	Stats = stats.Counters
+	// Sink receives result pairs as they are produced, for streaming
+	// consumption without materializing the result set.
+	Sink = stats.Sink
+	// TOUCHConfig are TOUCH's tunable parameters (partitions, fanout,
+	// local-join grid resolution).
+	TOUCHConfig = core.Config
+	// S3Config is the S3 hierarchy shape (levels, refinement factor).
+	S3Config = s3.Config
+	// RTreeConfig is the R-tree bulk-load configuration (fanout, leaf
+	// capacity) used by the RTree and INL baselines.
+	RTreeConfig = rtree.Config
+)
+
+// Algorithm names a spatial-join algorithm.
+type Algorithm string
+
+// The eight algorithms of the paper's evaluation (§6). PBSM appears in
+// its two evaluated configurations plus a custom-resolution variant.
+const (
+	// AlgTOUCH is the paper's contribution: hierarchical data-oriented
+	// partitioning with grid local joins.
+	AlgTOUCH Algorithm = "touch"
+	// AlgNL is the nested loop join, the O(n·m) textbook baseline.
+	AlgNL Algorithm = "nl"
+	// AlgPS is the in-memory plane-sweep join.
+	AlgPS Algorithm = "ps"
+	// AlgPBSM500 is PBSM with 500 grid cells per dimension (the paper's
+	// fastest but most memory-hungry configuration).
+	AlgPBSM500 Algorithm = "pbsm-500"
+	// AlgPBSM100 is PBSM with 100 grid cells per dimension.
+	AlgPBSM100 Algorithm = "pbsm-100"
+	// AlgPBSM is PBSM with the resolution from Options.PBSM.
+	AlgPBSM Algorithm = "pbsm"
+	// AlgS3 is the Size Separation Spatial Join.
+	AlgS3 Algorithm = "s3"
+	// AlgINL is the indexed nested loop join (R-tree on A, one query per
+	// object of B).
+	AlgINL Algorithm = "inl"
+	// AlgRTree is the synchronous R-tree traversal join.
+	AlgRTree Algorithm = "rtree"
+	// AlgSeeded is the seeded tree join (Lo & Ravishankar), the
+	// one-dataset-indexed approach of the paper's related work (§2.2.2).
+	// It is not part of the paper's evaluated set (and therefore not in
+	// Algorithms()), but is provided for completeness.
+	AlgSeeded Algorithm = "seeded"
+)
+
+// Algorithms returns all selectable algorithm names, in the order the
+// paper introduces them.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgNL, AlgPS, AlgPBSM500, AlgPBSM100, AlgS3, AlgINL, AlgRTree, AlgTOUCH}
+}
+
+// Options tunes a join execution. The zero value (or a nil pointer) uses
+// the paper's experimental defaults for every algorithm.
+type Options struct {
+	// TOUCH parameters (partitions, fanout, local grid).
+	TOUCH TOUCHConfig
+	// PBSM is the grid resolution used by AlgPBSM (cells per dimension).
+	PBSM pbsm.Config
+	// S3 hierarchy shape.
+	S3 S3Config
+	// RTree bulk-load shape for AlgRTree and AlgINL.
+	RTree RTreeConfig
+	// KeepOrder disables the join-order heuristic of §5.2.3. By default
+	// the smaller dataset is used to build the index/tree (results are
+	// always reported in (A, B) orientation regardless).
+	KeepOrder bool
+	// NoPairs suppresses materialization of Result.Pairs; the join only
+	// counts results (useful for large experiments). Ignored when Sink
+	// is set.
+	NoPairs bool
+	// Sink, when non-nil, receives pairs as they are found instead of
+	// Result.Pairs. Pairs are delivered in (A, B) orientation.
+	Sink Sink
+	// Workers > 1 runs the join under the parallel slab driver with that
+	// many goroutines (0 or 1 = single-threaded, the paper's setting).
+	Workers int
+}
+
+func (o *Options) normalized() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+var errUnknownAlgorithm = errors.New("touch: unknown algorithm")
+
+// SpatialJoin finds every pair of objects (a ∈ A, b ∈ B) whose boxes
+// intersect, using the selected algorithm. All algorithms produce the
+// identical, duplicate-free result set; they differ in the comparisons,
+// memory and time recorded in Result.Stats.
+func SpatialJoin(alg Algorithm, a, b Dataset, opt *Options) (*Result, error) {
+	o := opt.normalized()
+
+	swapped := false
+	if !o.KeepOrder && len(b) < len(a) {
+		// §5.2.3: the smaller dataset builds the tree/index — it is
+		// likely sparser, enabling more filtering, and cheaper to index.
+		a, b = b, a
+		swapped = true
+	}
+
+	res := &Result{}
+	var sink Sink
+	switch {
+	case o.Sink != nil && swapped:
+		sink = stats.FuncSink(func(x, y geom.ID) { o.Sink.Emit(y, x) })
+	case o.Sink != nil:
+		sink = o.Sink
+	case o.NoPairs:
+		sink = &stats.CountSink{}
+	case swapped:
+		sink = stats.FuncSink(func(x, y geom.ID) {
+			res.Pairs = append(res.Pairs, Pair{A: y, B: x})
+		})
+	default:
+		collect := &stats.CollectSink{}
+		sink = collect
+		defer func() { res.Pairs = collect.Pairs }()
+	}
+
+	join, err := bind(alg, &o)
+	if err != nil {
+		return nil, err
+	}
+	if o.Workers > 1 {
+		parallel.Join(a, b, o.Workers, join, &res.Stats, sink)
+	} else {
+		join(a, b, &res.Stats, sink)
+	}
+	return res, nil
+}
+
+// DistanceJoin finds every pair of objects within distance eps of each
+// other (per-dimension box distance, the predicate of the paper's
+// filtering phase), by enlarging dataset A's boxes by eps and running an
+// intersection join. Enlarging either dataset yields the same pair set,
+// so the join-order heuristic of SpatialJoin applies unchanged.
+func DistanceJoin(alg Algorithm, a, b Dataset, eps float64, opt *Options) (*Result, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("touch: negative distance %g", eps)
+	}
+	return SpatialJoin(alg, a.Expand(eps), b, opt)
+}
+
+// bind resolves an algorithm name and its options to a JoinFunc.
+func bind(alg Algorithm, o *Options) (parallel.JoinFunc, error) {
+	switch alg {
+	case AlgTOUCH:
+		cfg := o.TOUCH
+		return func(a, b Dataset, c *Stats, s Sink) { core.Join(a, b, cfg, c, s) }, nil
+	case AlgNL:
+		return nl.Join, nil
+	case AlgPS:
+		return sweep.Join, nil
+	case AlgPBSM500:
+		return func(a, b Dataset, c *Stats, s Sink) {
+			pbsm.Join(a, b, pbsm.Config{Resolution: pbsm.Resolution500}, c, s)
+		}, nil
+	case AlgPBSM100:
+		return func(a, b Dataset, c *Stats, s Sink) {
+			pbsm.Join(a, b, pbsm.Config{Resolution: pbsm.Resolution100}, c, s)
+		}, nil
+	case AlgPBSM:
+		cfg := o.PBSM
+		return func(a, b Dataset, c *Stats, s Sink) { pbsm.Join(a, b, cfg, c, s) }, nil
+	case AlgS3:
+		cfg := o.S3
+		return func(a, b Dataset, c *Stats, s Sink) { s3.Join(a, b, cfg, c, s) }, nil
+	case AlgINL:
+		cfg := o.RTree
+		return func(a, b Dataset, c *Stats, s Sink) { rtree.INLJoin(a, b, cfg, c, s) }, nil
+	case AlgRTree:
+		cfg := o.RTree
+		return func(a, b Dataset, c *Stats, s Sink) { rtree.SyncJoin(a, b, cfg, c, s) }, nil
+	case AlgSeeded:
+		cfg := o.RTree
+		return func(a, b Dataset, c *Stats, s Sink) { rtree.SeededJoin(a, b, cfg, c, s) }, nil
+	default:
+		return nil, fmt.Errorf("%w %q", errUnknownAlgorithm, alg)
+	}
+}
