@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-smoke clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench writes the fixed-workload benchmark suite to BENCH_1.json so the
+# performance trajectory of successive PRs can be diffed. Bump the file
+# number when recording a new baseline next to an old one.
+BENCH_OUT ?= BENCH_1.json
+bench:
+	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
+
+# bench-smoke is the CI-sized run: every testing.B benchmark once.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	rm -f BENCH_*.json
+	$(GO) clean ./...

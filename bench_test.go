@@ -8,6 +8,7 @@
 package touch_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -114,8 +115,9 @@ func BenchmarkTOUCHPhases(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelTOUCH measures the slab driver at 4 workers on the
-// microbenchmark workload.
+// BenchmarkParallelTOUCH measures the parallel TOUCH core at 4 workers
+// on the microbenchmark workload (Options.Workers routes AlgTOUCH to
+// the internal assign/join parallelism, not the slab driver).
 func BenchmarkParallelTOUCH(b *testing.B) {
 	a := touch.GenerateUniform(8_000, 1)
 	bb := touch.GenerateUniform(24_000, 2)
@@ -126,5 +128,23 @@ func BenchmarkParallelTOUCH(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTOUCHWorkers isolates the scaling of the parallel assign and
+// join phases: the tree is prebuilt once per worker count and the loop
+// measures assignment + join only. Run on a multi-core machine to see
+// the scaling (a single-CPU container serializes the goroutines).
+func BenchmarkTOUCHWorkers(b *testing.B) {
+	a := touch.GenerateUniform(8_000, 1).Expand(5)
+	probe := touch.GenerateUniform(24_000, 2)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			idx := touch.BuildIndex(a, touch.TOUCHConfig{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Join(probe, &touch.Options{NoPairs: true})
+			}
+		})
 	}
 }

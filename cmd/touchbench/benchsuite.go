@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"touch"
+)
+
+// benchPoint is one measured configuration of the fixed-workload suite.
+type benchPoint struct {
+	Name        string `json:"name"`
+	Algorithm   string `json:"algorithm"`
+	Workers     int    `json:"workers,omitempty"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BuildNs     int64  `json:"build_ns"`
+	AssignNs    int64  `json:"assign_ns"`
+	JoinNs      int64  `json:"join_ns"`
+	Comparisons int64  `json:"comparisons"`
+	Results     int64  `json:"results"`
+	MemoryBytes int64  `json:"memory_bytes"`
+}
+
+// benchReport is the JSON document `make bench` writes to BENCH_N.json.
+type benchReport struct {
+	GoVersion string       `json:"go_version"`
+	CPUs      int          `json:"cpus"`
+	Scale     float64      `json:"scale"`
+	Seed      int64        `json:"seed"`
+	SizeA     int          `json:"size_a"`
+	SizeB     int          `json:"size_b"`
+	Eps       float64      `json:"eps"`
+	Points    []benchPoint `json:"points"`
+}
+
+// runBenchSuite joins one uniform workload (the microbenchmark shape of
+// bench_test.go: 8K × 24K at the default scale, ε=5) with every
+// algorithm, plus the TOUCH core at several worker counts, reporting
+// the best of three runs per configuration.
+func runBenchSuite(scale float64, seed int64, jsonPath string) error {
+	if scale <= 0 {
+		scale = 0.02
+	}
+	sizeA := max(int(400_000*scale), 1)
+	sizeB := max(int(1_200_000*scale), 1)
+	const eps = 5.0
+	a := touch.GenerateUniform(sizeA, seed)
+	b := touch.GenerateUniform(sizeB, seed+1)
+
+	report := benchReport{
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Scale:     scale,
+		Seed:      seed,
+		SizeA:     sizeA,
+		SizeB:     sizeB,
+		Eps:       eps,
+	}
+
+	measure := func(name string, alg touch.Algorithm, workers int) error {
+		var best benchPoint
+		for rep := 0; rep < 3; rep++ {
+			opt := &touch.Options{NoPairs: true}
+			opt.TOUCH.Workers = workers
+			start := time.Now()
+			res, err := touch.DistanceJoin(alg, a, b, eps, opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			ns := time.Since(start).Nanoseconds()
+			if rep == 0 || ns < best.NsPerOp {
+				best = benchPoint{
+					Name:        name,
+					Algorithm:   string(alg),
+					Workers:     workers,
+					NsPerOp:     ns,
+					BuildNs:     res.Stats.BuildTime.Nanoseconds(),
+					AssignNs:    res.Stats.AssignTime.Nanoseconds(),
+					JoinNs:      res.Stats.JoinTime.Nanoseconds(),
+					Comparisons: res.Stats.Comparisons,
+					Results:     res.Stats.Results,
+					MemoryBytes: res.Stats.MemoryBytes,
+				}
+			}
+		}
+		report.Points = append(report.Points, best)
+		return nil
+	}
+
+	for _, alg := range touch.Algorithms() {
+		if err := measure(string(alg), alg, 0); err != nil {
+			return err
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if err := measure(fmt.Sprintf("touch-w%d", workers), touch.AlgTOUCH, workers); err != nil {
+			return err
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		fmt.Printf("wrote %s (%d points, %d×%d objects)\n",
+			jsonPath, len(report.Points), sizeA, sizeB)
+	}
+	return nil
+}

@@ -1,16 +1,24 @@
 // Command touchbench regenerates the tables and figures of the TOUCH
-// paper's evaluation (SIGMOD 2013, §6).
+// paper's evaluation (SIGMOD 2013, §6), and tracks the repository's own
+// performance trajectory.
 //
 // Usage:
 //
 //	touchbench -list
 //	touchbench -exp fig9 [-scale 0.02] [-seed 42] [-algs touch,pbsm-500]
 //	touchbench -exp all
+//	touchbench -bench -json BENCH_1.json
 //
 // The -scale flag multiplies the paper's dataset sizes (1.0 = the full
 // 1.6M × 9.6M workloads); the default keeps every experiment within
 // minutes on a single core. Results print as aligned text tables with
 // one row per workload point and one column per algorithm.
+//
+// The -bench mode runs every algorithm (plus the parallel TOUCH core at
+// several worker counts) on one fixed uniform workload and writes a
+// machine-readable JSON summary — per-algorithm wall time, phase times,
+// comparisons, results and analytic memory — so successive revisions
+// can be diffed (`make bench` writes BENCH_1.json).
 package main
 
 import (
@@ -26,13 +34,23 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = flag.Float64("scale", 0.02, "dataset scale relative to the paper (0 < scale <= 1)")
-		seed  = flag.Int64("seed", 42, "random seed for the dataset generators")
-		algs  = flag.String("algs", "", "comma-separated algorithm filter (default: the experiment's set)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale    = flag.Float64("scale", 0.02, "dataset scale relative to the paper (0 < scale <= 1)")
+		seed     = flag.Int64("seed", 42, "random seed for the dataset generators")
+		algs     = flag.String("algs", "", "comma-separated algorithm filter (default: the experiment's set)")
+		benchRun = flag.Bool("bench", false, "run the fixed-workload benchmark suite instead of an experiment")
+		jsonPath = flag.String("json", "", "write -bench results as JSON to this file (default: stdout)")
 	)
 	flag.Parse()
+
+	if *benchRun {
+		if err := runBenchSuite(*scale, *seed, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "touchbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Available experiments:")

@@ -1,0 +1,3 @@
+module touch
+
+go 1.22

@@ -39,6 +39,14 @@ func (ix *Index) Join(b Dataset, opt *Options) *Result {
 		defer func() { res.Pairs = collect.Pairs }()
 	}
 
+	// Honor the per-call Options.Workers like SpatialJoin does, without
+	// permanently overriding the worker count chosen at BuildIndex time.
+	if o.Workers > 1 && ix.tree.Workers() <= 1 {
+		prev := ix.tree.Workers()
+		ix.tree.SetWorkers(o.Workers)
+		defer ix.tree.SetWorkers(prev)
+	}
+
 	ix.tree.ResetAssignments()
 	c := &res.Stats
 	start := time.Now()

@@ -12,9 +12,10 @@
 package bench
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"text/tabwriter"
 	"time"
 
@@ -74,7 +75,7 @@ func register(e Experiment) { registry = append(registry, e) }
 func Experiments() []Experiment {
 	out := make([]Experiment, len(registry))
 	copy(out, registry)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Experiment) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"cmp"
+	"math"
+	"slices"
+
+	"touch/internal/geom"
+	"touch/internal/grid"
+)
+
+// This file holds the CSR (compressed sparse row) representation of the
+// local-join grid. The seed implementation hashed every B replica into a
+// map[int64][]int32, paying a map allocation plus per-cell slice growth
+// for every node; the CSR build is two counting-sort passes into flat
+// offsets/ids arrays that live in a per-worker joinScratch and are
+// reused across all nodes the worker processes, so the steady-state
+// local join allocates nothing.
+
+const (
+	// maxDenseCells bounds the dense offsets array a worker will hold
+	// (int32 per cell).
+	maxDenseCells = 1 << 22
+	// denseSlack caps how much larger than the replica count the cell
+	// space may be before the dense two-pass build (whose zeroing and
+	// prefix sum are O(cells)) loses to the sparse sort-based build.
+	denseSlackFactor = 8
+	denseSlackBase   = 1024
+)
+
+// cellRange caches one B object's overlapped cell-coordinate range so
+// the two counting-sort passes don't recompute it.
+type cellRange struct{ lo, hi grid.Coords }
+
+// cellEntry is one replica on the sparse path: B object index idx in
+// cell key.
+type cellEntry struct {
+	key int64
+	idx int32
+}
+
+// joinScratch is the per-worker buffer arena of the join phase. All
+// slices grow to the high-water mark of the nodes a worker processes
+// and are reused; see gridJoin and sweepJoin.
+type joinScratch struct {
+	ranges  []cellRange
+	counts  []int32     // dense path: per-cell counts → end offsets
+	ids     []int32     // B object indexes grouped by cell
+	entries []cellEntry // sparse path: (key, idx) pairs, sorted
+	keys    []int64     // sparse path: distinct occupied cell keys
+	offs    []int32     // sparse path: run offsets into ids, len(keys)+1
+	aObjs   []geom.Object
+	bObjs   []geom.Object
+
+	peakBytes int64 // largest analytic grid footprint seen (merged into Tree.peakGridBytes)
+}
+
+// csrGrid is the built grid for one node: B object indexes grouped by
+// cell in one flat ids array, with either dense per-cell offsets
+// (counts) or a sorted distinct-key directory (keys/offs). All storage
+// belongs to the joinScratch that built it.
+type csrGrid struct {
+	dense    bool
+	counts   []int32 // dense: counts[k] = end offset of cell k; start = counts[k-1] (0 for k=0)
+	ids      []int32
+	keys     []int64
+	offs     []int32
+	replicas int64
+	occupied int64
+}
+
+// buildCSR hashes the node's B objects into the grid. The dense path is
+// a classic two-pass counting sort over the cell space; when the cell
+// space is much larger than the replica count (huge node MBR, few B
+// objects) the sparse path sorts (key, idx) pairs instead, keeping the
+// work proportional to the replicas rather than the cells.
+func (ws *joinScratch) buildCSR(g *grid.Grid, bs []geom.Object) *csrGrid {
+	ws.ranges = ws.ranges[:0]
+	replicas := int64(0)
+	for i := range bs {
+		lo, hi := g.Range(bs[i].Box)
+		ws.ranges = append(ws.ranges, cellRange{lo, hi})
+		replicas += grid.RangeCells(lo, hi)
+	}
+	cells := int64(g.Cells())
+	if cells <= maxDenseCells && replicas < math.MaxInt32 &&
+		cells <= denseSlackFactor*replicas+denseSlackBase {
+		return ws.buildDense(g, int(cells), replicas)
+	}
+	return ws.buildSparse(g, replicas)
+}
+
+func (ws *joinScratch) buildDense(g *grid.Grid, cells int, replicas int64) *csrGrid {
+	if cap(ws.counts) < cells {
+		ws.counts = make([]int32, cells)
+	}
+	counts := ws.counts[:cells]
+	clear(counts)
+	if cap(ws.ids) < int(replicas) {
+		ws.ids = make([]int32, replicas)
+	}
+	ids := ws.ids[:replicas]
+
+	// The count and scatter passes iterate cell keys with inlined loops
+	// (instead of Grid.ForEachKey) — the callback indirection costs more
+	// than the loop body at hundreds of replicas per node.
+	r1, r2 := int64(g.Res[1]), int64(g.Res[2])
+	occupied := int64(0)
+	for _, r := range ws.ranges {
+		for x := int64(r.lo[0]); x <= int64(r.hi[0]); x++ {
+			for y := int64(r.lo[1]); y <= int64(r.hi[1]); y++ {
+				base := (x*r1 + y) * r2
+				for k := base + int64(r.lo[2]); k <= base+int64(r.hi[2]); k++ {
+					if counts[k] == 0 {
+						occupied++
+					}
+					counts[k]++
+				}
+			}
+		}
+	}
+	total := int32(0)
+	for k := range counts {
+		counts[k], total = total, total+counts[k]
+	}
+	for i, r := range ws.ranges {
+		bi := int32(i)
+		for x := int64(r.lo[0]); x <= int64(r.hi[0]); x++ {
+			for y := int64(r.lo[1]); y <= int64(r.hi[1]); y++ {
+				base := (x*r1 + y) * r2
+				for k := base + int64(r.lo[2]); k <= base+int64(r.hi[2]); k++ {
+					ids[counts[k]] = bi
+					counts[k]++
+				}
+			}
+		}
+	}
+	// After the scatter pass counts[k] is the *end* offset of cell k
+	// (and counts[k-1] its start), exactly the CSR offsets run() needs.
+	return &csrGrid{dense: true, counts: counts, ids: ids, replicas: replicas, occupied: occupied}
+}
+
+func (ws *joinScratch) buildSparse(g *grid.Grid, replicas int64) *csrGrid {
+	ws.entries = ws.entries[:0]
+	for i, r := range ws.ranges {
+		bi := int32(i)
+		g.ForEachKey(r.lo, r.hi, func(k int64) {
+			ws.entries = append(ws.entries, cellEntry{key: k, idx: bi})
+		})
+	}
+	// Sorting by (key, idx) groups each cell's replicas contiguously and
+	// keeps the build deterministic without relying on sort stability.
+	slices.SortFunc(ws.entries, func(a, b cellEntry) int {
+		if a.key != b.key {
+			return cmp.Compare(a.key, b.key)
+		}
+		return cmp.Compare(a.idx, b.idx)
+	})
+	ws.keys = ws.keys[:0]
+	ws.offs = ws.offs[:0]
+	if cap(ws.ids) < len(ws.entries) {
+		ws.ids = make([]int32, len(ws.entries))
+	}
+	ids := ws.ids[:len(ws.entries)]
+	for i, e := range ws.entries {
+		if len(ws.keys) == 0 || ws.keys[len(ws.keys)-1] != e.key {
+			ws.keys = append(ws.keys, e.key)
+			ws.offs = append(ws.offs, int32(i))
+		}
+		ids[i] = e.idx
+	}
+	ws.offs = append(ws.offs, int32(len(ws.entries)))
+	return &csrGrid{
+		dense: false, ids: ids, keys: ws.keys, offs: ws.offs,
+		replicas: replicas, occupied: int64(len(ws.keys)),
+	}
+}
+
+// run returns the B object indexes hashed into the cell with the given
+// key (nil when the cell is empty).
+func (c *csrGrid) run(key int64) []int32 {
+	if c.dense {
+		end := c.counts[key]
+		start := int32(0)
+		if key > 0 {
+			start = c.counts[key-1]
+		}
+		if start == end {
+			return nil
+		}
+		return c.ids[start:end]
+	}
+	// Binary search the distinct-key directory.
+	lo, hi := 0, len(c.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.keys) || c.keys[lo] != key {
+		return nil
+	}
+	return c.ids[c.offs[lo]:c.offs[lo+1]]
+}

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"touch/internal/geom"
 	"touch/internal/grid"
@@ -52,13 +53,13 @@ func (k LocalJoinKind) String() string {
 }
 
 // localJoin dispatches one node's local join according to the
-// configuration.
-func (t *Tree) localJoin(n *Node, c *stats.Counters, sink stats.Sink) {
+// configuration. ws is the calling worker's scratch arena.
+func (t *Tree) localJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	switch t.cfg.LocalJoin {
 	case LocalJoinGrid, LocalJoinGridPostDedup:
-		t.gridJoin(n, c, sink)
+		t.gridJoin(n, c, sink, ws)
 	case LocalJoinSweep:
-		t.sweepJoin(n, c, sink)
+		t.sweepJoin(n, c, sink, ws)
 	case LocalJoinNested:
 		t.nestedJoin(n, c, sink)
 	default:
@@ -67,64 +68,63 @@ func (t *Tree) localJoin(n *Node, c *stats.Counters, sink stats.Sink) {
 }
 
 // gridJoin implements Algorithm 4: the node's B objects are hashed into
-// an equi-width grid over the node's MBR, and every A object in the
-// node's descendant leaves probes the cells it overlaps. Depending on
-// the configuration, duplicate candidates are skipped before the test
-// (canonical-cell rule) or discarded after it (reference-point method).
-func (t *Tree) gridJoin(n *Node, c *stats.Counters, sink stats.Sink) {
+// an equi-width grid over the node's MBR (a flat CSR layout, see
+// csr.go), and every A object in the node's arena range probes the
+// cells it overlaps. Depending on the configuration, duplicate
+// candidates are skipped before the test (canonical-cell rule) or
+// discarded after it (reference-point method).
+func (t *Tree) gridJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	bs := n.BEntities
 	g := t.localGrid(n, bs)
 
-	cells := make(map[int64][]int32)
-	nodeReplicas := int64(0)
-	for i := range bs {
-		lo, hi := g.Range(bs[i].Box)
-		grid.ForEachCell(lo, hi, func(cc grid.Coords) {
-			k := g.Key(cc)
-			cells[k] = append(cells[k], int32(i))
-			nodeReplicas++
-		})
-	}
-	c.Replicas += nodeReplicas
+	csr := ws.buildCSR(g, bs)
+	c.Replicas += csr.replicas
 	// Transient per-node grid footprint: remember the peak; Join adds it
 	// on top of the static structure bytes.
-	gridBytes := int64(len(cells))*stats.BytesPerCell + nodeReplicas*stats.BytesPerRef
-	if gridBytes > t.peakGridBytes {
-		t.peakGridBytes = gridBytes
+	gridBytes := csr.occupied*stats.BytesPerCell + csr.replicas*stats.BytesPerRef
+	if gridBytes > ws.peakBytes {
+		ws.peakBytes = gridBytes
 	}
 
+	t.gridProbe(g, csr, bs, t.subtreeA(n), c, sink)
+}
+
+// gridProbe runs the probe side of Algorithm 4: every A object in as
+// probes the cells it overlaps in the built CSR grid. The grid and csr
+// are read-only here, so joinParallel can fan the A objects of one huge
+// node out across workers, each probing its own chunk.
+func (t *Tree) gridProbe(g *grid.Grid, csr *csrGrid, bs, as []geom.Object, c *stats.Counters, sink stats.Sink) {
 	postDedup := t.cfg.LocalJoin == LocalJoinGridPostDedup
-	t.forEachAObject(n, func(a *geom.Object) {
-		lo, hi := g.Range(a.Box)
-		grid.ForEachCell(lo, hi, func(cc grid.Coords) {
-			list, ok := cells[g.Key(cc)]
-			if !ok {
-				return
-			}
-			for _, bi := range list {
-				b := &bs[bi]
-				if postDedup {
-					// Paper mode: test in every shared cell, keep the
-					// hit only in the reference cell.
-					c.Comparisons++
-					if a.Box.Intersects(b.Box) && g.RefCell(&a.Box, &b.Box) == cc {
-						c.Results++
-						sink.Emit(a.ID, b.ID)
-					}
-					continue
-				}
-				// Canonical-cell rule: test the pair only once.
-				if g.RefCell(&a.Box, &b.Box) != cc {
-					continue
-				}
+	var a *geom.Object
+	probe := func(key int64) {
+		for _, bi := range csr.run(key) {
+			b := &bs[bi]
+			if postDedup {
+				// Paper mode: test in every shared cell, keep the
+				// hit only in the reference cell.
 				c.Comparisons++
-				if a.Box.Intersects(b.Box) {
+				if a.Box.Intersects(b.Box) && g.Key(g.RefCell(&a.Box, &b.Box)) == key {
 					c.Results++
 					sink.Emit(a.ID, b.ID)
 				}
+				continue
 			}
-		})
-	})
+			// Canonical-cell rule: test the pair only once.
+			if g.Key(g.RefCell(&a.Box, &b.Box)) != key {
+				continue
+			}
+			c.Comparisons++
+			if a.Box.Intersects(b.Box) {
+				c.Results++
+				sink.Emit(a.ID, b.ID)
+			}
+		}
+	}
+	for ai := range as {
+		a = &as[ai]
+		lo, hi := g.Range(a.Box)
+		g.ForEachKey(lo, hi, probe)
+	}
 }
 
 // localGrid sizes the grid for one node: the cell side stays
@@ -134,8 +134,8 @@ func (t *Tree) gridJoin(n *Node, c *stats.Counters, sink stats.Sink) {
 // LocalCells per dimension.
 func (t *Tree) localGrid(n *Node, bs []geom.Object) *grid.Grid {
 	avg := geom.Dataset(bs).AverageExtent()
-	if n.countA > 0 {
-		if avgA := n.extSumA / float64(n.countA); avgA > avg {
+	if n.aCount() > 0 {
+		if avgA := n.extSumA / float64(n.aCount()); avgA > avg {
 			avg = avgA
 		}
 	}
@@ -156,17 +156,19 @@ func (t *Tree) localGrid(n *Node, bs []geom.Object) *grid.Grid {
 	return grid.NewCellSize(n.MBR, side, t.cfg.LocalCells)
 }
 
-// sweepJoin gathers the subtree's A objects and plane-sweeps them
-// against the node's B objects.
-func (t *Tree) sweepJoin(n *Node, c *stats.Counters, sink stats.Sink) {
-	var as []geom.Object
-	t.forEachAObject(n, func(a *geom.Object) { as = append(as, *a) })
-	sort.Slice(as, func(i, j int) bool { return as[i].Box.Min[0] < as[j].Box.Min[0] })
-	bs := make([]geom.Object, len(n.BEntities))
-	copy(bs, n.BEntities)
-	sort.Slice(bs, func(i, j int) bool { return bs[i].Box.Min[0] < bs[j].Box.Min[0] })
-	if bytes := int64(len(as)+len(bs)) * stats.BytesPerObject; bytes > t.peakGridBytes {
-		t.peakGridBytes = bytes
+// sweepJoin plane-sweeps the subtree's A objects against the node's B
+// objects. The A objects are copied into worker scratch before sorting
+// (the arena must stay in leaf order); BEntities are private to the node
+// and freshly assigned, so they are sorted in place.
+func (t *Tree) sweepJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
+	byXMin := func(a, b geom.Object) int { return cmp.Compare(a.Box.Min[0], b.Box.Min[0]) }
+	as := append(ws.aObjs[:0], t.subtreeA(n)...)
+	ws.aObjs = as
+	slices.SortFunc(as, byXMin)
+	bs := n.BEntities
+	slices.SortFunc(bs, byXMin)
+	if bytes := int64(len(as)+len(bs)) * stats.BytesPerObject; bytes > ws.peakBytes {
+		ws.peakBytes = bytes
 	}
 	sweep.JoinSorted(as, bs, c, func(x, y *geom.Object) {
 		c.Results++
@@ -177,7 +179,9 @@ func (t *Tree) sweepJoin(n *Node, c *stats.Counters, sink stats.Sink) {
 // nestedJoin is the unpartitioned local join: all pairs.
 func (t *Tree) nestedJoin(n *Node, c *stats.Counters, sink stats.Sink) {
 	bs := n.BEntities
-	t.forEachAObject(n, func(a *geom.Object) {
+	as := t.subtreeA(n)
+	for ai := range as {
+		a := &as[ai]
 		for i := range bs {
 			c.Comparisons++
 			if a.Box.Intersects(bs[i].Box) {
@@ -185,16 +189,5 @@ func (t *Tree) nestedJoin(n *Node, c *stats.Counters, sink stats.Sink) {
 				sink.Emit(a.ID, bs[i].ID)
 			}
 		}
-	})
-}
-
-// forEachAObject visits every A object in the node's descendant leaves
-// (including the node itself when it is a leaf).
-func (t *Tree) forEachAObject(n *Node, visit func(*geom.Object)) {
-	for _, ch := range n.Children {
-		t.forEachAObject(ch, visit)
-	}
-	for i := range n.Entries {
-		visit(&n.Entries[i])
 	}
 }

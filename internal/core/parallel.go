@@ -1,0 +1,184 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+const (
+	// minParallelAssign is the probe dataset size below which sharding
+	// the assignment phase costs more than it saves.
+	minParallelAssign = 2048
+	// sinkBatchSize is how many result pairs a join worker buffers
+	// before taking the shared sink's mutex.
+	sinkBatchSize = 1024
+)
+
+// assignParallel shards B across Config.Workers goroutines. Workers only
+// read the tree and record each object's destination node in a per-index
+// slot, so no synchronization is needed beyond the final merge; the
+// merge appends in input order, making per-node BEntities bit-identical
+// to the sequential assignment.
+func (t *Tree) assignParallel(b geom.Dataset, c *stats.Counters) {
+	workers := t.cfg.Workers
+	if max := (len(b) + minParallelAssign - 1) / minParallelAssign; workers > max {
+		workers = max
+	}
+	dest := make([]*Node, len(b))
+	counters := make([]stats.Counters, workers)
+	chunk := (len(b) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(b))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := &counters[w]
+			for i := lo; i < hi; i++ {
+				if n := t.AssignOne(b[i], local); n != nil {
+					dest[i] = n
+				} else {
+					local.Filtered++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range counters {
+		c.Add(counters[w])
+	}
+	// Merge: count per node first so every BEntities slice is allocated
+	// exactly once at its final size, then append in input order.
+	for _, n := range dest {
+		if n != nil {
+			n.bCount++
+		}
+	}
+	for i, n := range dest {
+		if n == nil {
+			continue
+		}
+		if n.BEntities == nil {
+			n.BEntities = make([]geom.Object, 0, n.bCount)
+			n.bCount = 0
+		}
+		n.BEntities = append(n.BEntities, b[i])
+	}
+}
+
+// joinParallel runs the join phase across Config.Workers goroutines in
+// two stages. Nodes whose estimated cost is a large share of the total —
+// the root-most nodes can hold orders of magnitude more work than a
+// leaf, and a node is otherwise indivisible — are processed one at a
+// time with all workers cooperating: the CSR grid is built once and the
+// node's A objects are probed in parallel chunks. The remaining nodes
+// are dispatched whole to a worker pool, most expensive first. Each
+// worker owns a stats.Counters and a joinScratch (grid buffers are
+// reused across nodes) and batches emitted pairs, taking the shared
+// sink's mutex once per batch instead of once per pair.
+func (t *Tree) joinParallel(active []*Node, c *stats.Counters, sink stats.Sink) {
+	// Not clamped to len(active): the stage-1 chunked probe wants every
+	// worker even when a single giant node is all there is; stage-2 pool
+	// workers beyond the node count exit immediately.
+	workers := t.cfg.Workers
+	gridKind := t.cfg.LocalJoin == LocalJoinGrid || t.cfg.LocalJoin == LocalJoinGridPostDedup
+
+	total := int64(0)
+	for _, n := range active {
+		total += joinCost(n)
+	}
+	// A node is "big" when dispatching it whole would leave one worker
+	// with a disproportionate share of the phase. Only the grid local
+	// joins have a divisible probe side; the sweep and nested ablation
+	// modes always run at node granularity.
+	bigCut := total/int64(2*workers) + 1
+	var big, small []*Node
+	for _, n := range active {
+		if gridKind && joinCost(n) >= bigCut && n.aCount() >= 4*workers {
+			big = append(big, n)
+		} else {
+			small = append(small, n)
+		}
+	}
+	slices.SortStableFunc(small, func(x, y *Node) int {
+		return cmp.Compare(joinCost(y), joinCost(x))
+	})
+
+	locked := stats.NewLockedSink(sink)
+	counters := make([]stats.Counters, workers)
+	scratches := make([]*joinScratch, workers)
+	batches := make([]*stats.BatchSink, workers)
+	for w := range scratches {
+		scratches[w] = &joinScratch{}
+		batches[w] = locked.NewBatch(sinkBatchSize)
+	}
+
+	// Stage 1: big nodes, all workers probing chunks of one node's
+	// subtree range at a time.
+	for _, n := range big {
+		bs := n.BEntities
+		g := t.localGrid(n, bs)
+		csr := scratches[0].buildCSR(g, bs)
+		c.Replicas += csr.replicas
+		if gridBytes := csr.occupied*stats.BytesPerCell + csr.replicas*stats.BytesPerRef; gridBytes > scratches[0].peakBytes {
+			scratches[0].peakBytes = gridBytes
+		}
+		as := t.subtreeA(n)
+		chunk := (len(as) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(as))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				t.gridProbe(g, csr, bs, as[lo:hi], &counters[w], batches[w])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Stage 2: the remaining nodes through a work-stealing pool.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(small) {
+					break
+				}
+				t.localJoin(small[i], &counters[w], batches[w], scratches[w])
+			}
+			batches[w].Flush()
+		}(w)
+	}
+	wg.Wait()
+
+	for w := range counters {
+		c.Add(counters[w])
+	}
+	for _, ws := range scratches {
+		if ws.peakBytes > t.peakGridBytes {
+			t.peakGridBytes = ws.peakBytes
+		}
+	}
+}
+
+func joinCost(n *Node) int64 {
+	return int64(len(n.BEntities)) * int64(n.aCount())
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+func sortedPairs(ps []geom.Pair) []geom.Pair {
+	out := slices.Clone(ps)
+	slices.SortFunc(out, func(x, y geom.Pair) int {
+		if x.A != y.A {
+			if x.A < y.A {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case x.B < y.B:
+			return -1
+		case x.B > y.B:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return out
+}
+
+// TestWorkersEquivalence: the parallel core must produce the identical
+// sorted pair set AND identical work counters (comparisons, node tests,
+// filtered, replicas) as the single-threaded execution, for every local
+// join kind.
+func TestWorkersEquivalence(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Clustered} {
+		a := datagen.Generate(datagen.DefaultConfig(dist, 600, 401)).Expand(7)
+		b := datagen.Generate(datagen.DefaultConfig(dist, 1500, 402))
+		want := oracle(a, b)
+		for _, kind := range []LocalJoinKind{
+			LocalJoinGrid, LocalJoinGridPostDedup, LocalJoinSweep, LocalJoinNested,
+		} {
+			ref, refC := run(t, a, b, Config{LocalJoin: kind, Workers: 1})
+			verifyLemmas(t, kind.String(), ref, want)
+			refSorted := sortedPairs(ref)
+			for _, workers := range []int{2, 8} {
+				got, c := run(t, a, b, Config{LocalJoin: kind, Workers: workers})
+				if !slices.Equal(sortedPairs(got), refSorted) {
+					t.Fatalf("%s/%s workers=%d: pair set differs from sequential",
+						dist, kind, workers)
+				}
+				if c.Comparisons != refC.Comparisons || c.NodeTests != refC.NodeTests ||
+					c.Filtered != refC.Filtered || c.Replicas != refC.Replicas ||
+					c.Results != refC.Results {
+					t.Fatalf("%s/%s workers=%d: counters diverge: %+v vs %+v",
+						dist, kind, workers, c, refC)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAssignMatchesSequential: the sharded assignment must leave
+// every node's BEntities bit-identical (same objects, same order) to the
+// sequential assignment.
+func TestParallelAssignMatchesSequential(t *testing.T) {
+	a := datagen.GaussianSet(800, 411).Expand(5)
+	b := datagen.GaussianSet(5000, 412)
+
+	seq := Build(a, Config{})
+	var cs stats.Counters
+	seq.Assign(b, &cs)
+
+	par := Build(a, Config{Workers: 4})
+	var cp stats.Counters
+	par.Assign(b, &cp)
+
+	if cs.NodeTests != cp.NodeTests || cs.Filtered != cp.Filtered {
+		t.Fatalf("assignment counters diverge: %+v vs %+v", cs, cp)
+	}
+	var walkSeq, walkPar func(n *Node) [][]geom.Object
+	collect := func(n *Node, walk func(*Node) [][]geom.Object) [][]geom.Object {
+		out := [][]geom.Object{n.BEntities}
+		for _, ch := range n.Children {
+			out = append(out, walk(ch)...)
+		}
+		return out
+	}
+	walkSeq = func(n *Node) [][]geom.Object { return collect(n, walkSeq) }
+	walkPar = func(n *Node) [][]geom.Object { return collect(n, walkPar) }
+	bs, bp := walkSeq(seq.Root), walkPar(par.Root)
+	if len(bs) != len(bp) {
+		t.Fatalf("tree shapes differ: %d vs %d nodes", len(bs), len(bp))
+	}
+	for i := range bs {
+		if !slices.EqualFunc(bs[i], bp[i], func(x, y geom.Object) bool { return x == y }) {
+			t.Fatalf("node %d: BEntities differ:\nseq %v\npar %v", i, bs[i], bp[i])
+		}
+	}
+}
+
+// TestParallelReuseAcrossProbes: a tree built with workers must stay
+// reusable (ResetAssignments + new probe set), like the sequential one.
+func TestParallelReuseAcrossProbes(t *testing.T) {
+	a := datagen.UniformSet(400, 421).Expand(6)
+	tr := Build(a, Config{Workers: 4})
+	for seed := int64(430); seed < 433; seed++ {
+		b := datagen.UniformSet(3000, seed)
+		tr.ResetAssignments()
+		var c stats.Counters
+		sink := &stats.CollectSink{}
+		tr.Assign(b, &c)
+		tr.JoinPhase(&c, sink)
+		verifyLemmas(t, "reuse", sink.Pairs, oracle(a, b))
+	}
+}
+
+// TestParallelLargeRace is the -race exercise of the concurrent assign
+// and join phases: enough objects to engage the parallel assignment
+// threshold and enough result pairs to force batched sink flushes from
+// several workers.
+func TestParallelLargeRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large workload")
+	}
+	a := datagen.UniformSet(3000, 441).Expand(40)
+	b := datagen.UniformSet(9000, 442)
+	ref, refC := run(t, a, b, Config{})
+	refSorted := sortedPairs(ref)
+	got, c := run(t, a, b, Config{Workers: 8})
+	if !slices.Equal(sortedPairs(got), refSorted) {
+		t.Fatal("workers=8: pair set differs from sequential")
+	}
+	if c.Comparisons != refC.Comparisons || c.Results != refC.Results {
+		t.Fatalf("workers=8: counters diverge: %+v vs %+v", c, refC)
+	}
+	if len(ref) < sinkBatchSize {
+		t.Fatalf("premise: want > %d pairs to exercise batching, got %d", sinkBatchSize, len(ref))
+	}
+}
+
+// TestArenaInvariant checks the flat layout invariant: every node's
+// [aStart, aEnd) covers exactly its descendant leaves' entries, in leaf
+// order, and the leaves tile the arena.
+func TestArenaInvariant(t *testing.T) {
+	a := datagen.ClusteredSet(900, 451)
+	tr := Build(a, Config{Partitions: 64, Fanout: 3})
+	if len(tr.arena) != len(a) {
+		t.Fatalf("arena holds %d objects, want %d", len(tr.arena), len(a))
+	}
+	next := int32(0)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Leaf() {
+			if n.aStart != next {
+				t.Fatalf("leaf range starts at %d, want %d", n.aStart, next)
+			}
+			if !slices.EqualFunc(n.Entries, tr.arena[n.aStart:n.aEnd],
+				func(x, y geom.Object) bool { return x == y }) {
+				t.Fatal("leaf Entries do not alias their arena segment")
+			}
+			next = n.aEnd
+			return
+		}
+		if n.aStart != n.Children[0].aStart || n.aEnd != n.Children[len(n.Children)-1].aEnd {
+			t.Fatalf("inner range [%d,%d) does not span its children", n.aStart, n.aEnd)
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(tr.Root)
+	if next != int32(len(tr.arena)) {
+		t.Fatalf("leaves tile %d of %d arena slots", next, len(tr.arena))
+	}
+}

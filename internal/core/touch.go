@@ -16,6 +16,20 @@
 // Unlike PBSM there is no replication of B objects (single assignment,
 // Lemma 3: no duplicate results before the local join), and unlike S3 the
 // partitioning follows the data, not space.
+//
+// # Flat layout invariant
+//
+// After Build, all A objects live in one contiguous arena slice ordered
+// leaf by leaf in tree (DFS) order: every node's subtree covers exactly
+// the half-open arena range [aStart, aEnd), leaves included, so local
+// joins read their A objects as a zero-copy slice view instead of
+// re-walking the subtree. Leaf Entries slices alias the arena; nothing
+// may reorder the arena after Build (local joins that need a different
+// order, e.g. the plane-sweep, must copy first).
+//
+// Both the assignment and join phases run in parallel when
+// Config.Workers > 1; results and counters are identical to the
+// single-threaded execution (the emission order of pairs may differ).
 package core
 
 import (
@@ -58,6 +72,13 @@ type Config struct {
 	// the zero value is the grid with pre-test deduplication. See
 	// LocalJoinKind for the ablation alternatives.
 	LocalJoin LocalJoinKind
+	// Workers is the number of goroutines the assignment and join phases
+	// use internally (0 or 1 = single-threaded, the paper's setting).
+	// Unlike the slab driver in internal/parallel, intra-TOUCH
+	// parallelism needs no object replication or boundary-ownership
+	// filtering: B is sharded across workers for assignment and tree
+	// nodes are dispatched to a worker pool for the join.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -84,18 +105,27 @@ func (c *Config) fillDefaults() {
 type Node struct {
 	MBR       geom.Box
 	Children  []*Node
-	Entries   []geom.Object // A objects; leaves only
+	Entries   []geom.Object // A objects; leaves only, aliasing the tree arena
 	BEntities []geom.Object // B objects assigned to this node
 
-	// Subtree aggregates maintained at build time, used to size the
-	// local-join grid: number of A objects below this node and the sum
-	// of their mean box extents.
-	countA  int
+	// [aStart, aEnd) is the subtree's range in the tree arena (see the
+	// flat layout invariant in the package comment).
+	aStart, aEnd int32
+
+	// bCount is transient scratch for the parallel assignment merge.
+	bCount int32
+
+	// extSumA is the subtree's summed mean box extent, maintained at
+	// build time together with the arena range to size the local-join
+	// grid.
 	extSumA float64
 }
 
 // Leaf reports whether the node is a leaf of the tree.
 func (n *Node) Leaf() bool { return len(n.Children) == 0 }
+
+// aCount returns the number of A objects below the node.
+func (n *Node) aCount() int { return int(n.aEnd - n.aStart) }
 
 // Tree is the hierarchical data-oriented partitioning built on dataset A.
 type Tree struct {
@@ -106,7 +136,25 @@ type Tree struct {
 	SizeA  int // objects indexed
 	cfg    Config
 
+	// arena holds all A objects contiguously, ordered leaf by leaf in
+	// DFS order; node [aStart, aEnd) ranges index into it.
+	arena []geom.Object
+
 	peakGridBytes int64 // largest transient local-join grid seen
+}
+
+// Workers returns the configured worker count of the assignment and
+// join phases.
+func (t *Tree) Workers() int { return t.cfg.Workers }
+
+// SetWorkers changes the number of goroutines Assign and JoinPhase use
+// (0 or 1 = single-threaded). Safe between joins, not during one.
+func (t *Tree) SetWorkers(n int) { t.cfg.Workers = n }
+
+// subtreeA returns the A objects of the node's descendant leaves as a
+// zero-copy view into the arena.
+func (t *Tree) subtreeA(n *Node) []geom.Object {
+	return t.arena[n.aStart:n.aEnd:n.aEnd]
 }
 
 // Build runs the tree-building phase (Algorithm 2) on dataset A. An
@@ -123,7 +171,7 @@ func Build(a geom.Dataset, cfg Config) *Tree {
 	groups := str.PackObjects(a, bucketSize)
 	level := make([]*Node, len(groups))
 	for i, g := range groups {
-		n := &Node{Entries: g, MBR: geom.EmptyBox(), countA: len(g)}
+		n := &Node{Entries: g, MBR: geom.EmptyBox()}
 		for _, o := range g {
 			n.MBR = n.MBR.Union(o.Box)
 			for d := 0; d < geom.Dims; d++ {
@@ -143,7 +191,6 @@ func Build(a geom.Dataset, cfg Config) *Tree {
 			n := &Node{Children: g, MBR: geom.EmptyBox()}
 			for _, ch := range g {
 				n.MBR = n.MBR.Union(ch.MBR)
-				n.countA += ch.countA
 				n.extSumA += ch.extSumA
 			}
 			next[i] = n
@@ -153,7 +200,29 @@ func Build(a geom.Dataset, cfg Config) *Tree {
 		t.Height++
 	}
 	t.Root = level[0]
+	t.linearize(a)
 	return t
+}
+
+// linearize concatenates the leaf buckets into the arena in DFS order
+// and stamps every node's [aStart, aEnd) range, establishing the flat
+// layout invariant. Leaf Entries are re-pointed at their arena segment.
+func (t *Tree) linearize(a geom.Dataset) {
+	t.arena = make([]geom.Object, 0, len(a))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.aStart = int32(len(t.arena))
+		if n.Leaf() {
+			t.arena = append(t.arena, n.Entries...)
+			n.Entries = t.arena[n.aStart:len(t.arena):len(t.arena)]
+		} else {
+			for _, ch := range n.Children {
+				walk(ch)
+			}
+		}
+		n.aEnd = int32(len(t.arena))
+	}
+	walk(t.Root)
 }
 
 // AssignOne places one object of dataset B in the tree following
@@ -205,8 +274,15 @@ func (t *Tree) ResetAssignments() {
 }
 
 // Assign runs the assignment phase for all of dataset B, storing each
-// object in its node's BEntities and counting filtered objects.
+// object in its node's BEntities and counting filtered objects. With
+// Config.Workers > 1 the dataset is sharded across goroutines; the
+// resulting per-node BEntities order is identical to the sequential
+// assignment (input order).
 func (t *Tree) Assign(b geom.Dataset, c *stats.Counters) {
+	if t.cfg.Workers > 1 && len(b) >= minParallelAssign {
+		t.assignParallel(b, c)
+		return
+	}
 	for _, o := range b {
 		if n := t.AssignOne(o, c); n != nil {
 			n.BEntities = append(n.BEntities, o)
@@ -217,18 +293,38 @@ func (t *Tree) Assign(b geom.Dataset, c *stats.Counters) {
 }
 
 // JoinPhase runs the third phase: every node holding B objects is joined
-// with the A objects of its descendant leaves via the grid local join.
+// with the A objects of its descendant leaves via the configured local
+// join, across Config.Workers goroutines when > 1.
 func (t *Tree) JoinPhase(c *stats.Counters, sink stats.Sink) {
+	active := t.activeNodes()
+	if t.cfg.Workers > 1 && len(active) > 0 {
+		t.joinParallel(active, c, sink)
+		return
+	}
+	ws := &joinScratch{}
+	for _, n := range active {
+		t.localJoin(n, c, sink, ws)
+	}
+	if ws.peakBytes > t.peakGridBytes {
+		t.peakGridBytes = ws.peakBytes
+	}
+}
+
+// activeNodes returns the nodes holding B objects, in DFS order (the
+// order the sequential join processes them).
+func (t *Tree) activeNodes() []*Node {
+	var active []*Node
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if len(n.BEntities) > 0 {
-			t.localJoin(n, c, sink)
+			active = append(active, n)
 		}
 		for _, ch := range n.Children {
 			walk(ch)
 		}
 	}
 	walk(t.Root)
+	return active
 }
 
 // staticBytes is the analytic footprint of the tree structure, the A

@@ -20,11 +20,10 @@ type JoinFunc func(a, b geom.Dataset, c *stats.Counters, sink stats.Sink)
 
 // Join splits the joint universe into workers contiguous slabs along the
 // longest axis, runs join on each slab concurrently and merges the
-// per-worker counters into c. Result pairs are emitted to sink from
-// multiple goroutines but never concurrently (a mutex serializes Emit),
-// and every overlapping pair is emitted exactly once: a pair spanning a
-// slab boundary is owned by the slab containing the maximum of the two
-// boxes' minima on the split axis.
+// per-worker counters into c. Result pairs are batched per worker and
+// flushed to sink under a mutex, and every overlapping pair is emitted
+// exactly once: a pair spanning a slab boundary is owned by the slab
+// containing the maximum of the two boxes' minima on the split axis.
 func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink stats.Sink) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -51,12 +50,12 @@ func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink
 	}
 	bounds[workers] = universe.Max[axis] // exact upper edge
 
-	// Boxes by ID for the ownership test at emit time.
-	boxA := boxIndex(a)
-	boxB := boxIndex(b)
+	// Split-axis minima by ID for the ownership test at emit time.
+	minA := newAxisMins(a, axis)
+	minB := newAxisMins(b, axis)
 
+	locked := stats.NewLockedSink(sink)
 	var (
-		mu       sync.Mutex // serializes sink.Emit and counter merging
 		wg       sync.WaitGroup
 		counters = make([]stats.Counters, workers)
 	)
@@ -72,21 +71,21 @@ func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink
 				return
 			}
 			var ownedResults int64
+			batch := locked.NewBatch(ownedBatchSize)
 			owned := stats.FuncSink(func(x, y geom.ID) {
-				ref := boxA[x].Min[axis]
-				if m := boxB[y].Min[axis]; m > ref {
+				ref := minA.at(x)
+				if m := minB.at(y); m > ref {
 					ref = m
 				}
 				if !owns(ref, slabLo, slabHi, w == 0, w == workers-1) {
 					return
 				}
 				ownedResults++
-				mu.Lock()
-				sink.Emit(x, y)
-				mu.Unlock()
+				batch.Emit(x, y)
 			})
 			local := &counters[w]
 			join(sa, sb, local, owned)
+			batch.Flush()
 			// The inner algorithm counted every emitted pair, including
 			// boundary duplicates this slab does not own; the ownership
 			// sink holds the true count.
@@ -98,6 +97,10 @@ func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink
 		c.Add(counters[w])
 	}
 }
+
+// ownedBatchSize is how many owned pairs a slab worker buffers before
+// taking the shared sink's mutex.
+const ownedBatchSize = 1024
 
 // owns reports whether the reference coordinate belongs to the half-open
 // slab [lo, hi). The first slab additionally owns coordinates below lo
@@ -135,10 +138,44 @@ func longestAxis(b geom.Box) int {
 	return axis
 }
 
-func boxIndex(ds geom.Dataset) map[geom.ID]geom.Box {
-	m := make(map[geom.ID]geom.Box, len(ds))
-	for i := range ds {
-		m[ds[i].ID] = ds[i].Box
+// axisMins resolves an object ID to its box minimum on the split axis —
+// the only geometry the ownership rule needs. Loaders and generators
+// assign dense IDs (0..n-1), so the common case is a flat slice indexed
+// by ID instead of the hash map the seed used; sparse or negative ID
+// spaces fall back to a map.
+type axisMins struct {
+	dense  []float64
+	sparse map[geom.ID]float64
+}
+
+func newAxisMins(ds geom.Dataset, axis int) axisMins {
+	minID, maxID := ds[0].ID, ds[0].ID
+	for i := 1; i < len(ds); i++ {
+		id := ds[i].ID
+		if id > maxID {
+			maxID = id
+		}
+		if id < minID {
+			minID = id
+		}
 	}
-	return m
+	if minID >= 0 && int64(maxID) < 2*int64(len(ds))+64 {
+		dense := make([]float64, int(maxID)+1)
+		for i := range ds {
+			dense[ds[i].ID] = ds[i].Box.Min[axis]
+		}
+		return axisMins{dense: dense}
+	}
+	m := make(map[geom.ID]float64, len(ds))
+	for i := range ds {
+		m[ds[i].ID] = ds[i].Box.Min[axis]
+	}
+	return axisMins{sparse: m}
+}
+
+func (am *axisMins) at(id geom.ID) float64 {
+	if am.dense != nil {
+		return am.dense[id]
+	}
+	return am.sparse[id]
 }

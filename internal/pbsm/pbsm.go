@@ -92,7 +92,7 @@ func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
 	// assign still charges canonical PBSM — one entry per overlapped cell
 	// of both datasets — which is the footprint the paper measures (and
 	// Replicas counts the canonical number either way).
-	ea := assign(g, as, eb, c)
+	ea := assign(g, as, newOccupancy(g, eb), c)
 	c.AssignTime += time.Since(start)
 
 	start = time.Now()
@@ -107,37 +107,40 @@ const entryBytes = 4 + 4 // key + idx
 // array — multiple assignment can produce hundreds of replicas per
 // object, where append-growth copies would dominate the join.
 //
-// When other (the already-sorted replica array of the opposite dataset)
-// is non-nil, entries whose cell has no counterpart in other are not
-// materialized: they cannot contribute comparisons or results. Canonical
-// PBSM replication is still charged to c.Replicas and c.MemoryBytes.
-func assign(g *grid.Grid, ds geom.Dataset, other []entry, c *stats.Counters) []entry {
+// When occ (the occupancy of the opposite dataset) is non-nil, entries
+// whose cell has no counterpart are not materialized: they cannot
+// contribute comparisons or results. Canonical PBSM replication is
+// still charged to c.Replicas and c.MemoryBytes.
+func assign(g *grid.Grid, ds geom.Dataset, occ *occupancy, c *stats.Counters) []entry {
 	total := int64(0)
 	keep := int64(0)
 	for i := range ds {
 		lo, hi := g.Range(ds[i].Box)
 		total += grid.RangeCells(lo, hi)
-		if other != nil {
-			grid.ForEachCell(lo, hi, func(cc grid.Coords) {
-				if occupied(other, int32(g.Key(cc))) {
+		if occ != nil {
+			g.ForEachKey(lo, hi, func(k int64) {
+				if occ.has(int32(k)) {
 					keep++
 				}
 			})
 		}
 	}
-	if other == nil {
+	if occ == nil {
 		keep = total
 	}
 	entries := make([]entry, 0, keep)
+	var idx int32
+	fill := func(k int64) {
+		key := int32(k)
+		if occ != nil && !occ.has(key) {
+			return
+		}
+		entries = append(entries, entry{key: key, idx: idx})
+	}
 	for i := range ds {
+		idx = int32(i)
 		lo, hi := g.Range(ds[i].Box)
-		grid.ForEachCell(lo, hi, func(cc grid.Coords) {
-			key := int32(g.Key(cc))
-			if other != nil && !occupied(other, key) {
-				return
-			}
-			entries = append(entries, entry{key: key, idx: int32(i)})
-		})
+		g.ForEachKey(lo, hi, fill)
 	}
 	c.Replicas += total - int64(len(ds))
 	c.MemoryBytes += total * entryBytes
@@ -146,19 +149,49 @@ func assign(g *grid.Grid, ds geom.Dataset, other []entry, c *stats.Counters) []e
 	return radixSort(entries)
 }
 
-// occupied reports whether the sorted replica array contains the cell
-// key (binary search; no extra index structure needed).
-func occupied(entries []entry, key int32) bool {
-	lo, hi := 0, len(entries)
+// maxBitmapCells caps the occupancy bitset at 16MB; beyond that (grid
+// resolutions past ~512 per dimension) occupancy falls back to binary
+// search over the sorted replica array.
+const maxBitmapCells = 1 << 27
+
+// occupancy answers "does the opposite dataset have a replica in this
+// cell?" — the test assign makes once per candidate replica. For the
+// paper's resolutions a flat bitset indexed by cell key replaces the
+// seed's per-probe binary search (O(1) instead of O(log replicas), and
+// no pointer-chasing through the entry array).
+type occupancy struct {
+	bits    []uint64
+	entries []entry // fallback when the cell space exceeds maxBitmapCells
+}
+
+func newOccupancy(g *grid.Grid, entries []entry) *occupancy {
+	cells := g.Cells()
+	if cells > maxBitmapCells {
+		return &occupancy{entries: entries}
+	}
+	bits := make([]uint64, (cells+63)/64)
+	for i := range entries {
+		k := entries[i].key
+		bits[k>>6] |= 1 << (uint32(k) & 63)
+	}
+	return &occupancy{bits: bits}
+}
+
+func (o *occupancy) has(key int32) bool {
+	if o.bits != nil {
+		return o.bits[key>>6]&(1<<(uint32(key)&63)) != 0
+	}
+	// Binary search the sorted replica array.
+	lo, hi := 0, len(o.entries)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if entries[mid].key < key {
+		if o.entries[mid].key < key {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo < len(entries) && entries[lo].key == key
+	return lo < len(o.entries) && o.entries[lo].key == key
 }
 
 // merge walks the two sorted replica arrays in lockstep and joins the

@@ -7,6 +7,7 @@ import (
 
 	"touch/internal/datagen"
 	"touch/internal/geom"
+	"touch/internal/grid"
 	"touch/internal/nl"
 	"touch/internal/stats"
 )
@@ -227,14 +228,26 @@ func TestCanonicalAccountingDespitePruning(t *testing.T) {
 	}
 }
 
-func TestOccupiedBinarySearch(t *testing.T) {
+func TestOccupancyLookup(t *testing.T) {
 	entries := []entry{{key: 2}, {key: 2}, {key: 5}, {key: 9}}
-	for key, want := range map[int32]bool{1: false, 2: true, 3: false, 5: true, 9: true, 10: false} {
-		if got := occupied(entries, key); got != want {
-			t.Errorf("occupied(%d) = %v, want %v", key, got, want)
+	g := grid.New(geom.NewBox(geom.Point{0, 0, 0}, geom.Point{1, 1, 1}), 3)
+	probes := map[int32]bool{1: false, 2: true, 3: false, 5: true, 9: true, 10: false}
+	// Bitmap path (27 cells, well under the cap).
+	bm := newOccupancy(g, entries)
+	if bm.bits == nil {
+		t.Fatal("small grid must use the bitmap path")
+	}
+	// Binary-search fallback path.
+	bs := &occupancy{entries: entries}
+	for key, want := range probes {
+		if got := bm.has(key); got != want {
+			t.Errorf("bitmap has(%d) = %v, want %v", key, got, want)
+		}
+		if got := bs.has(key); got != want {
+			t.Errorf("fallback has(%d) = %v, want %v", key, got, want)
 		}
 	}
-	if occupied(nil, 1) {
-		t.Error("empty array must report unoccupied")
+	if (&occupancy{}).has(1) {
+		t.Error("empty occupancy must report unoccupied")
 	}
 }

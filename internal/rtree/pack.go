@@ -1,7 +1,8 @@
 package rtree
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"touch/internal/geom"
 	"touch/internal/str"
@@ -14,7 +15,7 @@ import (
 func packObjects(ds geom.Dataset, leafCap int) [][]geom.Object {
 	groups := str.PackObjects(ds, leafCap)
 	for _, g := range groups {
-		sort.Slice(g, func(i, j int) bool { return g[i].Box.Min[0] < g[j].Box.Min[0] })
+		slices.SortFunc(g, func(a, b geom.Object) int { return cmp.Compare(a.Box.Min[0], b.Box.Min[0]) })
 	}
 	return groups
 }

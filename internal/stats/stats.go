@@ -11,6 +11,7 @@ package stats
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"touch/internal/geom"
@@ -99,6 +100,64 @@ type FuncSink func(a, b geom.ID)
 
 // Emit implements Sink.
 func (f FuncSink) Emit(a, b geom.ID) { f(a, b) }
+
+// LockedSink serializes access to an underlying sink so that multiple
+// join workers can share it. Workers should not call Emit directly on
+// the LockedSink in hot loops — NewBatch returns a buffering front end
+// that takes the mutex once per batch instead of once per pair.
+type LockedSink struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+// NewLockedSink wraps sink for concurrent use.
+func NewLockedSink(sink Sink) *LockedSink { return &LockedSink{sink: sink} }
+
+// Emit implements Sink under the mutex.
+func (l *LockedSink) Emit(a, b geom.ID) {
+	l.mu.Lock()
+	l.sink.Emit(a, b)
+	l.mu.Unlock()
+}
+
+// NewBatch returns a new per-worker batching sink flushing into l every
+// size pairs. Each worker must own its batch exclusively and call Flush
+// when done.
+func (l *LockedSink) NewBatch(size int) *BatchSink {
+	if size < 1 {
+		size = 1
+	}
+	return &BatchSink{parent: l, buf: make([]geom.Pair, 0, size)}
+}
+
+// BatchSink buffers emitted pairs and forwards them to its parent
+// LockedSink in batches, cutting mutex contention on emit-heavy joins.
+// Not safe for concurrent use — one BatchSink per worker.
+type BatchSink struct {
+	parent *LockedSink
+	buf    []geom.Pair
+}
+
+// Emit implements Sink, flushing when the buffer is full.
+func (b *BatchSink) Emit(x, y geom.ID) {
+	b.buf = append(b.buf, geom.Pair{A: x, B: y})
+	if len(b.buf) == cap(b.buf) {
+		b.Flush()
+	}
+}
+
+// Flush forwards all buffered pairs under a single lock acquisition.
+func (b *BatchSink) Flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	b.parent.mu.Lock()
+	for _, p := range b.buf {
+		b.parent.sink.Emit(p.A, p.B)
+	}
+	b.parent.mu.Unlock()
+	b.buf = b.buf[:0]
+}
 
 // Analytic structure sizes, in bytes, shared by the memory accounting of
 // all algorithms. They reflect the natural in-memory layout on a 64-bit

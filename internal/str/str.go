@@ -11,15 +11,26 @@
 package str
 
 import (
+	"cmp"
 	"math"
 	"slices"
 
 	"touch/internal/geom"
 )
 
+// keyed pairs an item with its precomputed sort point. Extracting the
+// center once per item instead of twice per comparison keeps the sort —
+// the dominant cost of tree building — working on a flat key it can
+// compare without calling back into the caller.
+type keyed[T any] struct {
+	c    geom.Point
+	item T
+}
+
 // Pack groups items into tiles of at most groupSize elements using STR.
 // The center function extracts the point used for sorting (typically the
-// MBR center). The input slice is not modified. groupSize must be >= 1.
+// MBR center); it is called exactly once per item. The input slice is
+// not modified. groupSize must be >= 1.
 //
 // Every input item appears in exactly one output group, and every group
 // except possibly the last few is full.
@@ -30,33 +41,26 @@ func Pack[T any](items []T, center func(T) geom.Point, groupSize int) [][]T {
 	if len(items) == 0 {
 		return nil
 	}
-	work := make([]T, len(items))
-	copy(work, items)
+	work := make([]keyed[T], len(items))
+	for i, it := range items {
+		work[i] = keyed[T]{c: center(it), item: it}
+	}
 	out := make([][]T, 0, (len(items)+groupSize-1)/groupSize)
-	return pack(work, center, groupSize, 0, out)
+	return pack(work, groupSize, 0, out)
 }
 
 // pack recursively tiles work on dimensions dim..Dims-1, appending the
 // resulting groups to out.
-func pack[T any](work []T, center func(T) geom.Point, groupSize, dim int, out [][]T) [][]T {
+func pack[T any](work []keyed[T], groupSize, dim int, out [][]T) [][]T {
 	n := len(work)
 	if n == 0 {
 		return out
 	}
 	if n <= groupSize {
-		out = append(out, work)
-		return out
+		return append(out, extract(work))
 	}
-	slices.SortFunc(work, func(a, b T) int {
-		ca, cb := center(a)[dim], center(b)[dim]
-		switch {
-		case ca < cb:
-			return -1
-		case ca > cb:
-			return 1
-		default:
-			return 0
-		}
+	slices.SortFunc(work, func(a, b keyed[T]) int {
+		return cmp.Compare(a.c[dim], b.c[dim])
 	})
 	if dim == geom.Dims-1 {
 		// Last dimension: chop the sorted run into consecutive groups.
@@ -65,7 +69,7 @@ func pack[T any](work []T, center func(T) geom.Point, groupSize, dim int, out []
 			if end > n {
 				end = n
 			}
-			out = append(out, work[i:end:end])
+			out = append(out, extract(work[i:end]))
 		}
 		return out
 	}
@@ -82,9 +86,18 @@ func pack[T any](work []T, center func(T) geom.Point, groupSize, dim int, out []
 		if end > n {
 			end = n
 		}
-		out = pack(work[i:end:end], center, groupSize, dim+1, out)
+		out = pack(work[i:end:end], groupSize, dim+1, out)
 	}
 	return out
+}
+
+// extract materializes one group from the keyed working slice.
+func extract[T any](ks []keyed[T]) []T {
+	g := make([]T, len(ks))
+	for i := range ks {
+		g[i] = ks[i].item
+	}
+	return g
 }
 
 // PackObjects is Pack specialized to spatial objects, grouping by MBR

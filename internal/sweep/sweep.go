@@ -10,7 +10,8 @@
 package sweep
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"time"
 
 	"touch/internal/geom"
@@ -40,14 +41,16 @@ func Join(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
 func SortByXMin(ds geom.Dataset) geom.Dataset {
 	out := make(geom.Dataset, len(ds))
 	copy(out, ds)
-	sort.Slice(out, func(i, j int) bool { return out[i].Box.Min[0] < out[j].Box.Min[0] })
+	slices.SortFunc(out, byXMin)
 	return out
 }
 
 // IsSortedByXMin reports whether ds is sorted by ascending Min[0].
 func IsSortedByXMin(ds []geom.Object) bool {
-	return sort.SliceIsSorted(ds, func(i, j int) bool { return ds[i].Box.Min[0] < ds[j].Box.Min[0] })
+	return slices.IsSortedFunc(ds, byXMin)
 }
+
+func byXMin(a, b geom.Object) int { return cmp.Compare(a.Box.Min[0], b.Box.Min[0]) }
 
 // JoinSorted performs the synchronous forward scan over two slices that
 // are already sorted by Min[0]. Every pair that overlaps on the sweep

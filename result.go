@@ -1,8 +1,9 @@
 package touch
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"touch/internal/stats"
 )
@@ -36,11 +37,11 @@ func (r *Result) Selectivity(lenA, lenB int) float64 {
 // SortPairs orders the result pairs by (A, B) for deterministic output
 // and comparison across algorithms.
 func (r *Result) SortPairs() {
-	sort.Slice(r.Pairs, func(i, j int) bool {
-		if r.Pairs[i].A != r.Pairs[j].A {
-			return r.Pairs[i].A < r.Pairs[j].A
+	slices.SortFunc(r.Pairs, func(x, y Pair) int {
+		if x.A != y.A {
+			return cmp.Compare(x.A, y.A)
 		}
-		return r.Pairs[i].B < r.Pairs[j].B
+		return cmp.Compare(x.B, y.B)
 	})
 }
 

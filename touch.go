@@ -137,8 +137,14 @@ type Options struct {
 	// Sink, when non-nil, receives pairs as they are found instead of
 	// Result.Pairs. Pairs are delivered in (A, B) orientation.
 	Sink Sink
-	// Workers > 1 runs the join under the parallel slab driver with that
-	// many goroutines (0 or 1 = single-threaded, the paper's setting).
+	// Workers > 1 parallelizes the join with that many goroutines (0 or
+	// 1 = single-threaded, the paper's setting). AlgTOUCH — including
+	// Index.Join — parallelizes internally: the assignment and join
+	// phases shard work across goroutines with no object replication
+	// (equivalent to setting Options.TOUCH.Workers); every other
+	// algorithm runs under the slab driver of internal/parallel, which
+	// splits space into contiguous slabs and suppresses boundary
+	// duplicates with an ownership rule.
 	Workers int
 }
 
@@ -189,7 +195,7 @@ func SpatialJoin(alg Algorithm, a, b Dataset, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if o.Workers > 1 {
+	if o.Workers > 1 && alg != AlgTOUCH {
 		parallel.Join(a, b, o.Workers, join, &res.Stats, sink)
 	} else {
 		join(a, b, &res.Stats, sink)
@@ -214,6 +220,11 @@ func bind(alg Algorithm, o *Options) (parallel.JoinFunc, error) {
 	switch alg {
 	case AlgTOUCH:
 		cfg := o.TOUCH
+		if cfg.Workers <= 1 && o.Workers > 1 {
+			// TOUCH parallelizes internally instead of running under the
+			// slab driver: no replication, no boundary-ownership filter.
+			cfg.Workers = o.Workers
+		}
 		return func(a, b Dataset, c *Stats, s Sink) { core.Join(a, b, cfg, c, s) }, nil
 	case AlgNL:
 		return nl.Join, nil
