@@ -16,10 +16,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench writes the fixed-workload benchmark suite to BENCH_1.json so the
+# bench writes the fixed-workload benchmark suite to BENCH_N.json so the
 # performance trajectory of successive PRs can be diffed. Bump the file
-# number when recording a new baseline next to an old one.
-BENCH_OUT ?= BENCH_1.json
+# number when recording a new baseline next to an old one. BENCH_2 adds
+# the serving section: per-query latency and queries/sec for concurrent
+# clients sharing one prebuilt index.
+BENCH_OUT ?= BENCH_2.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

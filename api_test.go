@@ -2,6 +2,7 @@ package touch
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -17,8 +18,8 @@ func TestUnknownAlgorithm(t *testing.T) {
 
 func TestNegativeEps(t *testing.T) {
 	_, err := DistanceJoin(AlgTOUCH, GenerateUniform(5, 1), GenerateUniform(5, 2), -1, nil)
-	if err == nil {
-		t.Fatal("negative eps must error")
+	if !errors.Is(err, ErrNegativeDistance) {
+		t.Fatalf("want ErrNegativeDistance, got %v", err)
 	}
 }
 
@@ -171,13 +172,28 @@ func TestIndexDistanceJoin(t *testing.T) {
 	a := GenerateUniform(150, 81)
 	b := GenerateUniform(250, 82)
 	idx := BuildIndex(a, TOUCHConfig{})
-	res := idx.DistanceJoin(b, 12, &Options{NoPairs: true})
+	res, err := idx.DistanceJoin(b, 12, &Options{NoPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ref, err := DistanceJoin(AlgNL, a, b, 12, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Stats.Results != ref.Stats.Results {
 		t.Fatalf("index distance join %d, oracle %d", res.Stats.Results, ref.Stats.Results)
+	}
+}
+
+func TestIndexDistanceJoinRejectsNegativeEps(t *testing.T) {
+	// The one-shot DistanceJoin and the index path must agree on
+	// rejecting a negative ε instead of silently joining shrunk boxes.
+	idx := BuildIndex(GenerateUniform(20, 83), TOUCHConfig{})
+	if _, err := idx.DistanceJoin(GenerateUniform(20, 84), -0.5, nil); !errors.Is(err, ErrNegativeDistance) {
+		t.Fatalf("index DistanceJoin must reject negative eps like the one-shot path, got %v", err)
+	}
+	if _, err := DistanceJoin(AlgTOUCH, GenerateUniform(20, 83), GenerateUniform(20, 84), -0.5, nil); !errors.Is(err, ErrNegativeDistance) {
+		t.Fatalf("one-shot DistanceJoin must reject negative eps, got %v", err)
 	}
 }
 

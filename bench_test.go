@@ -131,6 +131,25 @@ func BenchmarkParallelTOUCH(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexServe is the serving-throughput benchmark: GOMAXPROCS
+// goroutines share one immutable index, each drawing pooled probe state
+// per query. Allocations per operation must stay near zero — the probe
+// pool recycles the assignment CSR and local-join scratch — so run with
+// -benchmem to watch the steady state.
+func BenchmarkIndexServe(b *testing.B) {
+	a := touch.GenerateUniform(8_000, 1).Expand(5)
+	probe := touch.GenerateUniform(24_000, 2)
+	idx := touch.BuildIndex(a, touch.TOUCHConfig{})
+	idx.Join(probe, &touch.Options{NoPairs: true}) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			idx.Join(probe, &touch.Options{NoPairs: true})
+		}
+	})
+}
+
 // BenchmarkTOUCHWorkers isolates the scaling of the parallel assign and
 // join phases: the tree is prebuilt once per worker count and the loop
 // measures assignment + join only. Run on a multi-core machine to see

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"touch"
@@ -13,16 +14,19 @@ import (
 
 // benchPoint is one measured configuration of the fixed-workload suite.
 type benchPoint struct {
-	Name        string `json:"name"`
-	Algorithm   string `json:"algorithm"`
-	Workers     int    `json:"workers,omitempty"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	BuildNs     int64  `json:"build_ns"`
-	AssignNs    int64  `json:"assign_ns"`
-	JoinNs      int64  `json:"join_ns"`
-	Comparisons int64  `json:"comparisons"`
-	Results     int64  `json:"results"`
-	MemoryBytes int64  `json:"memory_bytes"`
+	Name        string  `json:"name"`
+	Algorithm   string  `json:"algorithm"`
+	Workers     int     `json:"workers,omitempty"`
+	Clients     int     `json:"clients,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	QueriesPerS float64 `json:"queries_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BuildNs     int64   `json:"build_ns"`
+	AssignNs    int64   `json:"assign_ns"`
+	JoinNs      int64   `json:"join_ns"`
+	Comparisons int64   `json:"comparisons"`
+	Results     int64   `json:"results"`
+	MemoryBytes int64   `json:"memory_bytes"`
 }
 
 // benchReport is the JSON document `make bench` writes to BENCH_N.json.
@@ -40,7 +44,9 @@ type benchReport struct {
 // runBenchSuite joins one uniform workload (the microbenchmark shape of
 // bench_test.go: 8K × 24K at the default scale, ε=5) with every
 // algorithm, plus the TOUCH core at several worker counts, reporting
-// the best of three runs per configuration.
+// the best of three runs per configuration. A final serving section
+// measures concurrent-client throughput (latency and queries/sec) on
+// one shared prebuilt index.
 func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 	if scale <= 0 {
 		scale = 0.02
@@ -100,6 +106,44 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 		if err := measure(fmt.Sprintf("touch-w%d", workers), touch.AlgTOUCH, workers); err != nil {
 			return err
 		}
+	}
+
+	// Serving throughput: one immutable index shared by N concurrent
+	// clients, each drawing pooled probe state per query. NsPerOp is the
+	// mean per-query latency a client sees; QueriesPerS the aggregate
+	// throughput across clients.
+	idx := touch.BuildIndex(a.Expand(eps), touch.TOUCHConfig{})
+	probe := b // the index side carries the ε-expansion
+	const queriesPerClient = 6
+	for warm := 0; warm < 2; warm++ {
+		idx.Join(probe, &touch.Options{NoPairs: true}) // populate the probe pool
+	}
+	for _, clients := range []int{1, 2, 4, 8} {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for q := 0; q < queriesPerClient; q++ {
+					idx.Join(probe, &touch.Options{NoPairs: true})
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		total := clients * queriesPerClient
+		report.Points = append(report.Points, benchPoint{
+			Name:        fmt.Sprintf("serve-c%d", clients),
+			Algorithm:   string(touch.AlgTOUCH),
+			Clients:     clients,
+			NsPerOp:     wall.Nanoseconds() / int64(queriesPerClient),
+			QueriesPerS: float64(total) / wall.Seconds(),
+			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(total),
+		})
 	}
 
 	var out io.Writer = os.Stdout

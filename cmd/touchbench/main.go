@@ -15,10 +15,11 @@
 // one row per workload point and one column per algorithm.
 //
 // The -bench mode runs every algorithm (plus the parallel TOUCH core at
-// several worker counts) on one fixed uniform workload and writes a
+// several worker counts, plus concurrent-client serving throughput on
+// one shared index) on one fixed uniform workload and writes a
 // machine-readable JSON summary — per-algorithm wall time, phase times,
-// comparisons, results and analytic memory — so successive revisions
-// can be diffed (`make bench` writes BENCH_1.json).
+// comparisons, results, analytic memory and queries/sec — so successive
+// revisions can be diffed (`make bench` writes BENCH_2.json).
 package main
 
 import (

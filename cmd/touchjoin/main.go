@@ -8,18 +8,30 @@
 // Usage:
 //
 //	touchjoin -a axons.txt -b dendrites.txt -eps 5 [-alg touch] [-out pairs.txt] [-stats]
+//	touchjoin -a axons.txt -probes d1.txt,d2.txt,d3.txt -eps 5 [-stats]
 //
 // With -eps 0 the join reports intersecting pairs; with -eps > 0 it
 // reports pairs within that distance. The output lists one "i j" pair of
 // 0-based line indices per line. -stats prints the execution metrics
 // (comparisons, filtered objects, memory, per-phase timings) to stderr.
+// The -out file is only created once the inputs have validated and the
+// join has run, so a failed invocation never clobbers an existing file.
+//
+// -probes takes a comma-separated list of probe files and switches to
+// index-reuse mode (TOUCH only): the tree is built once on dataset A and
+// every probe file is joined against it, skipping the build phase per
+// join — the paper's §4.3 scenario. Each probe's pairs are preceded by a
+// "# file" header line; with -count one "file n" line per probe is
+// printed instead.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"touch"
 )
@@ -27,17 +39,18 @@ import (
 func main() {
 	var (
 		fileA   = flag.String("a", "", "dataset A file (required)")
-		fileB   = flag.String("b", "", "dataset B file (required)")
+		fileB   = flag.String("b", "", "dataset B file (required unless -probes is set)")
+		probes  = flag.String("probes", "", "comma-separated probe files joined against one prebuilt index on A (TOUCH only)")
 		eps     = flag.Float64("eps", 0, "distance predicate ε (0 = intersection join)")
 		algName = flag.String("alg", string(touch.AlgTOUCH), "join algorithm")
 		out     = flag.String("out", "", "output file (default stdout)")
 		quiet   = flag.Bool("count", false, "print only the number of result pairs")
 		stat    = flag.Bool("stats", false, "print execution statistics to stderr")
-		workers = flag.Int("workers", 1, "parallel slab workers (1 = single-threaded)")
+		workers = flag.Int("workers", 1, "worker goroutines per join (1 = single-threaded; TOUCH parallelizes its assignment and join phases internally, other algorithms run under the slab driver)")
 	)
 	flag.Parse()
-	if *fileA == "" || *fileB == "" {
-		fmt.Fprintln(os.Stderr, "touchjoin: both -a and -b are required")
+	if *fileA == "" || (*fileB == "" && *probes == "") {
+		fmt.Fprintln(os.Stderr, "touchjoin: -a and either -b or -probes are required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -46,52 +59,145 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	opt := &touch.Options{NoPairs: *quiet, Workers: *workers}
+
+	if *probes != "" {
+		if alg := touch.Algorithm(*algName); alg != touch.AlgTOUCH {
+			fatal(fmt.Errorf("-probes reuses a prebuilt TOUCH index; -alg %q is not supported (%s)",
+				*algName, algHint()))
+		}
+		files := strings.Split(*probes, ",")
+		if err := runProbes(a, files, *eps, opt, *out, *quiet, *stat); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	b, err := readFile(*fileB)
 	if err != nil {
 		fatal(err)
 	}
-
-	opt := &touch.Options{NoPairs: *quiet, Workers: *workers}
 	res, err := touch.DistanceJoin(touch.Algorithm(*algName), a, b, *eps, opt)
 	if err != nil {
+		if errors.Is(err, touch.ErrUnknownAlgorithm) {
+			err = fmt.Errorf("%w (%s)", err, algHint())
+		}
 		fatal(err)
 	}
 
 	if *stat {
-		s := &res.Stats
-		fmt.Fprintf(os.Stderr, "algorithm:    %s\n", *algName)
-		fmt.Fprintf(os.Stderr, "|A| × |B|:    %d × %d\n", len(a), len(b))
-		fmt.Fprintf(os.Stderr, "results:      %d\n", s.Results)
-		fmt.Fprintf(os.Stderr, "comparisons:  %d\n", s.Comparisons)
-		fmt.Fprintf(os.Stderr, "filtered:     %d\n", s.Filtered)
-		fmt.Fprintf(os.Stderr, "memory:       %s\n", touch.FormatBytes(s.MemoryBytes))
-		fmt.Fprintf(os.Stderr, "build time:   %v\n", s.BuildTime)
-		fmt.Fprintf(os.Stderr, "assign time:  %v\n", s.AssignTime)
-		fmt.Fprintf(os.Stderr, "join time:    %v\n", s.JoinTime)
+		printStats(*algName, len(a), len(b), &res.Stats)
 	}
 
+	// The join succeeded — only now touch the output file.
+	w, closeOut := openOut(*out)
 	if *quiet {
-		fmt.Println(res.Stats.Results)
-		return
-	}
-
-	var w *bufio.Writer
-	if *out == "" {
-		w = bufio.NewWriter(os.Stdout)
+		fmt.Fprintln(w, res.Stats.Results)
 	} else {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+		res.SortPairs()
+		for _, p := range res.Pairs {
+			fmt.Fprintf(w, "%d %d\n", p.A, p.B)
 		}
-		defer f.Close()
-		w = bufio.NewWriter(f)
-	}
-	res.SortPairs()
-	for _, p := range res.Pairs {
-		fmt.Fprintf(w, "%d %d\n", p.A, p.B)
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)
+	}
+	closeOut()
+}
+
+// runProbes builds one TOUCH index on a and joins every probe file
+// against it — the build phase runs exactly once. All probe files are
+// read (and therefore validated) before the output file is created.
+// Pair blocks are separated by "# file" headers; with count one
+// "file n" line per probe is written instead.
+func runProbes(a touch.Dataset, files []string, eps float64, opt *touch.Options, outPath string, count, stat bool) error {
+	if eps < 0 {
+		return fmt.Errorf("%w %g", touch.ErrNegativeDistance, eps)
+	}
+	names := make([]string, 0, len(files))
+	datasets := make([]touch.Dataset, 0, len(files))
+	for _, file := range files {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		b, err := readFile(file)
+		if err != nil {
+			return err
+		}
+		names = append(names, file)
+		datasets = append(datasets, b)
+	}
+
+	cfg := opt.TOUCH
+	if opt.Workers > 1 && cfg.Workers <= 1 {
+		cfg.Workers = opt.Workers
+	}
+	// The index is built on A, so the ε-expansion moves to the index
+	// side once instead of every probe dataset per join.
+	idx := touch.BuildIndex(a.Expand(eps), cfg)
+
+	w, closeOut := openOut(outPath)
+	for i, b := range datasets {
+		res := idx.Join(b, opt)
+		if stat {
+			fmt.Fprintf(os.Stderr, "--- %s\n", names[i])
+			printStats(string(touch.AlgTOUCH), len(a), len(b), &res.Stats)
+		}
+		if count {
+			fmt.Fprintf(w, "%s %d\n", names[i], res.Stats.Results)
+			continue
+		}
+		fmt.Fprintf(w, "# %s\n", names[i])
+		res.SortPairs()
+		for _, p := range res.Pairs {
+			fmt.Fprintf(w, "%d %d\n", p.A, p.B)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	closeOut()
+	return nil
+}
+
+func printStats(alg string, sizeA, sizeB int, s *touch.Stats) {
+	fmt.Fprintf(os.Stderr, "algorithm:    %s\n", alg)
+	fmt.Fprintf(os.Stderr, "|A| × |B|:    %d × %d\n", sizeA, sizeB)
+	fmt.Fprintf(os.Stderr, "results:      %d\n", s.Results)
+	fmt.Fprintf(os.Stderr, "comparisons:  %d\n", s.Comparisons)
+	fmt.Fprintf(os.Stderr, "filtered:     %d\n", s.Filtered)
+	fmt.Fprintf(os.Stderr, "memory:       %s\n", touch.FormatBytes(s.MemoryBytes))
+	fmt.Fprintf(os.Stderr, "build time:   %v\n", s.BuildTime)
+	fmt.Fprintf(os.Stderr, "assign time:  %v\n", s.AssignTime)
+	fmt.Fprintf(os.Stderr, "join time:    %v\n", s.JoinTime)
+}
+
+// algHint lists the selectable algorithm names.
+func algHint() string {
+	names := make([]string, 0, len(touch.Algorithms()))
+	for _, alg := range touch.Algorithms() {
+		names = append(names, string(alg))
+	}
+	return "valid -alg values: " + strings.Join(names, ", ")
+}
+
+// openOut returns a buffered writer on path (stdout when empty) and a
+// close function for the underlying file. Call it only once the join is
+// known to succeed: os.Create truncates an existing file.
+func openOut(path string) (*bufio.Writer, func()) {
+	if path == "" {
+		return bufio.NewWriter(os.Stdout), func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return bufio.NewWriter(f), func() {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"touch"
@@ -39,5 +42,121 @@ func TestReadFile(t *testing.T) {
 func TestReadFileMissing(t *testing.T) {
 	if _, err := readFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// writeDataset dumps a dataset to a new file under dir.
+func writeDataset(t *testing.T, dir, name string, ds touch.Dataset) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := touch.WriteDataset(f, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunProbes: the index-reuse mode must report, per probe file, the
+// same result count as an independent one-shot DistanceJoin.
+func TestRunProbes(t *testing.T) {
+	dir := t.TempDir()
+	a := touch.GenerateUniform(120, 1)
+	const eps = 25
+	var files []string
+	var want []int64
+	for seed := int64(2); seed < 5; seed++ {
+		b := touch.GenerateUniform(200, seed)
+		files = append(files, writeDataset(t, dir, fmt.Sprintf("b%d.txt", seed), b))
+		ref, err := touch.DistanceJoin(touch.AlgTOUCH, a, b, eps, &touch.Options{NoPairs: true, KeepOrder: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ref.Stats.Results)
+	}
+
+	outPath := filepath.Join(dir, "counts.txt")
+	opt := &touch.Options{NoPairs: true}
+	if err := runProbes(a, files, eps, opt, outPath, true, false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != len(files) {
+		t.Fatalf("got %d output lines, want %d", len(lines), len(files))
+	}
+	for i, line := range lines {
+		wantLine := fmt.Sprintf("%s %d", files[i], want[i])
+		if line != wantLine {
+			t.Errorf("probe %d: got %q, want %q", i, line, wantLine)
+		}
+	}
+
+	// Pair mode: blocks headed by "# file", pairs matching the count.
+	pairPath := filepath.Join(dir, "pairs.txt")
+	if err := runProbes(a, files[:1], eps, &touch.Options{}, pairPath, false, false); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(pairPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(string(raw))
+	if !strings.HasPrefix(out, "# "+files[0]) {
+		t.Fatalf("pair block must start with the probe header, got %q", out[:min(40, len(out))])
+	}
+	if got := int64(strings.Count(out, "\n")); got != want[0] {
+		t.Fatalf("pair block has %d pairs, want %d", got, want[0])
+	}
+}
+
+// TestRunProbesFailureKeepsOutFile: a failed invocation must not
+// truncate a pre-existing output file — validation runs before
+// os.Create.
+func TestRunProbesFailureKeepsOutFile(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "out.txt")
+	const precious = "precious previous results\n"
+	if err := os.WriteFile(outPath, []byte(precious), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := touch.GenerateUniform(10, 1)
+	missing := []string{filepath.Join(dir, "missing.txt")}
+	if err := runProbes(a, missing, 0, &touch.Options{}, outPath, true, false); err == nil {
+		t.Fatal("missing probe file must error")
+	}
+	if err := runProbes(a, nil, -1, &touch.Options{}, outPath, true, false); err == nil {
+		t.Fatal("negative eps must error in probes mode")
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != precious {
+		t.Fatalf("failed runs clobbered the output file: %q", raw)
+	}
+}
+
+func TestRunProbesNegativeEpsSentinel(t *testing.T) {
+	err := runProbes(touch.GenerateUniform(10, 1), nil, -1, &touch.Options{}, "", true, false)
+	if !errors.Is(err, touch.ErrNegativeDistance) {
+		t.Fatalf("want ErrNegativeDistance, got %v", err)
+	}
+}
+
+func TestAlgHintListsAllAlgorithms(t *testing.T) {
+	hint := algHint()
+	for _, alg := range touch.Algorithms() {
+		if !strings.Contains(hint, string(alg)) {
+			t.Errorf("algHint() misses %q: %s", alg, hint)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package touch
 
 import (
+	"sync"
 	"time"
 
 	"touch/internal/core"
@@ -11,19 +12,32 @@ import (
 // and joined against many probe datasets — the scenario §4.3 of the
 // paper mentions ("should one of the datasets already be indexed with a
 // hierarchical index ... the tree building phase can be skipped").
+//
+// The tree is immutable after BuildIndex; everything a single join
+// writes lives in a per-query probe object drawn from an internal
+// sync.Pool. Join and DistanceJoin are therefore safe for arbitrary
+// concurrent callers on one shared Index, and steady-state serving
+// recycles all probe state, allocating near zero per query.
 type Index struct {
-	tree *core.Tree
-	lenA int
+	tree   *core.Tree
+	lenA   int
+	probes sync.Pool // *core.Probe
 }
 
 // BuildIndex constructs the TOUCH tree on the dataset with the given
 // configuration (zero value = paper defaults: 1024 partitions, fanout 2).
+// cfg.Workers sets the default per-query parallelism; Options.Workers
+// overrides it per call.
 func BuildIndex(a Dataset, cfg TOUCHConfig) *Index {
-	return &Index{tree: core.Build(a, cfg), lenA: len(a)}
+	ix := &Index{tree: core.Build(a, cfg), lenA: len(a)}
+	ix.probes.New = func() any { return ix.tree.NewProbe() }
+	return ix
 }
 
 // Join runs TOUCH's assignment and join phases against b, reusing the
 // prebuilt tree. Result pairs are in (index dataset, b) orientation.
+// Safe to call concurrently on a shared Index: each call checks a
+// private probe out of the pool and the tree is never written.
 func (ix *Index) Join(b Dataset, opt *Options) *Result {
 	o := opt.normalized()
 	res := &Result{}
@@ -39,28 +53,34 @@ func (ix *Index) Join(b Dataset, opt *Options) *Result {
 		defer func() { res.Pairs = collect.Pairs }()
 	}
 
-	// Honor the per-call Options.Workers like SpatialJoin does, without
-	// permanently overriding the worker count chosen at BuildIndex time.
-	if o.Workers > 1 && ix.tree.Workers() <= 1 {
-		prev := ix.tree.Workers()
-		ix.tree.SetWorkers(o.Workers)
-		defer ix.tree.SetWorkers(prev)
+	p := ix.probes.Get().(*core.Probe)
+	defer ix.probes.Put(p)
+	// A recycled probe keeps its previous worker count; pin it to the
+	// build-time default unless the call overrides it.
+	if o.Workers > 1 {
+		p.SetWorkers(o.Workers)
+	} else {
+		p.SetWorkers(ix.tree.Workers())
 	}
 
-	ix.tree.ResetAssignments()
 	c := &res.Stats
 	start := time.Now()
-	ix.tree.Assign(b, c)
+	p.Assign(b, c)
 	c.AssignTime += time.Since(start)
 	start = time.Now()
-	ix.tree.JoinPhase(c, sink)
+	p.JoinPhase(c, sink)
 	c.JoinTime += time.Since(start)
+	c.MemoryBytes += ix.tree.StaticBytes() + p.MemoryBytes()
 	return res
 }
 
 // DistanceJoin is Join with the probe dataset's boxes enlarged by eps —
 // note that for a reusable index the expansion must be applied to the
-// probe side, unlike the one-shot DistanceJoin which expands A.
-func (ix *Index) DistanceJoin(b Dataset, eps float64, opt *Options) *Result {
-	return ix.Join(b.Expand(eps), opt)
+// probe side, unlike the one-shot DistanceJoin which expands A. Like the
+// one-shot DistanceJoin, a negative eps is rejected.
+func (ix *Index) DistanceJoin(b Dataset, eps float64, opt *Options) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	return ix.Join(b.Expand(eps), opt), nil
 }

@@ -50,7 +50,6 @@ type joinScratch struct {
 	keys    []int64     // sparse path: distinct occupied cell keys
 	offs    []int32     // sparse path: run offsets into ids, len(keys)+1
 	aObjs   []geom.Object
-	bObjs   []geom.Object
 
 	peakBytes int64 // largest analytic grid footprint seen (merged into Tree.peakGridBytes)
 }

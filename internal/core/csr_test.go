@@ -14,8 +14,7 @@ import (
 // hashed into a map[int64][]int32 — kept here as the reference the CSR
 // grid must not diverge from: identical Comparisons, Replicas, occupied
 // cell count and result set per node.
-func (t *Tree) mapGridJoin(n *Node, postDedup bool, c *stats.Counters, sink stats.Sink) int64 {
-	bs := n.BEntities
+func (t *Tree) mapGridJoin(n *Node, bs []geom.Object, postDedup bool, c *stats.Counters, sink stats.Sink) int64 {
 	g := t.localGrid(n, bs)
 	cells := make(map[int64][]int32)
 	for i := range bs {
@@ -55,16 +54,17 @@ func (t *Tree) mapGridJoin(n *Node, postDedup bool, c *stats.Counters, sink stat
 	return int64(len(cells))
 }
 
-// runMapReference executes build + assign + map-grid join, returning
-// counters, sorted pairs and the total occupied-cell count.
+// runMapReference executes build + probe assign + map-grid join,
+// returning counters, sorted pairs and the total occupied-cell count.
 func runMapReference(a, b geom.Dataset, cfg Config, postDedup bool) (stats.Counters, []geom.Pair, int64) {
 	var c stats.Counters
 	sink := &stats.CollectSink{}
 	t := Build(a, cfg)
-	t.Assign(b, &c)
+	p := t.NewProbe()
+	p.Assign(b, &c)
 	occupied := int64(0)
-	for _, n := range t.activeNodes() {
-		occupied += t.mapGridJoin(n, postDedup, &c, sink)
+	for _, id := range p.active {
+		occupied += t.mapGridJoin(t.nodes[id], p.nodeB(id), postDedup, &c, sink)
 	}
 	return c, sortedPairs(sink.Pairs), occupied
 }
@@ -108,11 +108,13 @@ func TestCSRMatchesMapGrid(t *testing.T) {
 			var c stats.Counters
 			sink := &stats.CollectSink{}
 			tr := Build(tc.a, cfg)
-			tr.Assign(tc.b, &c)
+			p := tr.NewProbe()
+			p.Assign(tc.b, &c)
 			ws := &joinScratch{}
 			occupied := int64(0)
-			for _, n := range tr.activeNodes() {
-				bs := n.BEntities
+			for _, id := range p.active {
+				n := tr.nodes[id]
+				bs := p.nodeB(id)
 				g := tr.localGrid(n, bs)
 				csr := ws.buildCSR(g, bs)
 				occupied += csr.occupied

@@ -53,15 +53,16 @@ func (k LocalJoinKind) String() string {
 }
 
 // localJoin dispatches one node's local join according to the
-// configuration. ws is the calling worker's scratch arena.
-func (t *Tree) localJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
+// configuration. bs is the probe's B segment for the node and ws the
+// calling worker's scratch arena; the tree itself is only read.
+func (t *Tree) localJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	switch t.cfg.LocalJoin {
 	case LocalJoinGrid, LocalJoinGridPostDedup:
-		t.gridJoin(n, c, sink, ws)
+		t.gridJoin(n, bs, c, sink, ws)
 	case LocalJoinSweep:
-		t.sweepJoin(n, c, sink, ws)
+		t.sweepJoin(n, bs, c, sink, ws)
 	case LocalJoinNested:
-		t.nestedJoin(n, c, sink)
+		t.nestedJoin(n, bs, c, sink)
 	default:
 		panic("core: unknown local join kind")
 	}
@@ -73,8 +74,7 @@ func (t *Tree) localJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinSc
 // cells it overlaps. Depending on the configuration, duplicate
 // candidates are skipped before the test (canonical-cell rule) or
 // discarded after it (reference-point method).
-func (t *Tree) gridJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
-	bs := n.BEntities
+func (t *Tree) gridJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	g := t.localGrid(n, bs)
 
 	csr := ws.buildCSR(g, bs)
@@ -158,14 +158,13 @@ func (t *Tree) localGrid(n *Node, bs []geom.Object) *grid.Grid {
 
 // sweepJoin plane-sweeps the subtree's A objects against the node's B
 // objects. The A objects are copied into worker scratch before sorting
-// (the arena must stay in leaf order); BEntities are private to the node
-// and freshly assigned, so they are sorted in place.
-func (t *Tree) sweepJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
+// (the arena must stay in leaf order); the B segment is private to the
+// probe and rewritten by its next Assign, so it is sorted in place.
+func (t *Tree) sweepJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	byXMin := func(a, b geom.Object) int { return cmp.Compare(a.Box.Min[0], b.Box.Min[0]) }
 	as := append(ws.aObjs[:0], t.subtreeA(n)...)
 	ws.aObjs = as
 	slices.SortFunc(as, byXMin)
-	bs := n.BEntities
 	slices.SortFunc(bs, byXMin)
 	if bytes := int64(len(as)+len(bs)) * stats.BytesPerObject; bytes > ws.peakBytes {
 		ws.peakBytes = bytes
@@ -177,8 +176,7 @@ func (t *Tree) sweepJoin(n *Node, c *stats.Counters, sink stats.Sink, ws *joinSc
 }
 
 // nestedJoin is the unpartitioned local join: all pairs.
-func (t *Tree) nestedJoin(n *Node, c *stats.Counters, sink stats.Sink) {
-	bs := n.BEntities
+func (t *Tree) nestedJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink) {
 	as := t.subtreeA(n)
 	for ai := range as {
 		a := &as[ai]

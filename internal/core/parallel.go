@@ -19,18 +19,18 @@ const (
 	sinkBatchSize = 1024
 )
 
-// assignParallel shards B across Config.Workers goroutines. Workers only
-// read the tree and record each object's destination node in a per-index
-// slot, so no synchronization is needed beyond the final merge; the
-// merge appends in input order, making per-node BEntities bit-identical
-// to the sequential assignment.
-func (t *Tree) assignParallel(b geom.Dataset, c *stats.Counters) {
-	workers := t.cfg.Workers
+// assignParallel shards B across the probe's workers. Workers only read
+// the shared tree and record each object's destination node id in its
+// per-index dest slot, so no synchronization is needed beyond the final
+// counting-sort merge (Probe.merge), which runs in input order and makes
+// every node's B segment bit-identical to the sequential assignment.
+func (p *Probe) assignParallel(b geom.Dataset, dest []int32, c *stats.Counters) {
+	t := p.tree
+	workers := p.workers
 	if max := (len(b) + minParallelAssign - 1) / minParallelAssign; workers > max {
 		workers = max
 	}
-	dest := make([]*Node, len(b))
-	counters := make([]stats.Counters, workers)
+	counters := p.counterSlice(workers)
 	chunk := (len(b) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -45,8 +45,9 @@ func (t *Tree) assignParallel(b geom.Dataset, c *stats.Counters) {
 			local := &counters[w]
 			for i := lo; i < hi; i++ {
 				if n := t.AssignOne(b[i], local); n != nil {
-					dest[i] = n
+					dest[i] = n.id
 				} else {
+					dest[i] = -1
 					local.Filtered++
 				}
 			}
@@ -56,81 +57,70 @@ func (t *Tree) assignParallel(b geom.Dataset, c *stats.Counters) {
 	for w := range counters {
 		c.Add(counters[w])
 	}
-	// Merge: count per node first so every BEntities slice is allocated
-	// exactly once at its final size, then append in input order.
-	for _, n := range dest {
-		if n != nil {
-			n.bCount++
-		}
-	}
-	for i, n := range dest {
-		if n == nil {
-			continue
-		}
-		if n.BEntities == nil {
-			n.BEntities = make([]geom.Object, 0, n.bCount)
-			n.bCount = 0
-		}
-		n.BEntities = append(n.BEntities, b[i])
-	}
 }
 
-// joinParallel runs the join phase across Config.Workers goroutines in
-// two stages. Nodes whose estimated cost is a large share of the total —
+// joinParallel runs the join phase across the probe's workers in two
+// stages. Nodes whose estimated cost is a large share of the total —
 // the root-most nodes can hold orders of magnitude more work than a
 // leaf, and a node is otherwise indivisible — are processed one at a
 // time with all workers cooperating: the CSR grid is built once and the
 // node's A objects are probed in parallel chunks. The remaining nodes
 // are dispatched whole to a worker pool, most expensive first. Each
 // worker owns a stats.Counters and a joinScratch (grid buffers are
-// reused across nodes) and batches emitted pairs, taking the shared
-// sink's mutex once per batch instead of once per pair.
-func (t *Tree) joinParallel(active []*Node, c *stats.Counters, sink stats.Sink) {
-	// Not clamped to len(active): the stage-1 chunked probe wants every
-	// worker even when a single giant node is all there is; stage-2 pool
-	// workers beyond the node count exit immediately.
-	workers := t.cfg.Workers
+// reused across nodes and across joins) and batches emitted pairs,
+// taking the shared sink's mutex once per batch instead of once per
+// pair. The tree is only read; everything written lives in the probe,
+// the counters and the sink.
+func (p *Probe) joinParallel(c *stats.Counters, sink stats.Sink) {
+	t := p.tree
+	// Not clamped to the active-node count: the stage-1 chunked probe
+	// wants every worker even when a single giant node is all there is;
+	// stage-2 pool workers beyond the node count exit immediately.
+	workers := p.workers
 	gridKind := t.cfg.LocalJoin == LocalJoinGrid || t.cfg.LocalJoin == LocalJoinGridPostDedup
 
 	total := int64(0)
-	for _, n := range active {
-		total += joinCost(n)
+	for _, id := range p.active {
+		total += p.joinCost(id)
 	}
 	// A node is "big" when dispatching it whole would leave one worker
 	// with a disproportionate share of the phase. Only the grid local
 	// joins have a divisible probe side; the sweep and nested ablation
 	// modes always run at node granularity.
 	bigCut := total/int64(2*workers) + 1
-	var big, small []*Node
-	for _, n := range active {
-		if gridKind && joinCost(n) >= bigCut && n.aCount() >= 4*workers {
-			big = append(big, n)
+	p.big, p.small = p.big[:0], p.small[:0]
+	for _, id := range p.active {
+		if gridKind && p.joinCost(id) >= bigCut && t.nodes[id].aCount() >= 4*workers {
+			p.big = append(p.big, id)
 		} else {
-			small = append(small, n)
+			p.small = append(p.small, id)
 		}
 	}
-	slices.SortStableFunc(small, func(x, y *Node) int {
-		return cmp.Compare(joinCost(y), joinCost(x))
+	small := p.small
+	slices.SortStableFunc(small, func(x, y int32) int {
+		return cmp.Compare(p.joinCost(y), p.joinCost(x))
 	})
 
 	locked := stats.NewLockedSink(sink)
-	counters := make([]stats.Counters, workers)
-	scratches := make([]*joinScratch, workers)
+	counters := p.counterSlice(workers)
 	batches := make([]*stats.BatchSink, workers)
-	for w := range scratches {
-		scratches[w] = &joinScratch{}
+	for w := 0; w < workers; w++ {
+		ws := p.scratch(w)
+		ws.peakBytes = 0
 		batches[w] = locked.NewBatch(sinkBatchSize)
 	}
 
 	// Stage 1: big nodes, all workers probing chunks of one node's
 	// subtree range at a time.
-	for _, n := range big {
-		bs := n.BEntities
+	for _, id := range p.big {
+		n := t.nodes[id]
+		bs := p.nodeB(id)
 		g := t.localGrid(n, bs)
-		csr := scratches[0].buildCSR(g, bs)
+		ws0 := p.scratches[0]
+		csr := ws0.buildCSR(g, bs)
 		c.Replicas += csr.replicas
-		if gridBytes := csr.occupied*stats.BytesPerCell + csr.replicas*stats.BytesPerRef; gridBytes > scratches[0].peakBytes {
-			scratches[0].peakBytes = gridBytes
+		if gridBytes := csr.occupied*stats.BytesPerCell + csr.replicas*stats.BytesPerRef; gridBytes > ws0.peakBytes {
+			ws0.peakBytes = gridBytes
 		}
 		as := t.subtreeA(n)
 		chunk := (len(as) + workers - 1) / workers
@@ -162,7 +152,8 @@ func (t *Tree) joinParallel(active []*Node, c *stats.Counters, sink stats.Sink) 
 				if i >= len(small) {
 					break
 				}
-				t.localJoin(small[i], &counters[w], batches[w], scratches[w])
+				id := small[i]
+				t.localJoin(t.nodes[id], p.nodeB(id), &counters[w], batches[w], p.scratches[w])
 			}
 			batches[w].Flush()
 		}(w)
@@ -172,13 +163,9 @@ func (t *Tree) joinParallel(active []*Node, c *stats.Counters, sink stats.Sink) 
 	for w := range counters {
 		c.Add(counters[w])
 	}
-	for _, ws := range scratches {
-		if ws.peakBytes > t.peakGridBytes {
-			t.peakGridBytes = ws.peakBytes
+	for _, ws := range p.scratches[:workers] {
+		if ws.peakBytes > p.peakGridBytes {
+			p.peakGridBytes = ws.peakBytes
 		}
 	}
-}
-
-func joinCost(n *Node) int64 {
-	return int64(len(n.BEntities)) * int64(n.aCount())
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"slices"
+	"sync"
 	"testing"
 
 	"touch/internal/datagen"
@@ -63,57 +65,118 @@ func TestWorkersEquivalence(t *testing.T) {
 }
 
 // TestParallelAssignMatchesSequential: the sharded assignment must leave
-// every node's BEntities bit-identical (same objects, same order) to the
-// sequential assignment.
+// the probe's CSR bit-identical (same per-node segments, same order) to
+// the sequential assignment.
 func TestParallelAssignMatchesSequential(t *testing.T) {
 	a := datagen.GaussianSet(800, 411).Expand(5)
 	b := datagen.GaussianSet(5000, 412)
 
-	seq := Build(a, Config{})
+	tr := Build(a, Config{})
+	seq := tr.NewProbe()
 	var cs stats.Counters
 	seq.Assign(b, &cs)
 
-	par := Build(a, Config{Workers: 4})
+	par := tr.NewProbe()
+	par.SetWorkers(4)
 	var cp stats.Counters
 	par.Assign(b, &cp)
 
 	if cs.NodeTests != cp.NodeTests || cs.Filtered != cp.Filtered {
 		t.Fatalf("assignment counters diverge: %+v vs %+v", cs, cp)
 	}
-	var walkSeq, walkPar func(n *Node) [][]geom.Object
-	collect := func(n *Node, walk func(*Node) [][]geom.Object) [][]geom.Object {
-		out := [][]geom.Object{n.BEntities}
-		for _, ch := range n.Children {
-			out = append(out, walk(ch)...)
-		}
-		return out
+	if !slices.Equal(seq.active, par.active) {
+		t.Fatalf("active node ids differ:\nseq %v\npar %v", seq.active, par.active)
 	}
-	walkSeq = func(n *Node) [][]geom.Object { return collect(n, walkSeq) }
-	walkPar = func(n *Node) [][]geom.Object { return collect(n, walkPar) }
-	bs, bp := walkSeq(seq.Root), walkPar(par.Root)
-	if len(bs) != len(bp) {
-		t.Fatalf("tree shapes differ: %d vs %d nodes", len(bs), len(bp))
+	if !slices.Equal(seq.nodeOff, par.nodeOff) {
+		t.Fatal("per-node CSR offsets differ")
 	}
-	for i := range bs {
-		if !slices.EqualFunc(bs[i], bp[i], func(x, y geom.Object) bool { return x == y }) {
-			t.Fatalf("node %d: BEntities differ:\nseq %v\npar %v", i, bs[i], bp[i])
-		}
+	if !slices.EqualFunc(seq.bObjs, par.bObjs, func(x, y geom.Object) bool { return x == y }) {
+		t.Fatal("assigned B objects differ in content or order")
 	}
 }
 
-// TestParallelReuseAcrossProbes: a tree built with workers must stay
-// reusable (ResetAssignments + new probe set), like the sequential one.
+// TestParallelReuseAcrossProbes: a parallel probe must stay reusable
+// across probe datasets with no reset step — each Assign overwrites the
+// previous query's state.
 func TestParallelReuseAcrossProbes(t *testing.T) {
 	a := datagen.UniformSet(400, 421).Expand(6)
 	tr := Build(a, Config{Workers: 4})
+	p := tr.NewProbe()
 	for seed := int64(430); seed < 433; seed++ {
 		b := datagen.UniformSet(3000, seed)
-		tr.ResetAssignments()
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		tr.Assign(b, &c)
-		tr.JoinPhase(&c, sink)
+		p.Assign(b, &c)
+		p.JoinPhase(&c, sink)
 		verifyLemmas(t, "reuse", sink.Pairs, oracle(a, b))
+	}
+}
+
+// TestConcurrentProbesOneTree: many goroutines, each with a private
+// probe over one shared immutable tree, must independently reproduce the
+// sequential pair sets and counters (run under -race).
+func TestConcurrentProbesOneTree(t *testing.T) {
+	a := datagen.ClusteredSet(600, 461).Expand(6)
+	tr := Build(a, Config{})
+
+	const goroutines = 8
+	const probesPer = 3
+	type want struct {
+		pairs []geom.Pair
+		c     stats.Counters
+	}
+	// Sequential reference for every (goroutine, probe) dataset.
+	refs := make([][]want, goroutines)
+	datasets := make([][]geom.Dataset, goroutines)
+	for g := 0; g < goroutines; g++ {
+		refs[g] = make([]want, probesPer)
+		datasets[g] = make([]geom.Dataset, probesPer)
+		for m := 0; m < probesPer; m++ {
+			b := datagen.UniformSet(1200, int64(470+g*probesPer+m))
+			datasets[g][m] = b
+			p := tr.NewProbe()
+			var c stats.Counters
+			sink := &stats.CollectSink{}
+			p.Assign(b, &c)
+			p.JoinPhase(&c, sink)
+			refs[g][m] = want{pairs: sortedPairs(sink.Pairs), c: c}
+		}
+	}
+
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := tr.NewProbe()
+			if g%2 == 1 {
+				p.SetWorkers(2) // mixed parallelism across concurrent probes
+			}
+			for m := 0; m < probesPer; m++ {
+				var c stats.Counters
+				sink := &stats.CollectSink{}
+				p.Assign(datasets[g][m], &c)
+				p.JoinPhase(&c, sink)
+				ref := refs[g][m]
+				if !slices.Equal(sortedPairs(sink.Pairs), ref.pairs) {
+					errs <- fmt.Errorf("goroutine %d probe %d: pair set differs", g, m)
+					return
+				}
+				if c.Comparisons != ref.c.Comparisons || c.NodeTests != ref.c.NodeTests ||
+					c.Filtered != ref.c.Filtered || c.Replicas != ref.c.Replicas ||
+					c.Results != ref.c.Results {
+					errs <- fmt.Errorf("goroutine %d probe %d: counters diverge: %+v vs %+v",
+						g, m, c, ref.c)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"touch/internal/geom"
+	"touch/internal/stats"
+)
+
+// Probe is the per-query state of one join against a shared, immutable
+// Tree: the B assignments, the worker count, the local-join scratch and
+// the transient memory high-water marks. A Probe must not be shared by
+// concurrent joins — give every goroutine its own (they are cheap, and
+// all buffers recycle) — but a single Probe is freely reusable across
+// sequential joins: each Assign fully overwrites the previous query's
+// state, no reset step needed.
+//
+// The B assignments are a flat CSR over the tree's dense node ids: all
+// assigned B objects live in one contiguous slice grouped by node, with
+// per-node end offsets, replacing the per-node slices the tree itself
+// used to carry.
+type Probe struct {
+	tree    *Tree
+	workers int
+
+	// bObjs holds the assigned B objects grouped by node id (the CSR
+	// value array); nodeOff[id] is the end offset of node id's segment
+	// (its start is nodeOff[id-1], 0 for id 0). active lists the ids
+	// with a non-empty segment in ascending order — DFS pre-order, the
+	// sequential processing order.
+	bObjs   []geom.Object
+	nodeOff []int32
+	active  []int32
+
+	// Reused scratch: per-B-object destination ids for the assignment
+	// merge, per-worker counters, big/small node-id partitions of the
+	// parallel join, and per-worker local-join buffer arenas.
+	dest      []int32
+	counters  []stats.Counters
+	big       []int32
+	small     []int32
+	scratches []*joinScratch
+
+	peakGridBytes int64 // largest transient local-join grid of the last join
+}
+
+// NewProbe returns a fresh probe for joining against the tree, with the
+// tree's default worker count.
+func (t *Tree) NewProbe() *Probe {
+	return &Probe{tree: t, workers: t.cfg.Workers}
+}
+
+// Tree returns the shared tree the probe joins against.
+func (p *Probe) Tree() *Tree { return p.tree }
+
+// Workers returns the probe's worker count.
+func (p *Probe) Workers() int { return p.workers }
+
+// SetWorkers sets the number of goroutines Assign and JoinPhase use (0
+// or 1 = single-threaded). Per-probe: concurrent joins on one tree may
+// each pick their own parallelism.
+func (p *Probe) SetWorkers(n int) { p.workers = n }
+
+// nodeB returns node id's segment of assigned B objects. The segment is
+// probe-private and rewritten by the next Assign, so local joins may
+// reorder it in place.
+func (p *Probe) nodeB(id int32) []geom.Object {
+	start := int32(0)
+	if id > 0 {
+		start = p.nodeOff[id-1]
+	}
+	end := p.nodeOff[id]
+	return p.bObjs[start:end:end]
+}
+
+// Assigned returns the number of B objects the last Assign placed in the
+// tree (the probe dataset size minus the filtered objects).
+func (p *Probe) Assigned() int { return len(p.bObjs) }
+
+// MemoryBytes is the analytic footprint of the probe's last join: the
+// assigned B references plus the peak transient local-join grid. Valid
+// after JoinPhase; together with Tree.StaticBytes it reproduces the
+// paper's TOUCH memory accounting (§6.4).
+func (p *Probe) MemoryBytes() int64 {
+	return int64(len(p.bObjs))*stats.BytesPerRef + p.peakGridBytes
+}
+
+// Assign runs the assignment phase for all of dataset B, overwriting any
+// previous assignment held by the probe. With more than one worker the
+// dataset is sharded across goroutines; the per-node B order is
+// identical to the sequential assignment (input order) either way.
+func (p *Probe) Assign(b geom.Dataset, c *stats.Counters) {
+	t := p.tree
+	if cap(p.dest) < len(b) {
+		p.dest = make([]int32, len(b))
+	}
+	dest := p.dest[:len(b)]
+	if p.workers > 1 && len(b) >= minParallelAssign {
+		p.assignParallel(b, dest, c)
+	} else {
+		for i := range b {
+			if n := t.AssignOne(b[i], c); n != nil {
+				dest[i] = n.id
+			} else {
+				dest[i] = -1
+				c.Filtered++
+			}
+		}
+	}
+	p.merge(b, dest)
+}
+
+// merge builds the CSR from the per-object destinations: a counting sort
+// by node id whose scatter runs in input order, making every node
+// segment bit-identical to a sequential append.
+func (p *Probe) merge(b geom.Dataset, dest []int32) {
+	t := p.tree
+	if cap(p.nodeOff) < t.Nodes {
+		p.nodeOff = make([]int32, t.Nodes)
+	}
+	off := p.nodeOff[:t.Nodes]
+	p.nodeOff = off
+	clear(off)
+	assigned := 0
+	for _, id := range dest {
+		if id >= 0 {
+			off[id]++
+			assigned++
+		}
+	}
+	p.active = p.active[:0]
+	total := int32(0)
+	for id := range off {
+		cnt := off[id]
+		if cnt > 0 {
+			p.active = append(p.active, int32(id))
+		}
+		off[id] = total
+		total += cnt
+	}
+	if cap(p.bObjs) < assigned {
+		p.bObjs = make([]geom.Object, assigned)
+	}
+	p.bObjs = p.bObjs[:assigned]
+	for i, id := range dest {
+		if id < 0 {
+			continue
+		}
+		p.bObjs[off[id]] = b[i]
+		off[id]++
+	}
+	// After the scatter, off[id] is the end offset of node id's segment
+	// — exactly the CSR form nodeB reads.
+}
+
+// JoinPhase runs the third phase: every node holding B objects is joined
+// with the A objects of its descendant leaves via the tree's configured
+// local join, across the probe's workers when > 1.
+func (p *Probe) JoinPhase(c *stats.Counters, sink stats.Sink) {
+	p.peakGridBytes = 0
+	if len(p.active) == 0 {
+		return
+	}
+	if p.workers > 1 {
+		p.joinParallel(c, sink)
+		return
+	}
+	t := p.tree
+	ws := p.scratch(0)
+	ws.peakBytes = 0
+	for _, id := range p.active {
+		t.localJoin(t.nodes[id], p.nodeB(id), c, sink, ws)
+	}
+	p.peakGridBytes = ws.peakBytes
+}
+
+// joinCost estimates node id's local-join work for this probe.
+func (p *Probe) joinCost(id int32) int64 {
+	return int64(len(p.nodeB(id))) * int64(p.tree.nodes[id].aCount())
+}
+
+// scratch returns worker w's reusable buffer arena, growing the pool on
+// first use of a new worker slot.
+func (p *Probe) scratch(w int) *joinScratch {
+	for len(p.scratches) <= w {
+		p.scratches = append(p.scratches, &joinScratch{})
+	}
+	return p.scratches[w]
+}
+
+// counterSlice returns n zeroed per-worker counters from reusable
+// storage.
+func (p *Probe) counterSlice(n int) []stats.Counters {
+	if cap(p.counters) < n {
+		p.counters = make([]stats.Counters, n)
+	}
+	s := p.counters[:n]
+	for i := range s {
+		s[i] = stats.Counters{}
+	}
+	return s
+}

@@ -17,6 +17,20 @@
 // Lemma 3: no duplicate results before the local join), and unlike S3 the
 // partitioning follows the data, not space.
 //
+// # Shared vs. per-query state
+//
+// The three phases split across two types. Tree is the build artifact:
+// topology, node MBRs, the A arena and the per-node [aStart, aEnd)
+// ranges. After Build returns, nothing ever mutates a Tree — every
+// method on it is read-only — so one Tree can serve any number of
+// concurrent joins. Probe owns everything a single join writes: the B
+// assignments (a flat CSR over the dense node ids), the worker count,
+// the local-join scratch buffers and the transient memory high-water
+// marks. Each concurrent join needs its own Probe (and its own
+// stats.Counters and Sink); a Probe is reusable across sequential joins
+// and recycles all of its buffers, so steady-state serving allocates
+// near zero.
+//
 // # Flat layout invariant
 //
 // After Build, all A objects live in one contiguous arena slice ordered
@@ -25,10 +39,14 @@
 // joins read their A objects as a zero-copy slice view instead of
 // re-walking the subtree. Leaf Entries slices alias the arena; nothing
 // may reorder the arena after Build (local joins that need a different
-// order, e.g. the plane-sweep, must copy first).
+// order, e.g. the plane-sweep, must copy first — B objects live in the
+// probe's private CSR and may be reordered freely). The same walk stamps
+// every node's dense id in DFS pre-order, so ascending node ids are the
+// sequential processing order and a Probe can address per-node B
+// segments by id without touching the shared nodes.
 //
-// Both the assignment and join phases run in parallel when
-// Config.Workers > 1; results and counters are identical to the
+// Both the assignment and join phases run in parallel when the probe's
+// worker count is > 1; results and counters are identical to the
 // single-threaded execution (the emission order of pairs may differ).
 package core
 
@@ -72,9 +90,10 @@ type Config struct {
 	// the zero value is the grid with pre-test deduplication. See
 	// LocalJoinKind for the ablation alternatives.
 	LocalJoin LocalJoinKind
-	// Workers is the number of goroutines the assignment and join phases
-	// use internally (0 or 1 = single-threaded, the paper's setting).
-	// Unlike the slab driver in internal/parallel, intra-TOUCH
+	// Workers is the default number of goroutines the assignment and
+	// join phases of a probe use (0 or 1 = single-threaded, the paper's
+	// setting). It seeds Probe.SetWorkers; each probe may override it
+	// per query. Unlike the slab driver in internal/parallel, intra-TOUCH
 	// parallelism needs no object replication or boundary-ownership
 	// filtering: B is sharded across workers for assignment and tree
 	// nodes are dispatched to a worker pool for the join.
@@ -100,20 +119,21 @@ func (c *Config) fillDefaults() {
 }
 
 // Node is one node of the TOUCH partitioning tree. Leaves reference
-// objects of dataset A (Entries); any node may additionally accumulate
-// objects of dataset B (BEntities) during the assignment phase.
+// objects of dataset A (Entries). Nodes are immutable after Build; the
+// B objects a join assigns to a node live in that join's Probe, keyed
+// by the node's dense id.
 type Node struct {
-	MBR       geom.Box
-	Children  []*Node
-	Entries   []geom.Object // A objects; leaves only, aliasing the tree arena
-	BEntities []geom.Object // B objects assigned to this node
+	MBR      geom.Box
+	Children []*Node
+	Entries  []geom.Object // A objects; leaves only, aliasing the tree arena
 
 	// [aStart, aEnd) is the subtree's range in the tree arena (see the
 	// flat layout invariant in the package comment).
 	aStart, aEnd int32
 
-	// bCount is transient scratch for the parallel assignment merge.
-	bCount int32
+	// id is the node's dense index in Tree.nodes, stamped in DFS
+	// pre-order; probes use it to address per-node B segments.
+	id int32
 
 	// extSumA is the subtree's summed mean box extent, maintained at
 	// build time together with the arena range to size the local-join
@@ -127,7 +147,9 @@ func (n *Node) Leaf() bool { return len(n.Children) == 0 }
 // aCount returns the number of A objects below the node.
 func (n *Node) aCount() int { return int(n.aEnd - n.aStart) }
 
-// Tree is the hierarchical data-oriented partitioning built on dataset A.
+// Tree is the hierarchical data-oriented partitioning built on dataset
+// A. It is immutable after Build: every method is read-only, so a single
+// Tree safely serves concurrent probes.
 type Tree struct {
 	Root   *Node
 	Height int // levels, 1 = single leaf
@@ -136,20 +158,17 @@ type Tree struct {
 	SizeA  int // objects indexed
 	cfg    Config
 
+	// nodes indexes every node by its dense id, in DFS pre-order.
+	nodes []*Node
+
 	// arena holds all A objects contiguously, ordered leaf by leaf in
 	// DFS order; node [aStart, aEnd) ranges index into it.
 	arena []geom.Object
-
-	peakGridBytes int64 // largest transient local-join grid seen
 }
 
-// Workers returns the configured worker count of the assignment and
-// join phases.
+// Workers returns the tree's default worker count, the one probes start
+// with (Probe.SetWorkers overrides it per query).
 func (t *Tree) Workers() int { return t.cfg.Workers }
-
-// SetWorkers changes the number of goroutines Assign and JoinPhase use
-// (0 or 1 = single-threaded). Safe between joins, not during one.
-func (t *Tree) SetWorkers(n int) { t.cfg.Workers = n }
 
 // subtreeA returns the A objects of the node's descendant leaves as a
 // zero-copy view into the arena.
@@ -165,6 +184,7 @@ func Build(a geom.Dataset, cfg Config) *Tree {
 	if len(a) == 0 {
 		t.Root = &Node{MBR: geom.EmptyBox()}
 		t.Height, t.Nodes, t.Leaves = 1, 1, 1
+		t.nodes = []*Node{t.Root}
 		return t
 	}
 	bucketSize := str.GroupSizeFor(len(a), cfg.Partitions)
@@ -206,11 +226,16 @@ func Build(a geom.Dataset, cfg Config) *Tree {
 
 // linearize concatenates the leaf buckets into the arena in DFS order
 // and stamps every node's [aStart, aEnd) range, establishing the flat
-// layout invariant. Leaf Entries are re-pointed at their arena segment.
+// layout invariant. The same walk assigns dense node ids in DFS
+// pre-order and fills the id → node table. Leaf Entries are re-pointed
+// at their arena segment.
 func (t *Tree) linearize(a geom.Dataset) {
 	t.arena = make([]geom.Object, 0, len(a))
+	t.nodes = make([]*Node, 0, t.Nodes)
 	var walk func(n *Node)
 	walk = func(n *Node) {
+		n.id = int32(len(t.nodes))
+		t.nodes = append(t.nodes, n)
 		n.aStart = int32(len(t.arena))
 		if n.Leaf() {
 			t.arena = append(t.arena, n.Entries...)
@@ -260,106 +285,30 @@ func (t *Tree) AssignOne(o geom.Object, c *stats.Counters) *Node {
 	return p
 }
 
-// ResetAssignments clears every node's BEntities so the tree can be
-// joined against another probe dataset (build once, join many).
-func (t *Tree) ResetAssignments() {
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		n.BEntities = nil
-		for _, ch := range n.Children {
-			walk(ch)
-		}
-	}
-	walk(t.Root)
+// StaticBytes is the analytic footprint of the immutable build artifact:
+// the tree structure plus the A references in the buckets ("the buckets
+// constructed based on dataset A in addition to the tree", §6.4). The
+// per-query side — assigned B references and the transient local-join
+// grid — is accounted by Probe.MemoryBytes.
+func (t *Tree) StaticBytes() int64 {
+	return int64(t.Nodes)*stats.BytesPerNode + int64(t.SizeA)*stats.BytesPerRef
 }
 
-// Assign runs the assignment phase for all of dataset B, storing each
-// object in its node's BEntities and counting filtered objects. With
-// Config.Workers > 1 the dataset is sharded across goroutines; the
-// resulting per-node BEntities order is identical to the sequential
-// assignment (input order).
-func (t *Tree) Assign(b geom.Dataset, c *stats.Counters) {
-	if t.cfg.Workers > 1 && len(b) >= minParallelAssign {
-		t.assignParallel(b, c)
-		return
-	}
-	for _, o := range b {
-		if n := t.AssignOne(o, c); n != nil {
-			n.BEntities = append(n.BEntities, o)
-		} else {
-			c.Filtered++
-		}
-	}
-}
-
-// JoinPhase runs the third phase: every node holding B objects is joined
-// with the A objects of its descendant leaves via the configured local
-// join, across Config.Workers goroutines when > 1.
-func (t *Tree) JoinPhase(c *stats.Counters, sink stats.Sink) {
-	active := t.activeNodes()
-	if t.cfg.Workers > 1 && len(active) > 0 {
-		t.joinParallel(active, c, sink)
-		return
-	}
-	ws := &joinScratch{}
-	for _, n := range active {
-		t.localJoin(n, c, sink, ws)
-	}
-	if ws.peakBytes > t.peakGridBytes {
-		t.peakGridBytes = ws.peakBytes
-	}
-}
-
-// activeNodes returns the nodes holding B objects, in DFS order (the
-// order the sequential join processes them).
-func (t *Tree) activeNodes() []*Node {
-	var active []*Node
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		if len(n.BEntities) > 0 {
-			active = append(active, n)
-		}
-		for _, ch := range n.Children {
-			walk(ch)
-		}
-	}
-	walk(t.Root)
-	return active
-}
-
-// staticBytes is the analytic footprint of the tree structure, the A
-// references in the buckets and the assigned B references — the memory
-// the paper attributes to TOUCH ("the buckets constructed based on
-// dataset A in addition to the tree", §6.4).
-func (t *Tree) staticBytes() int64 {
-	bytes := int64(t.Nodes) * stats.BytesPerNode
-	bytes += int64(t.SizeA) * stats.BytesPerRef // bucket entries
-	var walk func(n *Node) int64
-	walk = func(n *Node) int64 {
-		b := int64(len(n.BEntities)) * stats.BytesPerRef
-		for _, ch := range n.Children {
-			b += walk(ch)
-		}
-		return b
-	}
-	return bytes + walk(t.Root)
-}
-
-// Join runs all three TOUCH phases: build the tree on a, assign b, join.
-// Phase timings land in c.BuildTime / c.AssignTime / c.JoinTime and the
-// static structure footprint in c.MemoryBytes.
+// Join runs all three TOUCH phases: build the tree on a, assign b via a
+// fresh probe, join. Phase timings land in c.BuildTime / c.AssignTime /
+// c.JoinTime and the analytic footprint in c.MemoryBytes.
 func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
 	start := time.Now()
 	t := Build(a, cfg)
 	c.BuildTime += time.Since(start)
+	p := t.NewProbe()
 
 	start = time.Now()
-	t.Assign(b, c)
+	p.Assign(b, c)
 	c.AssignTime += time.Since(start)
-	c.MemoryBytes += t.staticBytes()
 
 	start = time.Now()
-	t.JoinPhase(c, sink)
+	p.JoinPhase(c, sink)
 	c.JoinTime += time.Since(start)
-	c.MemoryBytes += t.peakGridBytes
+	c.MemoryBytes += t.StaticBytes() + p.MemoryBytes()
 }

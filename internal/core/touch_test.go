@@ -257,18 +257,20 @@ func TestFanoutInsensitivityOfComparisons(t *testing.T) {
 	}
 }
 
-func TestResetAssignmentsAllowsReuse(t *testing.T) {
+func TestProbeReuseAcrossJoins(t *testing.T) {
+	// One probe, many probe datasets, no reset step: every Assign must
+	// fully overwrite the previous query's state.
 	a := datagen.UniformSet(300, 201).Expand(6)
 	b1 := datagen.UniformSet(500, 202)
 	b2 := datagen.UniformSet(700, 203)
 	tr := Build(a, Config{})
+	p := tr.NewProbe()
 
 	runOnce := func(b geom.Dataset) []geom.Pair {
-		tr.ResetAssignments()
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		tr.Assign(b, &c)
-		tr.JoinPhase(&c, sink)
+		p.Assign(b, &c)
+		p.JoinPhase(&c, sink)
 		return sink.Pairs
 	}
 	got1 := runOnce(b1)
@@ -278,6 +280,26 @@ func TestResetAssignmentsAllowsReuse(t *testing.T) {
 	verifyLemmas(t, "b2", got2, oracle(a, b2))
 	if len(got1Again) != len(got1) {
 		t.Fatalf("reuse changed the result: %d vs %d", len(got1Again), len(got1))
+	}
+}
+
+func TestProbeAccountsMemoryLikeOneShot(t *testing.T) {
+	// Build + probe must reproduce the one-shot Join's MemoryBytes:
+	// static tree bytes plus assigned refs plus the peak transient grid.
+	a := datagen.UniformSet(600, 221).Expand(5)
+	b := datagen.UniformSet(1800, 222)
+	_, ref := run(t, a, b, Config{})
+
+	tr := Build(a, Config{})
+	p := tr.NewProbe()
+	var c stats.Counters
+	p.Assign(b, &c)
+	p.JoinPhase(&c, &stats.CountSink{})
+	if got := tr.StaticBytes() + p.MemoryBytes(); got != ref.MemoryBytes {
+		t.Fatalf("probe memory accounting %d, one-shot %d", got, ref.MemoryBytes)
+	}
+	if p.Assigned() != len(b)-int(c.Filtered) {
+		t.Fatalf("Assigned=%d, want %d", p.Assigned(), len(b)-int(c.Filtered))
 	}
 }
 

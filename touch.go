@@ -155,7 +155,22 @@ func (o *Options) normalized() Options {
 	return *o
 }
 
-var errUnknownAlgorithm = errors.New("touch: unknown algorithm")
+// ErrUnknownAlgorithm is wrapped into the error returned when an
+// Algorithm name matches no implemented join; test with errors.Is.
+var ErrUnknownAlgorithm = errors.New("touch: unknown algorithm")
+
+// ErrNegativeDistance is wrapped into the error returned when a distance
+// join is asked for a negative ε; test with errors.Is. DistanceJoin and
+// Index.DistanceJoin share it, so the two paths reject consistently.
+var ErrNegativeDistance = errors.New("touch: negative distance")
+
+// checkEps validates a distance-join ε.
+func checkEps(eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("%w %g", ErrNegativeDistance, eps)
+	}
+	return nil
+}
 
 // SpatialJoin finds every pair of objects (a ∈ A, b ∈ B) whose boxes
 // intersect, using the selected algorithm. All algorithms produce the
@@ -209,8 +224,8 @@ func SpatialJoin(alg Algorithm, a, b Dataset, opt *Options) (*Result, error) {
 // intersection join. Enlarging either dataset yields the same pair set,
 // so the join-order heuristic of SpatialJoin applies unchanged.
 func DistanceJoin(alg Algorithm, a, b Dataset, eps float64, opt *Options) (*Result, error) {
-	if eps < 0 {
-		return nil, fmt.Errorf("touch: negative distance %g", eps)
+	if err := checkEps(eps); err != nil {
+		return nil, err
 	}
 	return SpatialJoin(alg, a.Expand(eps), b, opt)
 }
@@ -254,6 +269,6 @@ func bind(alg Algorithm, o *Options) (parallel.JoinFunc, error) {
 		cfg := o.RTree
 		return func(a, b Dataset, c *Stats, s Sink) { rtree.SeededJoin(a, b, cfg, c, s) }, nil
 	default:
-		return nil, fmt.Errorf("%w %q", errUnknownAlgorithm, alg)
+		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, alg)
 	}
 }
