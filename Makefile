@@ -18,10 +18,12 @@ vet:
 
 # bench writes the fixed-workload benchmark suite to BENCH_N.json so the
 # performance trajectory of successive PRs can be diffed. Bump the file
-# number when recording a new baseline next to an old one. BENCH_2 adds
+# number when recording a new baseline next to an old one. BENCH_2 added
 # the serving section: per-query latency and queries/sec for concurrent
-# clients sharing one prebuilt index.
-BENCH_OUT ?= BENCH_2.json
+# clients sharing one prebuilt index. BENCH_3 adds the query-serving
+# points: range-cN / knn-cN throughput and allocs/op for single-probe
+# queries on the shared index.
+BENCH_OUT ?= BENCH_3.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

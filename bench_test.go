@@ -73,6 +73,11 @@ func BenchmarkFig16(b *testing.B) { runExperiment(b, "fig16", benchScale) }
 // repository adds beyond the paper's figures).
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation", benchScale) }
 
+// BenchmarkQueries runs the query-serving experiment (range/point/kNN
+// latency on the index vs. brute force, a workload this repository adds
+// beyond the paper's batch joins).
+func BenchmarkQueries(b *testing.B) { runExperiment(b, "queries", benchScale) }
+
 // Per-algorithm microbenchmarks on a fixed 8K × 24K uniform workload
 // with ε=5, reporting comparisons and result counts alongside ns/op.
 func benchmarkAlgorithm(b *testing.B, alg touch.Algorithm) {
@@ -164,6 +169,55 @@ func BenchmarkTOUCHWorkers(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				idx.Join(probe, &touch.Options{NoPairs: true})
 			}
+		})
+	}
+}
+
+// BenchmarkIndexRangeQuery measures single-probe range queries on a
+// shared 100K-object index with GOMAXPROCS concurrent clients. The
+// pooled probe scratch must leave only the result slice: watch
+// allocs/op.
+func BenchmarkIndexRangeQuery(b *testing.B) {
+	idx := touch.BuildIndex(touch.GenerateUniform(100_000, 1), touch.TOUCHConfig{})
+	boxes := make([]touch.Box, 256)
+	for i := range boxes {
+		lo := touch.Point{float64(i%16) * 60, float64((i/16)%16) * 60, float64(i%8) * 120}
+		boxes[i] = touch.NewBox(lo, touch.Point{lo[0] + 50, lo[1] + 50, lo[2] + 50})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := idx.RangeQuery(boxes[i%len(boxes)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkIndexKNN measures single-probe k-nearest-neighbor queries on
+// a shared 100K-object index with GOMAXPROCS concurrent clients.
+func BenchmarkIndexKNN(b *testing.B) {
+	idx := touch.BuildIndex(touch.GenerateUniform(100_000, 1), touch.TOUCHConfig{})
+	points := make([]touch.Point, 256)
+	for i := range points {
+		points[i] = touch.Point{float64(i*31%1000) + 0.5, float64(i*67%1000) + 0.5, float64(i*131%1000) + 0.5}
+	}
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := idx.KNN(points[i%len(points)], k); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
 		})
 	}
 }

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"touch"
+	"touch/internal/testutil"
 )
 
 // benchPoint is one measured configuration of the fixed-workload suite.
@@ -44,9 +46,10 @@ type benchReport struct {
 // runBenchSuite joins one uniform workload (the microbenchmark shape of
 // bench_test.go: 8K × 24K at the default scale, ε=5) with every
 // algorithm, plus the TOUCH core at several worker counts, reporting
-// the best of three runs per configuration. A final serving section
-// measures concurrent-client throughput (latency and queries/sec) on
-// one shared prebuilt index.
+// the best of three runs per configuration. The serving sections
+// measure concurrent-client throughput (latency and queries/sec) on
+// one shared prebuilt index, for whole-dataset joins (serve-cN) and
+// for single-probe range and kNN queries (range-cN, knn-cN).
 func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 	if scale <= 0 {
 		scale = 0.02
@@ -144,6 +147,70 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			QueriesPerS: float64(total) / wall.Seconds(),
 			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(total),
 		})
+	}
+
+	// Query serving: the same shared index answers single-probe range
+	// and kNN questions from N concurrent clients. Queries are orders of
+	// magnitude cheaper than joins, so each client runs a fixed batch of
+	// pre-generated queries; NsPerOp is the mean per-query latency and
+	// AllocsPerOp the steady-state allocations (the pooled probe scratch
+	// should leave only the result slice).
+	queryIdx := touch.BuildIndex(a, touch.TOUCHConfig{})
+	const queryShapes = 256
+	boxes, points, _ := testutil.QueryWorkload(seed+2, queryShapes)
+	const queriesPerQueryClient = 4096
+	queryModes := []struct {
+		name string
+		run  func(i int) error
+	}{
+		{"range", func(i int) error {
+			_, err := queryIdx.RangeQuery(boxes[i%queryShapes])
+			return err
+		}},
+		{"knn", func(i int) error {
+			_, err := queryIdx.KNN(points[i%queryShapes], 10)
+			return err
+		}},
+	}
+	for _, mode := range queryModes {
+		if err := mode.run(0); err != nil { // warm the probe pool
+			return fmt.Errorf("%s: %w", mode.name, err)
+		}
+		for _, clients := range []int{1, 4, 8} {
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			var wg sync.WaitGroup
+			errc := make(chan error, clients)
+			start := time.Now()
+			for cl := 0; cl < clients; cl++ {
+				wg.Add(1)
+				go func(cl int) {
+					defer wg.Done()
+					for q := 0; q < queriesPerQueryClient; q++ {
+						if err := mode.run(cl*queriesPerQueryClient + q); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			close(errc)
+			for err := range errc {
+				return fmt.Errorf("%s-c%d: %w", mode.name, clients, err)
+			}
+			runtime.ReadMemStats(&ms1)
+			total := clients * queriesPerQueryClient
+			report.Points = append(report.Points, benchPoint{
+				Name:        fmt.Sprintf("%s-c%d", mode.name, clients),
+				Algorithm:   string(touch.AlgTOUCH),
+				Clients:     clients,
+				NsPerOp:     wall.Nanoseconds() / int64(queriesPerQueryClient),
+				QueriesPerS: float64(total) / wall.Seconds(),
+				AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(total),
+			})
+		}
 	}
 
 	var out io.Writer = os.Stdout

@@ -9,6 +9,9 @@
 //
 //	touchjoin -a axons.txt -b dendrites.txt -eps 5 [-alg touch] [-out pairs.txt] [-stats]
 //	touchjoin -a axons.txt -probes d1.txt,d2.txt,d3.txt -eps 5 [-stats]
+//	touchjoin -a axons.txt -query range -box 0,0,0,100,100,100
+//	touchjoin -a axons.txt -query point -point 50,50,50
+//	touchjoin -a axons.txt -query knn -point 50,50,50 -k 10
 //
 // With -eps 0 the join reports intersecting pairs; with -eps > 0 it
 // reports pairs within that distance. The output lists one "i j" pair of
@@ -23,6 +26,16 @@
 // join — the paper's §4.3 scenario. Each probe's pairs are preceded by a
 // "# file" header line; with -count one "file n" line per probe is
 // printed instead.
+//
+// -query switches to single-probe query mode (TOUCH only): the tree is
+// built on dataset A and answers one range, point or k-nearest-neighbor
+// question instead of a join. "range" needs -box with the six query-box
+// corner coordinates, "point" and "knn" need -point (and knn -k). Range
+// and point queries print one matching 0-based line index per line,
+// sorted; knn prints "i distance" lines in (distance, index) order.
+// A non-zero -eps expands the indexed boxes, turning the predicates
+// into "within ε of the box / point". The join-mode flags -count,
+// -stats and -workers have no effect on queries.
 package main
 
 import (
@@ -31,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"touch"
@@ -39,7 +53,7 @@ import (
 func main() {
 	var (
 		fileA   = flag.String("a", "", "dataset A file (required)")
-		fileB   = flag.String("b", "", "dataset B file (required unless -probes is set)")
+		fileB   = flag.String("b", "", "dataset B file (required unless -probes or -query is set)")
 		probes  = flag.String("probes", "", "comma-separated probe files joined against one prebuilt index on A (TOUCH only)")
 		eps     = flag.Float64("eps", 0, "distance predicate ε (0 = intersection join)")
 		algName = flag.String("alg", string(touch.AlgTOUCH), "join algorithm")
@@ -47,11 +61,25 @@ func main() {
 		quiet   = flag.Bool("count", false, "print only the number of result pairs")
 		stat    = flag.Bool("stats", false, "print execution statistics to stderr")
 		workers = flag.Int("workers", 1, "worker goroutines per join (1 = single-threaded; TOUCH parallelizes its assignment and join phases internally, other algorithms run under the slab driver)")
+		query   = flag.String("query", "", "single-probe query mode on an index built from A: range, point or knn")
+		boxArg  = flag.String("box", "", "query box for -query range: minX,minY,minZ,maxX,maxY,maxZ")
+		ptArg   = flag.String("point", "", "query point for -query point|knn: x,y,z")
+		k       = flag.Int("k", 1, "neighbor count for -query knn")
 	)
 	flag.Parse()
-	if *fileA == "" || (*fileB == "" && *probes == "") {
-		fmt.Fprintln(os.Stderr, "touchjoin: -a and either -b or -probes are required")
+	if *fileA == "" || (*fileB == "" && *probes == "" && *query == "") {
+		fmt.Fprintln(os.Stderr, "touchjoin: -a and one of -b, -probes or -query are required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	modes := 0
+	for _, set := range []bool{*fileB != "", *probes != "", *query != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "touchjoin: -b, -probes and -query are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -61,6 +89,17 @@ func main() {
 	}
 
 	opt := &touch.Options{NoPairs: *quiet, Workers: *workers}
+
+	if *query != "" {
+		if alg := touch.Algorithm(*algName); alg != touch.AlgTOUCH {
+			fatal(fmt.Errorf("-query answers through a prebuilt TOUCH index; -alg %q is not supported (%s)",
+				*algName, algHint()))
+		}
+		if err := runQuery(a, *query, *boxArg, *ptArg, *k, *eps, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *probes != "" {
 		if alg := touch.Algorithm(*algName); alg != touch.AlgTOUCH {
@@ -129,6 +168,9 @@ func runProbes(a touch.Dataset, files []string, eps float64, opt *touch.Options,
 		names = append(names, file)
 		datasets = append(datasets, b)
 	}
+	if len(datasets) == 0 {
+		return fmt.Errorf("-probes lists no files")
+	}
 
 	cfg := opt.TOUCH
 	if opt.Workers > 1 && cfg.Workers <= 1 {
@@ -154,6 +196,102 @@ func runProbes(a touch.Dataset, files []string, eps float64, opt *touch.Options,
 		for _, p := range res.Pairs {
 			fmt.Fprintf(w, "%d %d\n", p.A, p.B)
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	closeOut()
+	return nil
+}
+
+// parseFloats splits a comma-separated list into exactly n numbers.
+func parseFloats(arg, flagName string, n int) ([]float64, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("-%s is required for this query mode", flagName)
+	}
+	fields := strings.Split(arg, ",")
+	if len(fields) != n {
+		return nil, fmt.Errorf("-%s: want %d comma-separated numbers, got %d", flagName, n, len(fields))
+	}
+	out := make([]float64, n)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %v", flagName, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// runQuery builds one TOUCH index on a and answers a single range,
+// point or knn query. The output file is only created once the query
+// has succeeded, so a failed invocation never clobbers an existing
+// file.
+func runQuery(a touch.Dataset, mode, boxArg, ptArg string, k int, eps float64, outPath string) error {
+	if eps < 0 {
+		return fmt.Errorf("%w %g", touch.ErrNegativeDistance, eps)
+	}
+
+	// Parse and validate all query arguments before building anything.
+	var (
+		queryBox touch.Box
+		queryPt  touch.Point
+	)
+	switch mode {
+	case "range":
+		v, err := parseFloats(boxArg, "box", 6)
+		if err != nil {
+			return err
+		}
+		queryBox = touch.NewBox(touch.Point{v[0], v[1], v[2]}, touch.Point{v[3], v[4], v[5]})
+	case "point", "knn":
+		v, err := parseFloats(ptArg, "point", 3)
+		if err != nil {
+			return err
+		}
+		queryPt = touch.Point{v[0], v[1], v[2]}
+		if mode == "knn" && k < 1 {
+			return fmt.Errorf("%w (got %d)", touch.ErrInvalidK, k)
+		}
+	default:
+		return fmt.Errorf("unknown -query mode %q (valid: range, point, knn)", mode)
+	}
+
+	// A non-zero ε expands the indexed boxes: results are the objects
+	// within ε of the query box or point.
+	ix := touch.BuildIndex(a.Expand(eps), touch.TOUCHConfig{})
+
+	var lines []string
+	switch mode {
+	case "range", "point":
+		var ids []touch.ID
+		var err error
+		if mode == "range" {
+			ids, err = ix.RangeQuery(queryBox)
+		} else {
+			ids, err = ix.PointQuery(queryPt[0], queryPt[1], queryPt[2])
+		}
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			lines = append(lines, strconv.Itoa(int(id)))
+		}
+	case "knn":
+		nbrs, err := ix.KNN(queryPt, k)
+		if err != nil {
+			return err
+		}
+		for _, nb := range nbrs {
+			lines = append(lines, fmt.Sprintf("%d %g", nb.ID, nb.Distance))
+		}
+	}
+
+	// The query succeeded — only now touch the output file.
+	w, closeOut := openOut(outPath)
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
 	}
 	if err := w.Flush(); err != nil {
 		return err

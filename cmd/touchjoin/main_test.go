@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"touch"
+	"touch/internal/nl"
 )
 
 func TestReadFile(t *testing.T) {
@@ -159,4 +161,157 @@ func TestAlgHintListsAllAlgorithms(t *testing.T) {
 			t.Errorf("algHint() misses %q: %s", alg, hint)
 		}
 	}
+}
+
+// TestMain doubles as the binary under test: when TOUCHJOIN_MAIN is
+// set, the test executable runs the real main() so the exit-code tests
+// below can assert the command-line contract end to end.
+func TestMain(m *testing.M) {
+	if os.Getenv("TOUCHJOIN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTouchjoin re-executes the test binary as touchjoin with args and
+// returns its exit code and stderr.
+func runTouchjoin(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TOUCHJOIN_MAIN=1")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running touchjoin: %v", err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+// TestFailurePaths asserts the exit-code contract of every failure
+// mode — and that no output file is ever created by a failed
+// invocation.
+func TestFailurePaths(t *testing.T) {
+	dir := t.TempDir()
+	aPath := writeDataset(t, dir, "a.txt", touch.GenerateUniform(30, 1))
+	missing := filepath.Join(dir, "missing.txt")
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantMsg  string
+	}{
+		{"no-args", nil, 2, "-a and one of"},
+		{"missing-b-flag", []string{"-a", aPath}, 2, "-a and one of"},
+		{"conflicting-modes", []string{"-a", aPath, "-b", aPath, "-query", "range", "-box", "0,0,0,1,1,1"}, 2, "mutually exclusive"},
+		{"unreadable-a", []string{"-a", missing, "-b", aPath}, 1, "no such file"},
+		{"unreadable-b", []string{"-a", aPath, "-b", missing}, 1, "no such file"},
+		{"bad-alg", []string{"-a", aPath, "-b", aPath, "-alg", "bogus"}, 1, "unknown algorithm"},
+		{"negative-eps", []string{"-a", aPath, "-b", aPath, "-eps", "-3"}, 1, "negative distance"},
+		{"probes-missing-file", []string{"-a", aPath, "-probes", missing}, 1, "no such file"},
+		{"probes-empty-list", []string{"-a", aPath, "-probes", ","}, 1, "lists no files"},
+		{"bad-query-mode", []string{"-a", aPath, "-query", "bogus"}, 1, "unknown -query mode"},
+		{"range-without-box", []string{"-a", aPath, "-query", "range"}, 1, "-box is required"},
+		{"range-bad-box", []string{"-a", aPath, "-query", "range", "-box", "1,2,3"}, 1, "want 6"},
+		{"range-unparsable-box", []string{"-a", aPath, "-query", "range", "-box", "1,2,3,4,5,x"}, 1, "invalid syntax"},
+		{"knn-without-point", []string{"-a", aPath, "-query", "knn", "-k", "3"}, 1, "-point is required"},
+		{"knn-bad-k", []string{"-a", aPath, "-query", "knn", "-point", "1,2,3", "-k", "0"}, 1, "k must be at least 1"},
+		{"query-bad-alg", []string{"-a", aPath, "-query", "range", "-box", "0,0,0,1,1,1", "-alg", "nl"}, 1, "not supported"},
+		{"query-negative-eps", []string{"-a", aPath, "-query", "point", "-point", "1,2,3", "-eps", "-1"}, 1, "negative distance"},
+	}
+	for i, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			outPath := filepath.Join(dir, fmt.Sprintf("out-%d.txt", i))
+			code, stderr := runTouchjoin(t, append(tc.args, "-out", outPath)...)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Errorf("stderr %q does not contain %q", stderr, tc.wantMsg)
+			}
+			if _, err := os.Stat(outPath); !os.IsNotExist(err) {
+				t.Errorf("failed invocation created output file %s", outPath)
+			}
+		})
+	}
+}
+
+// TestQueryModes runs each query mode end to end through the binary and
+// checks the output against the brute-force oracles.
+func TestQueryModes(t *testing.T) {
+	dir := t.TempDir()
+	ds := touch.GenerateUniform(150, 9)
+	aPath := writeDataset(t, dir, "a.txt", ds)
+
+	readLines := func(path string) []string {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trimmed := strings.TrimSpace(string(raw))
+		if trimmed == "" {
+			return nil
+		}
+		return strings.Split(trimmed, "\n")
+	}
+
+	t.Run("range", func(t *testing.T) {
+		outPath := filepath.Join(dir, "range.txt")
+		code, stderr := runTouchjoin(t, "-a", aPath, "-query", "range",
+			"-box", "100,100,100,400,400,400", "-out", outPath)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr)
+		}
+		want := nl.RangeQuery(ds, touch.NewBox(touch.Point{100, 100, 100}, touch.Point{400, 400, 400}))
+		lines := readLines(outPath)
+		if len(lines) != len(want) {
+			t.Fatalf("got %d ids, want %d", len(lines), len(want))
+		}
+		for i, line := range lines {
+			if line != fmt.Sprint(want[i]) {
+				t.Fatalf("line %d: got %q, want %d", i, line, want[i])
+			}
+		}
+	})
+
+	t.Run("point", func(t *testing.T) {
+		outPath := filepath.Join(dir, "point.txt")
+		// ε-expansion: every object within 600 of the center matches.
+		code, stderr := runTouchjoin(t, "-a", aPath, "-query", "point",
+			"-point", "500,500,500", "-eps", "600", "-out", outPath)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr)
+		}
+		want := nl.PointQuery(ds.Expand(600), touch.Point{500, 500, 500})
+		if lines := readLines(outPath); len(lines) != len(want) {
+			t.Fatalf("got %d ids, want %d", len(lines), len(want))
+		}
+	})
+
+	t.Run("knn", func(t *testing.T) {
+		outPath := filepath.Join(dir, "knn.txt")
+		code, stderr := runTouchjoin(t, "-a", aPath, "-query", "knn",
+			"-point", "500,500,500", "-k", "7", "-out", outPath)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, stderr)
+		}
+		want := nl.KNN(ds, touch.Point{500, 500, 500}, 7)
+		lines := readLines(outPath)
+		if len(lines) != len(want) {
+			t.Fatalf("got %d neighbors, want %d", len(lines), len(want))
+		}
+		for i, line := range lines {
+			if wantLine := fmt.Sprintf("%d %g", want[i].ID, want[i].Distance); line != wantLine {
+				t.Fatalf("line %d: got %q, want %q", i, line, wantLine)
+			}
+		}
+	})
 }

@@ -1,6 +1,9 @@
 package touch
 
 import (
+	"fmt"
+	"math"
+	"slices"
 	"sync"
 	"time"
 
@@ -13,11 +16,16 @@ import (
 // paper mentions ("should one of the datasets already be indexed with a
 // hierarchical index ... the tree building phase can be skipped").
 //
-// The tree is immutable after BuildIndex; everything a single join
-// writes lives in a per-query probe object drawn from an internal
-// sync.Pool. Join and DistanceJoin are therefore safe for arbitrary
-// concurrent callers on one shared Index, and steady-state serving
-// recycles all probe state, allocating near zero per query.
+// Beyond batch joins, the built tree doubles as a general query engine
+// over the indexed dataset: RangeQuery, PointQuery and KNN answer
+// single-probe questions through the same hierarchy.
+//
+// The tree is immutable after BuildIndex; everything a single join or
+// query writes lives in a per-query probe object drawn from an internal
+// sync.Pool. Join, DistanceJoin and all query methods are therefore
+// safe for arbitrary concurrent callers on one shared Index, and
+// steady-state serving recycles all probe state, allocating near zero
+// per query.
 type Index struct {
 	tree   *core.Tree
 	lenA   int
@@ -83,4 +91,77 @@ func (ix *Index) DistanceJoin(b Dataset, eps float64, opt *Options) (*Result, er
 		return nil, err
 	}
 	return ix.Join(b.Expand(eps), opt), nil
+}
+
+// checkPoint validates a query point's coordinates.
+func checkPoint(p Point) error {
+	for d := range p {
+		if math.IsNaN(p[d]) {
+			return fmt.Errorf("%w %v", ErrInvalidPoint, p)
+		}
+	}
+	return nil
+}
+
+// RangeQuery returns the IDs of every indexed object whose MBR
+// intersects q, sorted ascending. Touching boundaries count as
+// intersecting (closed-interval semantics, the same predicate the joins
+// use). A malformed box — NaN coordinates or Min > Max in some
+// dimension — is rejected with ErrInvalidBox; build boxes with NewBox
+// to normalize corner order.
+//
+// The traversal is the best case O(log |A| + r) for r results: node
+// MBRs prune disjoint subtrees, and a subtree fully inside q is emitted
+// as one contiguous arena scan with no per-object tests. Safe for
+// arbitrary concurrent callers on a shared Index; steady-state serving
+// allocates only the returned slice.
+func (ix *Index) RangeQuery(q Box) ([]ID, error) {
+	if !q.Valid() {
+		return nil, fmt.Errorf("%w %v", ErrInvalidBox, q)
+	}
+	p := ix.probes.Get().(*core.Probe)
+	defer ix.probes.Put(p)
+	var c Stats
+	return slices.Clone(p.RangeQuery(q, &c)), nil
+}
+
+// PointQuery returns the IDs of every indexed object whose MBR contains
+// the point (x, y, z), boundary included, sorted ascending. It is
+// RangeQuery with a zero-extent box; NaN coordinates are rejected with
+// ErrInvalidPoint.
+func (ix *Index) PointQuery(x, y, z float64) ([]ID, error) {
+	pt := Point{x, y, z}
+	if err := checkPoint(pt); err != nil {
+		return nil, err
+	}
+	p := ix.probes.Get().(*core.Probe)
+	defer ix.probes.Put(p)
+	var c Stats
+	return slices.Clone(p.PointQuery(pt, &c)), nil
+}
+
+// KNN returns the k indexed objects nearest to q by minimum Euclidean
+// distance between the point and each object's MBR, ordered by
+// (Distance, ID) ascending — equal distances resolve to the smaller
+// object ID, so results are deterministic. Fewer than k neighbors are
+// returned when the index holds fewer than k objects. k < 1 is rejected
+// with ErrInvalidK and NaN coordinates with ErrInvalidPoint.
+//
+// The search is best-first branch and bound over node MBRs with a
+// distance-ordered priority queue, visiting only the nodes whose MBR
+// distance can still beat the current k-th neighbor — O(log |A| + k)
+// node visits on well-separated data. Safe for arbitrary concurrent
+// callers on a shared Index; steady-state serving allocates only the
+// returned slice.
+func (ix *Index) KNN(q Point, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrInvalidK, k)
+	}
+	if err := checkPoint(q); err != nil {
+		return nil, err
+	}
+	p := ix.probes.Get().(*core.Probe)
+	defer ix.probes.Put(p)
+	var c Stats
+	return slices.Clone(p.KNN(q, k, &c)), nil
 }

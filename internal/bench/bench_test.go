@@ -17,6 +17,7 @@ func TestRegistryCoversEveryPaperArtefact(t *testing.T) {
 	want := []string{
 		"table1", "loading", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "ablation",
+		"queries",
 	}
 	for _, id := range want {
 		e, ok := Get(id)

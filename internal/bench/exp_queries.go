@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"touch"
+	"touch/internal/datagen"
+
+	"touch/internal/nl"
+	"touch/internal/testutil"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "queries",
+		Title: "Query serving: range/point/kNN latency on the TOUCH index vs. brute force",
+		Description: "Mean single-probe query latency on an index built over A (uniform, " +
+			"Gaussian, clustered) against the exhaustive-scan oracle — the mixed " +
+			"single-query workload a shared in-memory index serves, beyond the " +
+			"paper's batch joins.",
+		Run: runQueries,
+	})
+}
+
+// queriesA is the indexed dataset size at Scale=1 (the paper's small-A
+// shape; queries only touch one dataset).
+const queriesA = 1_600_000
+
+func runQueries(rc RunConfig, w io.Writer) error {
+	rc = rc.fill()
+	const shapes = 128
+	boxes, points, _ := testutil.QueryWorkload(rc.Seed*31&0x7fffffff, shapes)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tquery\tindex µs/q\tscan µs/q\tspeedup")
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		a := generate(dist, rc.n(queriesA), rc.Seed, 1)
+		ix := touch.BuildIndex(a, touch.TOUCHConfig{})
+
+		type mode struct {
+			name  string
+			index func(i int) error
+			scan  func(i int)
+		}
+		modes := []mode{
+			{"range",
+				func(i int) error { _, err := ix.RangeQuery(boxes[i%shapes]); return err },
+				func(i int) { nl.RangeQuery(a, boxes[i%shapes]) }},
+			{"point",
+				func(i int) error {
+					p := points[i%shapes]
+					_, err := ix.PointQuery(p[0], p[1], p[2])
+					return err
+				},
+				func(i int) { nl.PointQuery(a, points[i%shapes]) }},
+			{"knn-10",
+				func(i int) error { _, err := ix.KNN(points[i%shapes], 10); return err },
+				func(i int) { nl.KNN(a, points[i%shapes], 10) }},
+		}
+		for _, m := range modes {
+			const reps = 256
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				if err := m.index(i); err != nil {
+					return fmt.Errorf("queries: %s/%s: %w", dist, m.name, err)
+				}
+			}
+			indexT := time.Since(start)
+			// The exhaustive scan is O(|A|) per query; a few repetitions
+			// suffice for a stable mean.
+			const scanReps = 8
+			start = time.Now()
+			for i := 0; i < scanReps; i++ {
+				m.scan(i)
+			}
+			scanT := time.Since(start)
+
+			indexUS := float64(indexT.Microseconds()) / reps
+			scanUS := float64(scanT.Microseconds()) / scanReps
+			speedup := 0.0
+			if indexUS > 0 {
+				speedup = scanUS / indexUS
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.0fx\n", dist, m.name, indexUS, scanUS, speedup)
+		}
+	}
+	return tw.Flush()
+}

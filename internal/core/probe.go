@@ -5,13 +5,14 @@ import (
 	"touch/internal/stats"
 )
 
-// Probe is the per-query state of one join against a shared, immutable
-// Tree: the B assignments, the worker count, the local-join scratch and
-// the transient memory high-water marks. A Probe must not be shared by
-// concurrent joins — give every goroutine its own (they are cheap, and
-// all buffers recycle) — but a single Probe is freely reusable across
-// sequential joins: each Assign fully overwrites the previous query's
-// state, no reset step needed.
+// Probe is the per-query state of one join or single-probe query
+// against a shared, immutable Tree: the B assignments, the worker
+// count, the local-join scratch, the query traversal scratch and the
+// transient memory high-water marks. A Probe must not be shared by
+// concurrent callers — give every goroutine its own (they are cheap,
+// and all buffers recycle) — but a single Probe is freely reusable
+// across sequential joins and queries: each Assign or query fully
+// overwrites the previous state, no reset step needed.
 //
 // The B assignments are a flat CSR over the tree's dense node ids: all
 // assigned B objects live in one contiguous slice grouped by node, with
@@ -38,6 +39,10 @@ type Probe struct {
 	big       []int32
 	small     []int32
 	scratches []*joinScratch
+
+	// query holds the single-probe traversal state (RangeQuery /
+	// PointQuery / KNN); see query.go.
+	query queryScratch
 
 	peakGridBytes int64 // largest transient local-join grid of the last join
 }

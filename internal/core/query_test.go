@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"touch/internal/datagen"
+	"touch/internal/geom"
+	"touch/internal/nl"
+	"touch/internal/stats"
+)
+
+// randomQueryBox derives a query box whose corners fall inside the
+// dataset universe, with extents spanning from point-like to most of
+// the space.
+func randomQueryBox(rng *rand.Rand) geom.Box {
+	var lo, hi geom.Point
+	for d := 0; d < geom.Dims; d++ {
+		lo[d] = rng.Float64() * 1000
+		hi[d] = lo[d] + rng.Float64()*rng.Float64()*400
+	}
+	return geom.NewBox(lo, hi)
+}
+
+// TestRangeQueryMatchesOracle: the tree-accelerated range query must
+// return exactly the oracle's ID set on every distribution and on a
+// probe reusing its scratch across queries.
+func TestRangeQueryMatchesOracle(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		ds := datagen.Generate(datagen.DefaultConfig(dist, 800, 211)).Expand(3)
+		tree := Build(ds, Config{Partitions: 64})
+		p := tree.NewProbe()
+		rng := rand.New(rand.NewSource(212))
+		for i := 0; i < 50; i++ {
+			q := randomQueryBox(rng)
+			want := nl.RangeQuery(ds, q)
+			var c stats.Counters
+			got := p.RangeQuery(q, &c)
+			if !slices.Equal(got, want) {
+				t.Fatalf("%s query %d (%v): got %d ids, want %d", dist, i, q, len(got), len(want))
+			}
+			if c.Results != int64(len(got)) {
+				t.Fatalf("%s query %d: Results=%d, len=%d", dist, i, c.Results, len(got))
+			}
+		}
+	}
+}
+
+// TestPointQueryMatchesOracle: point containment through the tree vs.
+// the exhaustive scan, on dataset corners and random points.
+func TestPointQueryMatchesOracle(t *testing.T) {
+	ds := datagen.ClusteredSet(900, 221).Expand(4)
+	tree := Build(ds, Config{})
+	p := tree.NewProbe()
+	rng := rand.New(rand.NewSource(222))
+	pts := make([]geom.Point, 0, 80)
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	// Boundary points: exact MBR corners must report their object
+	// (closed-interval semantics).
+	for i := 0; i < 40; i++ {
+		pts = append(pts, ds[rng.Intn(len(ds))].Box.Min)
+	}
+	for i, pt := range pts {
+		want := nl.PointQuery(ds, pt)
+		var c stats.Counters
+		got := p.PointQuery(pt, &c)
+		if !slices.Equal(got, want) {
+			t.Fatalf("point %d (%v): got %v, want %v", i, pt, got, want)
+		}
+		if i >= 40 && len(got) == 0 {
+			t.Fatalf("corner point %d (%v) found no object", i, pt)
+		}
+	}
+}
+
+// TestKNNMatchesOracle: best-first kNN must reproduce the oracle's
+// (Distance, ID) order exactly — including distance ties — for several
+// k on every distribution.
+func TestKNNMatchesOracle(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		ds := datagen.Generate(datagen.DefaultConfig(dist, 700, 231))
+		tree := Build(ds, Config{Partitions: 32})
+		p := tree.NewProbe()
+		rng := rand.New(rand.NewSource(232))
+		for i := 0; i < 30; i++ {
+			q := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+			for _, k := range []int{1, 3, 10, len(ds), len(ds) + 5} {
+				want := nl.KNN(ds, q, k)
+				var c stats.Counters
+				got := p.KNN(q, k, &c)
+				if !slices.Equal(got, want) {
+					t.Fatalf("%s: knn(%v, %d): got %v..., want %v...",
+						dist, q, k, head(got, 3), head(want, 3))
+				}
+			}
+		}
+	}
+}
+
+func head[T any](s []T, n int) []T { return s[:min(n, len(s))] }
+
+// TestKNNDistanceTies: all-identical boxes force every distance to tie;
+// the result must be the k smallest IDs, in order.
+func TestKNNDistanceTies(t *testing.T) {
+	box := geom.NewBox(geom.Point{10, 10, 10}, geom.Point{20, 20, 20})
+	ds := make(geom.Dataset, 64)
+	for i := range ds {
+		ds[i] = geom.Object{ID: geom.ID(i), Box: box}
+	}
+	tree := Build(ds, Config{Partitions: 8})
+	p := tree.NewProbe()
+	var c stats.Counters
+	got := p.KNN(geom.Point{500, 500, 500}, 5, &c)
+	if len(got) != 5 {
+		t.Fatalf("got %d neighbors, want 5", len(got))
+	}
+	for i, nb := range got {
+		if nb.ID != geom.ID(i) {
+			t.Fatalf("tie-break broken: neighbor %d has ID %d, want %d (stable ascending IDs)", i, nb.ID, i)
+		}
+		if nb.Distance != got[0].Distance {
+			t.Fatalf("identical boxes must tie: %v vs %v", nb.Distance, got[0].Distance)
+		}
+	}
+}
+
+// TestQueriesDegenerate: empty tree and single-object tree answer all
+// three query shapes without panicking and agree with the oracles.
+func TestQueriesDegenerate(t *testing.T) {
+	for _, ds := range []geom.Dataset{
+		nil,
+		{{ID: 0, Box: geom.NewBox(geom.Point{1, 2, 3}, geom.Point{4, 5, 6})}},
+	} {
+		tree := Build(ds, Config{})
+		p := tree.NewProbe()
+		var c stats.Counters
+		q := geom.NewBox(geom.Point{0, 0, 0}, geom.Point{10, 10, 10})
+		if got, want := p.RangeQuery(q, &c), nl.RangeQuery(ds, q); !slices.Equal(got, want) {
+			t.Fatalf("|ds|=%d range: got %v, want %v", len(ds), got, want)
+		}
+		if got, want := p.PointQuery(geom.Point{2, 3, 4}, &c), nl.PointQuery(ds, geom.Point{2, 3, 4}); !slices.Equal(got, want) {
+			t.Fatalf("|ds|=%d point: got %v, want %v", len(ds), got, want)
+		}
+		if got, want := p.KNN(geom.Point{0, 0, 0}, 3, &c), nl.KNN(ds, geom.Point{0, 0, 0}, 3); !slices.Equal(got, want) {
+			t.Fatalf("|ds|=%d knn: got %v, want %v", len(ds), got, want)
+		}
+	}
+}
+
+// TestRangeQueryContainedSubtree: a query box swallowing the whole
+// universe must return every ID — exercising the contained-subtree fast
+// path — with zero object comparisons.
+func TestRangeQueryContainedSubtree(t *testing.T) {
+	ds := datagen.UniformSet(500, 241)
+	tree := Build(ds, Config{})
+	p := tree.NewProbe()
+	var c stats.Counters
+	got := p.RangeQuery(geom.NewBox(geom.Point{-1e9, -1e9, -1e9}, geom.Point{1e9, 1e9, 1e9}), &c)
+	if len(got) != len(ds) {
+		t.Fatalf("universe query returned %d of %d ids", len(got), len(ds))
+	}
+	for i, id := range got {
+		if id != geom.ID(i) {
+			t.Fatalf("ids not sorted: got[%d] = %d", i, id)
+		}
+	}
+	if c.Comparisons != 0 {
+		t.Fatalf("contained subtree must skip object tests, did %d", c.Comparisons)
+	}
+	if c.Results != int64(len(ds)) {
+		t.Fatalf("Results=%d, want %d", c.Results, len(ds))
+	}
+}
+
+// TestQueryScratchRecycles: after a warm-up, repeated queries on one
+// probe must not grow the scratch (no per-query allocations inside the
+// traversal).
+func TestQueryScratchRecycles(t *testing.T) {
+	ds := datagen.UniformSet(2_000, 251)
+	tree := Build(ds, Config{})
+	p := tree.NewProbe()
+	rng := rand.New(rand.NewSource(252))
+	queries := make([]geom.Box, 32)
+	pts := make([]geom.Point, 32)
+	for i := range queries {
+		queries[i] = randomQueryBox(rng)
+		pts[i] = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	var c stats.Counters
+	warm := func() {
+		for i := range queries {
+			p.RangeQuery(queries[i], &c)
+			p.KNN(pts[i], 16, &c)
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(10, warm)
+	if allocs > 0 {
+		t.Fatalf("warmed query traversals allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestQueryAfterJoinInterleaving: joins and queries share one probe;
+// interleaving them must corrupt neither.
+func TestQueryAfterJoinInterleaving(t *testing.T) {
+	a := datagen.UniformSet(600, 261).Expand(5)
+	b := datagen.UniformSet(900, 262)
+	tree := Build(a, Config{})
+	p := tree.NewProbe()
+	q := randomQueryBox(rand.New(rand.NewSource(263)))
+
+	wantIDs := nl.RangeQuery(a, q)
+	var c stats.Counters
+	sink := &stats.CountSink{}
+	p.Assign(b, &c)
+	p.JoinPhase(&c, sink)
+	joinResults := sink.N
+
+	for round := 0; round < 3; round++ {
+		if got := p.RangeQuery(q, &c); !slices.Equal(got, wantIDs) {
+			t.Fatalf("round %d: range after join diverged", round)
+		}
+		var c2 stats.Counters
+		sink2 := &stats.CountSink{}
+		p.Assign(b, &c2)
+		p.JoinPhase(&c2, sink2)
+		if sink2.N != joinResults {
+			t.Fatalf("round %d: join after query found %d results, want %d", round, sink2.N, joinResults)
+		}
+	}
+}
+
+// TestKNNCounters: the search must charge node visits to NodeTests and
+// object distance evaluations to Comparisons, and prune: on clustered
+// data a small-k query should examine far fewer objects than |A|.
+func TestKNNCounters(t *testing.T) {
+	ds := datagen.ClusteredSet(5_000, 271)
+	tree := Build(ds, Config{})
+	p := tree.NewProbe()
+	var c stats.Counters
+	got := p.KNN(geom.Point{500, 500, 500}, 3, &c)
+	if len(got) != 3 {
+		t.Fatalf("got %d neighbors", len(got))
+	}
+	if c.NodeTests == 0 || c.Comparisons == 0 {
+		t.Fatalf("counters not charged: %+v", c)
+	}
+	if c.Comparisons >= int64(len(ds)) {
+		t.Fatalf("no pruning: %d object distance evaluations for |A|=%d", c.Comparisons, len(ds))
+	}
+}
+
+func BenchmarkProbeRangeQuery(b *testing.B) {
+	ds := datagen.UniformSet(100_000, 281)
+	tree := Build(ds, Config{})
+	p := tree.NewProbe()
+	rng := rand.New(rand.NewSource(282))
+	queries := make([]geom.Box, 256)
+	for i := range queries {
+		queries[i] = randomQueryBox(rng)
+	}
+	var c stats.Counters
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RangeQuery(queries[i%len(queries)], &c)
+	}
+}
+
+func BenchmarkProbeKNN(b *testing.B) {
+	ds := datagen.UniformSet(100_000, 283)
+	tree := Build(ds, Config{})
+	p := tree.NewProbe()
+	rng := rand.New(rand.NewSource(284))
+	pts := make([]geom.Point, 256)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	var c stats.Counters
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.KNN(pts[i%len(pts)], k, &c)
+			}
+		})
+	}
+}

@@ -167,6 +167,21 @@ func (b Box) Distance(o Box) float64 {
 	return math.Sqrt(sum)
 }
 
+// PointDistance returns the minimum Euclidean distance from point p to
+// the box; zero when p lies inside or on the boundary. It is the
+// node-MBR lower bound driving the best-first kNN descent: no object
+// inside the box can be closer to p than this.
+func (b Box) PointDistance(p Point) float64 {
+	sum := 0.0
+	for d := 0; d < Dims; d++ {
+		gap := math.Max(b.Min[d]-p[d], p[d]-b.Max[d])
+		if gap > 0 {
+			sum += gap * gap
+		}
+	}
+	return math.Sqrt(sum)
+}
+
 // AxisDistance returns the per-dimension (L∞-style) distance between the
 // boxes: the largest single-axis gap, zero when they intersect. This is
 // exactly the predicate captured by ε-expansion of MBRs.

@@ -362,3 +362,37 @@ func TestPropReferencePointInIntersection(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPointDistance(t *testing.T) {
+	b := box(0, 0, 0, 10, 10, 10)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 5, 5}, 0},          // inside
+		{Point{10, 10, 10}, 0},       // corner (closed semantics)
+		{Point{13, 5, 5}, 3},         // one-axis gap
+		{Point{13, 14, 5}, 5},        // 3-4-5 in two axes
+		{Point{-3, -4, 10 + 12}, 13}, // 3-4-12 in three axes
+	}
+	for _, tc := range cases {
+		if got := b.PointDistance(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PointDistance(%v) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestPropPointDistanceMatchesBoxDistance: point-to-box distance must
+// agree with the general box-to-box distance of a zero-extent box.
+func TestPropPointDistanceMatchesBoxDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randomBox(r, 100, 5)
+		p := Point{r.Float64() * 100, r.Float64() * 100, r.Float64() * 100}
+		got, want := b.PointDistance(p), b.Distance(BoxAt(p))
+		return math.Abs(got-want) < 1e-12 && (got == 0) == b.ContainsPoint(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

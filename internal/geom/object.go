@@ -55,6 +55,16 @@ func (ds Dataset) AverageExtent() float64 {
 	return sum / float64(len(ds)*Dims)
 }
 
+// Neighbor is one result of a k-nearest-neighbor query: an object ID and
+// its minimum Euclidean distance from the query point (zero when the
+// point lies inside the object's MBR). KNN results are ordered by
+// (Distance, ID) ascending; the ID tie-break makes equal-distance
+// results deterministic.
+type Neighbor struct {
+	ID       ID
+	Distance float64
+}
+
 // Pair is one result of a spatial join: the IDs of an object from dataset
 // A and an object from dataset B whose MBRs overlap (after ε-expansion,
 // for a distance join).

@@ -1,6 +1,7 @@
 package nl
 
 import (
+	"slices"
 	"testing"
 
 	"touch/internal/datagen"
@@ -97,5 +98,40 @@ func TestDistanceJoinZeroEpsIsIntersection(t *testing.T) {
 	DistanceJoin(a, b, 0, &c, sink)
 	if len(sink.Pairs) != 1 {
 		t.Fatal("touching pair must match at eps=0")
+	}
+}
+
+// TestQueryOracles pins the brute-force query oracles on a tiny
+// hand-checked dataset: three unit boxes along the x axis.
+func TestQueryOracles(t *testing.T) {
+	ds := geom.Dataset{
+		{ID: 0, Box: geom.NewBox(geom.Point{0, 0, 0}, geom.Point{1, 1, 1})},
+		{ID: 1, Box: geom.NewBox(geom.Point{5, 0, 0}, geom.Point{6, 1, 1})},
+		{ID: 2, Box: geom.NewBox(geom.Point{10, 0, 0}, geom.Point{11, 1, 1})},
+	}
+
+	got := RangeQuery(ds, geom.NewBox(geom.Point{0.5, 0, 0}, geom.Point{5.5, 1, 1}))
+	if want := []geom.ID{0, 1}; !slices.Equal(got, want) {
+		t.Fatalf("RangeQuery = %v, want %v", got, want)
+	}
+	if got := PointQuery(ds, geom.Point{5, 1, 1}); !slices.Equal(got, []geom.ID{1}) {
+		t.Fatalf("PointQuery on corner = %v, want [1]", got)
+	}
+	if got := PointQuery(ds, geom.Point{3, 0, 0}); got != nil {
+		t.Fatalf("PointQuery in gap = %v, want none", got)
+	}
+
+	nbrs := KNN(ds, geom.Point{6.5, 0.5, 0.5}, 2)
+	if len(nbrs) != 2 || nbrs[0].ID != 1 || nbrs[1].ID != 2 {
+		t.Fatalf("KNN = %v, want objects 1 then 2", nbrs)
+	}
+	if nbrs[0].Distance != 0.5 || nbrs[1].Distance != 3.5 {
+		t.Fatalf("KNN distances = %v, want 0.5 and 3.5", nbrs)
+	}
+	if got := KNN(ds, geom.Point{0, 0, 0}, 10); len(got) != len(ds) {
+		t.Fatalf("k beyond |ds| returned %d results", len(got))
+	}
+	if got := KNN(ds, geom.Point{0, 0, 0}, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
 	}
 }

@@ -1,0 +1,54 @@
+package nl
+
+import (
+	"cmp"
+	"slices"
+
+	"touch/internal/geom"
+)
+
+// Brute-force single-probe query oracles: every object is examined, no
+// index, no pruning. Like Join, they exist to be obviously correct —
+// the differential tests check the tree-accelerated RangeQuery /
+// PointQuery / KNN of the core package against these, result for
+// result.
+
+// RangeQuery returns the IDs of every object whose MBR intersects q
+// (closed-interval semantics), sorted ascending.
+func RangeQuery(ds geom.Dataset, q geom.Box) []geom.ID {
+	var ids []geom.ID
+	for i := range ds {
+		if ds[i].Box.Intersects(q) {
+			ids = append(ids, ds[i].ID)
+		}
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// PointQuery returns the IDs of every object whose MBR contains p
+// (boundary included), sorted ascending.
+func PointQuery(ds geom.Dataset, p geom.Point) []geom.ID {
+	return RangeQuery(ds, geom.BoxAt(p))
+}
+
+// KNN returns the k objects nearest to q by minimum Euclidean box
+// distance, ordered by (Distance, ID) ascending — the same
+// deterministic tie-break the indexed search guarantees. Fewer than k
+// results are returned when the dataset is smaller.
+func KNN(ds geom.Dataset, q geom.Point, k int) []geom.Neighbor {
+	if k < 1 {
+		return nil
+	}
+	all := make([]geom.Neighbor, len(ds))
+	for i := range ds {
+		all[i] = geom.Neighbor{ID: ds[i].ID, Distance: ds[i].Box.PointDistance(q)}
+	}
+	slices.SortFunc(all, func(a, b geom.Neighbor) int {
+		if a.Distance != b.Distance {
+			return cmp.Compare(a.Distance, b.Distance)
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+	return all[:min(k, len(all))]
+}

@@ -19,6 +19,7 @@ package pbsm
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"touch/internal/geom"
@@ -78,7 +79,7 @@ func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
 
 	start := time.Now()
 	universe := a.MBR().Union(b.MBR())
-	g := grid.New(universe, cfg.Resolution)
+	g := grid.New(universe, clampResolution(cfg.Resolution, universe, a, b))
 	as := sweep.SortByXMin(a)
 	bs := sweep.SortByXMin(b)
 	c.MemoryBytes += int64(len(as)+len(bs)) * stats.BytesPerObject
@@ -101,6 +102,90 @@ func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
 }
 
 const entryBytes = 4 + 4 // key + idx
+
+// maxCellsPerObject bounds the expected replicas per object *on
+// average*: clampResolution halves the resolution until the estimated
+// total replica count falls under maxCellsPerObject × (|A|+|B|). At
+// the paper's workloads an object overlaps a handful of cells, so the
+// bound never binds; it exists for degenerate inputs where objects
+// span most of the data MBR (a dataset of identical boxes collapsing
+// the universe onto itself, or a single all-covering object among tiny
+// ones). There the spanning objects overlap all resolution³ cells and
+// the grid buys zero pruning at O(resolution³) assignment cost each —
+// summing per object catches one heavy spanner that a mean-extent
+// estimate would hide among thousands of small boxes.
+const maxCellsPerObject = 4096
+
+// clampResolution halves the grid resolution until the estimated total
+// replica count fits the budget. Per object the estimate is
+// Π_d min(frac·res+1, res) with frac the object's extent share of the
+// universe; zero-extent universe dimensions collapse to a single cell
+// in grid.NewRes regardless of resolution and contribute factor 1.
+// Fully degenerate inputs — the mean object spans the whole universe
+// in every non-collapsed dimension, so no cell boundary can separate
+// anything — short-circuit to resolution 1, a single plane-sweep.
+func clampResolution(res int, universe geom.Box, a, b geom.Dataset) int {
+	var inv [geom.Dims]float64 // 1/universe extent; 0 marks a collapsed dimension
+	for d := 0; d < geom.Dims; d++ {
+		if u := universe.Extent(d); u > 0 {
+			inv[d] = 1 / u
+		}
+	}
+
+	objCells := func(box geom.Box, r float64) float64 {
+		cells := 1.0
+		for d := 0; d < geom.Dims; d++ {
+			if inv[d] > 0 {
+				cells *= math.Min(math.Min(box.Extent(d)*inv[d], 1)*r+1, r)
+			}
+		}
+		return cells
+	}
+
+	degenerate := true
+	n := float64(len(a) + len(b))
+	for d := 0; d < geom.Dims; d++ {
+		if inv[d] == 0 {
+			continue
+		}
+		ext := 0.0
+		for i := range a {
+			ext += a[i].Box.Extent(d)
+		}
+		for i := range b {
+			ext += b[i].Box.Extent(d)
+		}
+		if ext*inv[d]/n < 1 {
+			degenerate = false
+		}
+	}
+	if degenerate {
+		return 1
+	}
+
+	budget := float64(maxCellsPerObject) * n
+	for res > 1 {
+		r := float64(res)
+		total := 0.0
+		for i := range a {
+			total += objCells(a[i].Box, r)
+			if total > budget {
+				break
+			}
+		}
+		for i := range b {
+			if total > budget {
+				break
+			}
+			total += objCells(b[i].Box, r)
+		}
+		if total <= budget {
+			break
+		}
+		res /= 2
+	}
+	return res
+}
 
 // assign produces the sorted replica array for one dataset: one entry
 // per (object, overlapped cell) pair. A counting pre-pass sizes the

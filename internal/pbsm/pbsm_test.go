@@ -251,3 +251,102 @@ func TestOccupancyLookup(t *testing.T) {
 		t.Error("empty occupancy must report unoccupied")
 	}
 }
+
+// TestCollapsedUniverseClamp: a dataset of identical boxes collapses
+// the universe onto the objects, making every object overlap every grid
+// cell. The resolution clamp must keep the join tractable (resolution 1
+// in the fully degenerate limit) and the results must still match the
+// oracle.
+func TestCollapsedUniverseClamp(t *testing.T) {
+	box := geom.NewBox(geom.Point{100, 100, 100}, geom.Point{140, 140, 140})
+	a := make(geom.Dataset, 50)
+	b := make(geom.Dataset, 70)
+	for i := range a {
+		a[i] = geom.Object{ID: geom.ID(i), Box: box}
+	}
+	for i := range b {
+		b[i] = geom.Object{ID: geom.ID(i), Box: box}
+	}
+
+	if got := clampResolution(Resolution500, box, a, b); got != 1 {
+		t.Fatalf("fully degenerate input: clamped resolution = %d, want 1", got)
+	}
+
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	Join(a, b, Config{Resolution: Resolution500}, &c, sink)
+	if len(sink.Pairs) != len(a)*len(b) {
+		t.Fatalf("identical boxes: got %d pairs, want %d", len(sink.Pairs), len(a)*len(b))
+	}
+
+	// Normal workloads must be untouched: objects ~1000× smaller than
+	// the universe overlap a handful of cells at resolution 500.
+	u := datagen.UniformSet(500, 3)
+	v := datagen.UniformSet(500, 4)
+	universe := u.MBR().Union(v.MBR())
+	if got := clampResolution(Resolution500, universe, u, v); got != Resolution500 {
+		t.Fatalf("normal workload: clamped resolution = %d, want %d", got, Resolution500)
+	}
+}
+
+// TestClampResolutionPlanarData: a dimension with zero universe extent
+// collapses to one grid cell regardless of resolution, so it must not
+// count toward the cells-per-object estimate — planar data with small
+// x/y objects keeps the full resolution.
+func TestClampResolutionPlanarData(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	planar := func(n int, idBase geom.ID) geom.Dataset {
+		ds := make(geom.Dataset, n)
+		for i := range ds {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			ds[i] = geom.Object{ID: idBase + geom.ID(i), Box: geom.NewBox(
+				geom.Point{x, y, 0}, geom.Point{x + 2, y + 2, 0})}
+		}
+		return ds
+	}
+	a, b := planar(200, 0), planar(300, 0)
+	universe := a.MBR().Union(b.MBR())
+	if got := clampResolution(Resolution500, universe, a, b); got != Resolution500 {
+		t.Fatalf("planar data: clamped resolution = %d, want %d", got, Resolution500)
+	}
+	// All objects identical *points*: every dimension collapses — the
+	// degenerate limit applies.
+	pt := geom.BoxAt(geom.Point{5, 5, 5})
+	ida := geom.Dataset{{ID: 0, Box: pt}, {ID: 1, Box: pt}}
+	if got := clampResolution(Resolution500, pt, ida, ida); got != 1 {
+		t.Fatalf("identical points: clamped resolution = %d, want 1", got)
+	}
+}
+
+// TestClampResolutionSpanningObject: one universe-covering object among
+// many tiny ones must trigger the clamp — a mean-extent estimate would
+// hide it and let that single object replicate into all resolution³
+// cells. The join must stay tractable and still match the oracle.
+func TestClampResolutionSpanningObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := make(geom.Dataset, 0, 101)
+	for i := 0; i < 100; i++ {
+		x, y, z := rng.Float64()*999, rng.Float64()*999, rng.Float64()*999
+		a = append(a, geom.Object{ID: geom.ID(i), Box: geom.NewBox(
+			geom.Point{x, y, z}, geom.Point{x + 1, y + 1, z + 1})})
+	}
+	a = append(a, geom.Object{ID: 100, Box: geom.NewBox(geom.Point{0, 0, 0}, geom.Point{1000, 1000, 1000})})
+	b := datagen.UniformSet(200, 14)
+
+	universe := a.MBR().Union(b.MBR())
+	got := clampResolution(Resolution500, universe, a, b)
+	if got >= Resolution500 {
+		t.Fatalf("spanning object did not trigger the clamp: resolution %d", got)
+	}
+	if got < 8 {
+		t.Fatalf("clamp overshot: resolution %d cripples the 300 normal objects", got)
+	}
+
+	var c stats.Counters
+	sink := &stats.CollectSink{}
+	Join(a, b, Config{Resolution: Resolution500}, &c, sink)
+	want := oracle(a, b)
+	if len(sink.Pairs) != len(want) {
+		t.Fatalf("got %d pairs, oracle has %d", len(sink.Pairs), len(want))
+	}
+}

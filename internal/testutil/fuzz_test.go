@@ -1,0 +1,148 @@
+package testutil
+
+import (
+	"bytes"
+	"encoding/binary"
+	"slices"
+	"testing"
+
+	"touch"
+	"touch/internal/geom"
+	"touch/internal/nl"
+)
+
+// The fuzz targets decode raw bytes into small datasets and check the
+// fast paths against the brute-force oracles — the adversarial
+// counterpart of the seeded differential tables above. Coordinates are
+// quantized onto a coarse lattice (multiples of 5 in [0, 315]) so the
+// fuzzer constantly produces touching boundaries, zero-extent boxes,
+// duplicates and distance ties — the inputs where tie-breaking and
+// closed-interval semantics actually matter — rather than 2⁶⁴ distinct
+// floats that never collide. NaN/Inf never enter: the public API
+// rejects them by contract (ErrInvalidBox / ErrInvalidPoint).
+
+// fuzzVal maps two bytes onto the coordinate lattice.
+func fuzzVal(data []byte, i int) float64 {
+	return float64(binary.LittleEndian.Uint16(data[i:])%64) * 5
+}
+
+const bytesPerBox = 12 // 6 lattice values
+
+// fuzzBox decodes one box starting at byte offset i, normalizing corner
+// order through NewBox.
+func fuzzBox(data []byte, i int) geom.Box {
+	var lo, hi geom.Point
+	for d := 0; d < geom.Dims; d++ {
+		lo[d] = fuzzVal(data, i+2*d)
+		hi[d] = fuzzVal(data, i+6+2*d)
+	}
+	return geom.NewBox(lo, hi)
+}
+
+// fuzzDataset decodes up to maxN boxes from data starting at offset i,
+// returning the dataset and the offset past the consumed bytes.
+func fuzzDataset(data []byte, i, maxN int) (geom.Dataset, int) {
+	n := min(maxN, (len(data)-i)/bytesPerBox)
+	ds := make(geom.Dataset, 0, max(n, 0))
+	for j := 0; j < n; j++ {
+		ds = append(ds, geom.Object{ID: geom.ID(j), Box: fuzzBox(data, i)})
+		i += bytesPerBox
+	}
+	return ds, i
+}
+
+// fuzzSeeds adds a shared seed corpus: empty input, a single pair,
+// identical boxes, and a striped pattern exercising every lattice
+// value.
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x11}, 3+2*bytesPerBox))
+	f.Add(bytes.Repeat([]byte{0x00, 0x40}, 40)) // identical boxes
+	stripes := make([]byte, 0, 200)
+	for i := 0; i < 200; i++ {
+		stripes = append(stripes, byte(i*7))
+	}
+	f.Add(stripes)
+}
+
+// FuzzJoin: TOUCH (sequential and 4 workers) and the clamped PBSM grid
+// must reproduce the nested-loop pair set on arbitrary decoded
+// datasets.
+func FuzzJoin(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		a, off := fuzzDataset(data, 1, int(data[0])%64)
+		b, _ := fuzzDataset(data, off, 64)
+		c := Case{Name: "fuzz", A: a, B: b}
+		want, err := OraclePairs(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []touch.Algorithm{touch.AlgTOUCH, touch.AlgPBSM500} {
+			for _, workers := range []int{1, 4} {
+				if err := CheckJoin(alg, c, workers, want); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRangeQuery: the tree-accelerated range and point queries must
+// match the exhaustive scans on arbitrary decoded datasets and query
+// boxes.
+func FuzzRangeQuery(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < bytesPerBox {
+			return
+		}
+		q := fuzzBox(data, 0)
+		ds, _ := fuzzDataset(data, bytesPerBox, 128)
+		ix := touch.BuildIndex(ds, touch.TOUCHConfig{})
+
+		got, err := ix.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := nl.RangeQuery(ds, q); !slices.Equal(got, want) {
+			t.Fatalf("RangeQuery(%v) on %d objects: got %v, want %v", q, len(ds), got, want)
+		}
+
+		p := q.Min
+		gotPt, err := ix.PointQuery(p[0], p[1], p[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := nl.PointQuery(ds, p); !slices.Equal(gotPt, want) {
+			t.Fatalf("PointQuery(%v) on %d objects: got %v, want %v", p, len(ds), gotPt, want)
+		}
+	})
+}
+
+// FuzzKNN: best-first kNN must match the sort-everything oracle —
+// including the (Distance, ID) tie order the lattice provokes — on
+// arbitrary decoded datasets, query points and k.
+func FuzzKNN(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 7 {
+			return
+		}
+		k := 1 + int(data[0])%32
+		p := geom.Point{fuzzVal(data, 1), fuzzVal(data, 3), fuzzVal(data, 5)}
+		ds, _ := fuzzDataset(data, 7, 128)
+		ix := touch.BuildIndex(ds, touch.TOUCHConfig{})
+
+		got, err := ix.KNN(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := nl.KNN(ds, p, k); !slices.Equal(got, want) {
+			t.Fatalf("KNN(%v, %d) on %d objects: got %v, want %v", p, k, len(ds), got, want)
+		}
+	})
+}

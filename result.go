@@ -5,8 +5,15 @@ import (
 	"fmt"
 	"slices"
 
+	"touch/internal/geom"
 	"touch/internal/stats"
 )
+
+// Neighbor is one k-nearest-neighbor query result: an object ID from the
+// indexed dataset and its minimum Euclidean distance from the query
+// point (zero when the point lies inside the object's MBR). Index.KNN
+// returns neighbors ordered by (Distance, ID) ascending.
+type Neighbor = geom.Neighbor
 
 // FormatBytes renders a byte count in human units (KB/MB/GB).
 func FormatBytes(n int64) string { return stats.FormatBytes(n) }

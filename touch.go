@@ -42,6 +42,8 @@ import (
 
 // Re-exported geometric types; see the geom package for their methods.
 type (
+	// ID identifies a spatial object within its dataset.
+	ID = geom.ID
 	// Point is a location in 3-D space.
 	Point = geom.Point
 	// Box is an axis-aligned minimum bounding rectangle.
@@ -74,6 +76,11 @@ type (
 	// capacity) used by the RTree and INL baselines.
 	RTreeConfig = rtree.Config
 )
+
+// NewBox returns the box spanned by the two corner points, normalizing
+// the coordinates so that Min[d] <= Max[d] in every dimension — the
+// constructor to use for RangeQuery boxes.
+func NewBox(a, b Point) Box { return geom.NewBox(a, b) }
 
 // Algorithm names a spatial-join algorithm.
 type Algorithm string
@@ -163,6 +170,19 @@ var ErrUnknownAlgorithm = errors.New("touch: unknown algorithm")
 // join is asked for a negative ε; test with errors.Is. DistanceJoin and
 // Index.DistanceJoin share it, so the two paths reject consistently.
 var ErrNegativeDistance = errors.New("touch: negative distance")
+
+// ErrInvalidBox is wrapped into the error returned when a query box is
+// malformed (NaN coordinates or Min > Max in some dimension); test with
+// errors.Is.
+var ErrInvalidBox = errors.New("touch: invalid query box")
+
+// ErrInvalidPoint is wrapped into the error returned when a query point
+// has NaN coordinates; test with errors.Is.
+var ErrInvalidPoint = errors.New("touch: invalid query point")
+
+// ErrInvalidK is wrapped into the error returned when a kNN query asks
+// for fewer than one neighbor; test with errors.Is.
+var ErrInvalidK = errors.New("touch: k must be at least 1")
 
 // checkEps validates a distance-join ε.
 func checkEps(eps float64) error {
