@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke clean
+.PHONY: all build test race vet bench bench-smoke serve-smoke clean
 
 all: vet build test
 
@@ -22,14 +22,22 @@ vet:
 # the serving section: per-query latency and queries/sec for concurrent
 # clients sharing one prebuilt index. BENCH_3 adds the query-serving
 # points: range-cN / knn-cN throughput and allocs/op for single-probe
-# queries on the shared index.
-BENCH_OUT ?= BENCH_3.json
+# queries on the shared index. BENCH_4 adds the network-path points:
+# http-range-cN / http-knn-cN qps through the touchserved HTTP subsystem
+# on loopback, next to the in-process numbers.
+BENCH_OUT ?= BENCH_4.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 
 # bench-smoke is the CI-sized run: every testing.B benchmark once.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# serve-smoke boots touchserved on a random port, exercises every query
+# shape plus a join and the metrics endpoint over real HTTP with curl,
+# and asserts a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 clean:
 	rm -f BENCH_*.json

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 
 	"os"
 	"runtime"
@@ -11,6 +14,7 @@ import (
 	"time"
 
 	"touch"
+	"touch/internal/server"
 	"touch/internal/testutil"
 )
 
@@ -41,6 +45,54 @@ type benchReport struct {
 	SizeB     int          `json:"size_b"`
 	Eps       float64      `json:"eps"`
 	Points    []benchPoint `json:"points"`
+}
+
+// measureClients runs clients goroutines of perClient operations each
+// and reports the aggregate as one bench point: NsPerOp is the mean
+// per-op latency a single client sees, QueriesPerS the throughput
+// across clients. With collectAllocs, AllocsPerOp is attributed from
+// the process-wide malloc delta — meaningful for the in-process serving
+// modes, skipped for the HTTP modes where the server's own goroutines
+// dominate the delta. The first run error aborts the measurement.
+func measureClients(name string, clients, perClient int, collectAllocs bool, run func(i int) error) (benchPoint, error) {
+	var ms0, ms1 runtime.MemStats
+	if collectAllocs {
+		runtime.ReadMemStats(&ms0)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				if err := run(cl*perClient + q); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errc)
+	for err := range errc {
+		return benchPoint{}, fmt.Errorf("%s: %w", name, err)
+	}
+	total := clients * perClient
+	pt := benchPoint{
+		Name:        name,
+		Algorithm:   string(touch.AlgTOUCH),
+		Clients:     clients,
+		NsPerOp:     wall.Nanoseconds() / int64(perClient),
+		QueriesPerS: float64(total) / wall.Seconds(),
+	}
+	if collectAllocs {
+		runtime.ReadMemStats(&ms1)
+		pt.AllocsPerOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(total)
+	}
+	return pt, nil
 }
 
 // runBenchSuite joins one uniform workload (the microbenchmark shape of
@@ -122,31 +174,12 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 		idx.Join(probe, &touch.Options{NoPairs: true}) // populate the probe pool
 	}
 	for _, clients := range []int{1, 2, 4, 8} {
-		var ms0, ms1 runtime.MemStats
-		runtime.ReadMemStats(&ms0)
-		var wg sync.WaitGroup
-		start := time.Now()
-		for cl := 0; cl < clients; cl++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for q := 0; q < queriesPerClient; q++ {
-					idx.Join(probe, &touch.Options{NoPairs: true})
-				}
-			}()
+		pt, err := measureClients(fmt.Sprintf("serve-c%d", clients), clients, queriesPerClient, true,
+			func(int) error { idx.Join(probe, &touch.Options{NoPairs: true}); return nil })
+		if err != nil {
+			return err
 		}
-		wg.Wait()
-		wall := time.Since(start)
-		runtime.ReadMemStats(&ms1)
-		total := clients * queriesPerClient
-		report.Points = append(report.Points, benchPoint{
-			Name:        fmt.Sprintf("serve-c%d", clients),
-			Algorithm:   string(touch.AlgTOUCH),
-			Clients:     clients,
-			NsPerOp:     wall.Nanoseconds() / int64(queriesPerClient),
-			QueriesPerS: float64(total) / wall.Seconds(),
-			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(total),
-		})
+		report.Points = append(report.Points, pt)
 	}
 
 	// Query serving: the same shared index answers single-probe range
@@ -177,39 +210,76 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			return fmt.Errorf("%s: %w", mode.name, err)
 		}
 		for _, clients := range []int{1, 4, 8} {
-			var ms0, ms1 runtime.MemStats
-			runtime.ReadMemStats(&ms0)
-			var wg sync.WaitGroup
-			errc := make(chan error, clients)
-			start := time.Now()
-			for cl := 0; cl < clients; cl++ {
-				wg.Add(1)
-				go func(cl int) {
-					defer wg.Done()
-					for q := 0; q < queriesPerQueryClient; q++ {
-						if err := mode.run(cl*queriesPerQueryClient + q); err != nil {
-							errc <- err
-							return
-						}
-					}
-				}(cl)
+			pt, err := measureClients(fmt.Sprintf("%s-c%d", mode.name, clients),
+				clients, queriesPerQueryClient, true, mode.run)
+			if err != nil {
+				return err
 			}
-			wg.Wait()
-			wall := time.Since(start)
-			close(errc)
-			for err := range errc {
-				return fmt.Errorf("%s-c%d: %w", mode.name, clients, err)
+			report.Points = append(report.Points, pt)
+		}
+	}
+
+	// Network-path serving: the same query index behind the touchserved
+	// HTTP subsystem on loopback. Clients POST pre-encoded query bodies
+	// over keep-alive connections; NsPerOp is the mean per-request
+	// latency a client sees and QueriesPerS the aggregate qps — read
+	// next to range-cN / knn-cN above for the cost of the HTTP boundary.
+	srv := server.New(server.Config{MaxInFlight: 256})
+	srv.Load("bench", a, touch.TOUCHConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	baseURL := "http://" + ln.Addr().String() + "/v1/datasets/bench/query"
+
+	rangeBodies := make([][]byte, queryShapes)
+	knnBodies := make([][]byte, queryShapes)
+	for i := 0; i < queryShapes; i++ {
+		b := boxes[i]
+		rangeBodies[i], _ = json.Marshal(map[string]any{
+			"type": "range",
+			"box":  []float64{b.Min[0], b.Min[1], b.Min[2], b.Max[0], b.Max[1], b.Max[2]},
+		})
+		knnBodies[i], _ = json.Marshal(map[string]any{
+			"type": "knn", "point": points[i][:], "k": 10,
+		})
+	}
+	httpClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	httpPost := func(body []byte) error {
+		resp, err := httpClient.Post(baseURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("query status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	const httpQueriesPerClient = 512
+	for _, mode := range []struct {
+		name   string
+		bodies [][]byte
+	}{{"http-range", rangeBodies}, {"http-knn", knnBodies}} {
+		if err := httpPost(mode.bodies[0]); err != nil { // warm connections & probe pool
+			return fmt.Errorf("%s: %w", mode.name, err)
+		}
+		for _, clients := range []int{1, 8} {
+			// No allocs/op here: the server's own goroutines dominate the
+			// process-wide malloc delta.
+			pt, err := measureClients(fmt.Sprintf("%s-c%d", mode.name, clients),
+				clients, httpQueriesPerClient, false,
+				func(i int) error { return httpPost(mode.bodies[i%queryShapes]) })
+			if err != nil {
+				return err
 			}
-			runtime.ReadMemStats(&ms1)
-			total := clients * queriesPerQueryClient
-			report.Points = append(report.Points, benchPoint{
-				Name:        fmt.Sprintf("%s-c%d", mode.name, clients),
-				Algorithm:   string(touch.AlgTOUCH),
-				Clients:     clients,
-				NsPerOp:     wall.Nanoseconds() / int64(queriesPerQueryClient),
-				QueriesPerS: float64(total) / wall.Seconds(),
-				AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / int64(total),
-			})
+			report.Points = append(report.Points, pt)
 		}
 	}
 

@@ -16,11 +16,12 @@
 //
 // The -bench mode runs every algorithm (plus the parallel TOUCH core at
 // several worker counts, plus concurrent-client serving throughput on
-// one shared index — whole-dataset joins and single-probe range/kNN
-// queries) on one fixed uniform workload and writes a machine-readable
-// JSON summary — per-algorithm wall time, phase times, comparisons,
-// results, analytic memory and queries/sec — so successive revisions
-// can be diffed (`make bench` writes BENCH_3.json).
+// one shared index — whole-dataset joins, single-probe range/kNN
+// queries, and the same queries through the touchserved HTTP subsystem
+// on loopback) on one fixed uniform workload and writes a
+// machine-readable JSON summary — per-algorithm wall time, phase times,
+// comparisons, results, analytic memory and queries/sec — so successive
+// revisions can be diffed (`make bench` writes BENCH_4.json).
 package main
 
 import (

@@ -1,0 +1,122 @@
+// Command touchserved serves TOUCH indexes over JSON-HTTP: a catalog of
+// named, versioned, hot-swappable datasets answering range/point/knn
+// queries and intersection/ε-distance joins, with admission control and
+// Prometheus-text metrics (see internal/server for the API).
+//
+// Usage:
+//
+//	touchserved [-addr :8080] [-max-inflight 64] [-timeout 10s]
+//	            [-max-body 8388608] [-workers 0] [-load name=path ...]
+//
+// -load preloads a text-format dataset file (ReadDataset syntax) under
+// the given name, building its index before the listener opens; it may
+// be repeated. The actual listen address is printed on startup —
+// `-addr 127.0.0.1:0` picks a free port, for smoke tests.
+//
+// SIGINT/SIGTERM trigger a graceful drain: new requests are rejected
+// with 503 while in-flight ones complete, then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"touch"
+	"touch/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+		maxInFlight = flag.Int("max-inflight", 64, "max concurrently admitted requests; more get 429")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request processing budget")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		workers     = flag.Int("workers", 0, "default per-join parallelism (a request's workers field overrides)")
+		grace       = flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+	)
+	var preloads []string
+	flag.Func("load", "preload a text dataset as name=path (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		preloads = append(preloads, v)
+		return nil
+	})
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Workers:        *workers,
+	})
+
+	for _, p := range preloads {
+		name, path, _ := strings.Cut(p, "=")
+		if !server.ValidDatasetName(name) {
+			log.Fatalf("touchserved: -load %s: name must be 1-128 chars of [A-Za-z0-9._-]", p)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("touchserved: -load %s: %v", p, err)
+		}
+		ds, err := touch.ReadDataset(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("touchserved: -load %s: %v", p, err)
+		}
+		start := time.Now()
+		_, stats := srv.Load(name, ds, touch.TOUCHConfig{Workers: *workers})
+		log.Printf("touchserved: loaded %q: %d objects, %s static, built in %v",
+			name, stats.Objects, touch.FormatBytes(stats.StaticBytes), time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("touchserved: listen: %v", err)
+	}
+	// Read deadlines close the slow-body loophole: body decoding happens
+	// before the handler's processing budget is enforced, so without
+	// them a client trickling one byte at a time could pin an admission
+	// slot indefinitely. Write/idle deadlines leave room for the handler
+	// budget plus response transfer.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout + 15*time.Second,
+		WriteTimeout:      *timeout + 30*time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	// The parseable startup line smoke tests grab the port from.
+	log.Printf("touchserved listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("touchserved: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("touchserved: draining (grace %v)", *grace)
+	srv.BeginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("touchserved: shutdown: %v", err)
+	}
+	log.Printf("touchserved: drained, bye")
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -46,13 +47,47 @@ func RefineCylinders(a, b CylinderSet, pairs []Pair, eps float64) []Pair {
 	return geom.Refine(a, b, pairs, eps)
 }
 
+// DatasetFromBoxes constructs a Dataset from explicit boxes, assigning
+// sequential IDs starting at 0 — the loader for decoded network payloads
+// (JSON box arrays). Unlike ReadDataset it does not normalize corner
+// order: a box with Min > Max in some dimension, or any NaN or ±Inf
+// coordinate, is rejected with an error wrapping ErrInvalidBox, so a
+// malformed payload cannot poison an index (non-finite coordinates break
+// STR packing and grid sizing silently rather than loudly).
+func DatasetFromBoxes(boxes []Box) (Dataset, error) {
+	ds := make(Dataset, 0, len(boxes))
+	for i, b := range boxes {
+		if err := checkDataBox(b); err != nil {
+			return nil, fmt.Errorf("touch: box %d: %w", i, err)
+		}
+		ds = append(ds, Object{ID: geom.ID(len(ds)), Box: b})
+	}
+	return ds, nil
+}
+
+// checkDataBox validates a box destined for a dataset: every coordinate
+// finite and Min <= Max per dimension. (Query boxes are laxer — an
+// infinite RangeQuery box is meaningful — so this check is only applied
+// by the dataset loaders.)
+func checkDataBox(b Box) error {
+	for d := 0; d < geom.Dims; d++ {
+		lo, hi := b.Min[d], b.Max[d]
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) || lo > hi {
+			return fmt.Errorf("%w %v", ErrInvalidBox, b)
+		}
+	}
+	return nil
+}
+
 // ReadDataset parses a dataset from a text stream with one object per
 // line: six whitespace- or comma-separated numbers
 //
 //	minX minY minZ maxX maxY maxZ
 //
 // Empty lines and lines starting with '#' are skipped. Objects receive
-// sequential IDs starting at 0.
+// sequential IDs starting at 0. Corner order is normalized per dimension
+// (NewBox semantics); NaN and ±Inf coordinates are rejected with an
+// error wrapping ErrInvalidBox.
 func ReadDataset(r io.Reader) (Dataset, error) {
 	var ds Dataset
 	sc := bufio.NewScanner(r)
@@ -73,6 +108,9 @@ func ReadDataset(r io.Reader) (Dataset, error) {
 			x, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("touch: line %d: %v", lineNo, err)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("touch: line %d: %w: non-finite coordinate %q", lineNo, ErrInvalidBox, f)
 			}
 			v[i] = x
 		}

@@ -1,0 +1,122 @@
+package touch
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"touch/internal/core"
+)
+
+// TestReadDatasetRejectsNonFinite: the text loader must reject NaN and
+// ±Inf coordinates with ErrInvalidBox — a malformed network payload may
+// not poison an index.
+func TestReadDatasetRejectsNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		input string
+	}{
+		{"nan-min", "NaN 0 0 1 1 1\n"},
+		{"nan-max", "0 0 0 1 NaN 1\n"},
+		{"pos-inf", "0 0 0 +Inf 1 1\n"},
+		{"neg-inf", "-Inf 0 0 1 1 1\n"},
+		{"inf-word", "0 0 0 1 1 Infinity\n"},
+		{"nan-after-valid-line", "0 0 0 1 1 1\n2 2 NaN 3 3 3\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadDataset(strings.NewReader(tc.input))
+			if !errors.Is(err, ErrInvalidBox) {
+				t.Fatalf("want ErrInvalidBox, got %v", err)
+			}
+		})
+	}
+
+	// Valid input still parses, with corner order normalized.
+	ds, err := ReadDataset(strings.NewReader("# comment\n3 4 5, 0 1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Box != NewBox(Point{0, 1, 2}, Point{3, 4, 5}) {
+		t.Fatalf("parsed %v", ds)
+	}
+}
+
+// TestDatasetFromBoxes: the decoded-payload loader must reject NaN, ±Inf
+// and inverted (Min > Max) boxes with ErrInvalidBox, and assign
+// sequential IDs to valid input.
+func TestDatasetFromBoxes(t *testing.T) {
+	ok := []Box{
+		{Min: Point{0, 0, 0}, Max: Point{1, 1, 1}},
+		{Min: Point{5, 5, 5}, Max: Point{5, 5, 5}}, // zero extent is valid
+	}
+	ds, err := DatasetFromBoxes(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].ID != 0 || ds[1].ID != 1 {
+		t.Fatalf("want sequential IDs, got %v", ds)
+	}
+
+	for _, tc := range []struct {
+		name string
+		box  Box
+	}{
+		{"nan", Box{Min: Point{math.NaN(), 0, 0}, Max: Point{1, 1, 1}}},
+		{"pos-inf", Box{Min: Point{0, 0, 0}, Max: Point{1, math.Inf(1), 1}}},
+		{"neg-inf", Box{Min: Point{0, math.Inf(-1), 0}, Max: Point{1, 1, 1}}},
+		{"inverted", Box{Min: Point{2, 0, 0}, Max: Point{1, 1, 1}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DatasetFromBoxes([]Box{{Min: Point{0, 0, 0}, Max: Point{1, 1, 1}}, tc.box})
+			if !errors.Is(err, ErrInvalidBox) {
+				t.Fatalf("want ErrInvalidBox, got %v", err)
+			}
+			if err != nil && !strings.Contains(err.Error(), "box 1") {
+				t.Fatalf("error should name the offending box index: %v", err)
+			}
+		})
+	}
+}
+
+// TestIndexStats: Stats() must agree with the internal tree — in
+// particular StaticBytes with Tree.StaticBytes — and stay fixed across
+// queries.
+func TestIndexStats(t *testing.T) {
+	a := GenerateUniform(2_000, 7)
+	cfg := TOUCHConfig{Partitions: 64}
+	idx := BuildIndex(a, cfg)
+	tree := core.Build(a, cfg)
+
+	s := idx.Stats()
+	if s.Objects != len(a) {
+		t.Fatalf("Objects = %d, want %d", s.Objects, len(a))
+	}
+	if s.Nodes != tree.Nodes || s.Leaves != tree.Leaves || s.Height != tree.Height {
+		t.Fatalf("tree shape mismatch: got %+v, tree has nodes=%d leaves=%d height=%d",
+			s, tree.Nodes, tree.Leaves, tree.Height)
+	}
+	if s.StaticBytes != tree.StaticBytes() {
+		t.Fatalf("StaticBytes = %d, want Tree.StaticBytes = %d", s.StaticBytes, tree.StaticBytes())
+	}
+	if s.StaticBytes <= 0 || s.Nodes < s.Leaves || s.Height < 1 {
+		t.Fatalf("implausible stats %+v", s)
+	}
+
+	// Stats are build-time constants: untouched by query traffic.
+	if _, err := idx.RangeQuery(NewBox(Point{0, 0, 0}, Point{100, 100, 100})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.KNN(Point{1, 2, 3}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if again := idx.Stats(); again != s {
+		t.Fatalf("Stats changed across queries: %+v vs %+v", again, s)
+	}
+
+	// Degenerate: the empty index still reports a single-leaf tree.
+	empty := BuildIndex(nil, TOUCHConfig{}).Stats()
+	if empty.Objects != 0 || empty.Nodes != 1 || empty.Height != 1 {
+		t.Fatalf("empty index stats %+v", empty)
+	}
+}

@@ -1,0 +1,266 @@
+// HTTP serving: the touchserved subsystem end to end, verified against
+// the in-process engine.
+//
+// The program starts the serving subsystem on a loopback port, then acts
+// as its own client: it loads two datasets over HTTP (one as JSON boxes,
+// one in the text format), waits for their background index builds, runs
+// every query shape plus a join through the network path, and checks
+// each decoded answer against a direct touch.Index oracle built on the
+// same data. Finally it hot-swaps one dataset with new content while the
+// old version is still serving and shows the version flip. Run with:
+//
+//	go run ./examples/httpserving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"touch"
+	"touch/internal/server"
+)
+
+const baseCfgPartitions = 64
+
+func main() {
+	// Serve on a free loopback port; no flags needed.
+	srv := server.New(server.Config{MaxInFlight: 32})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("touchserved on %s\n\n", base)
+
+	// Two datasets: "cells" uploaded as JSON boxes, "grid" as text.
+	cellsV1 := touch.GenerateClustered(3_000, 1)
+	grid := touch.GenerateUniform(2_000, 2)
+
+	fmt.Println("loading datasets over HTTP (indexes build in the background):")
+	postJSONBoxes(base, "cells", cellsV1)
+	postText(base, "grid", grid)
+	waitReady(base, "cells", 1)
+	waitReady(base, "grid", 1)
+
+	// The catalog listing shows what the server now holds.
+	var list struct {
+		Datasets []struct {
+			Name        string `json:"name"`
+			Version     int64  `json:"version"`
+			Status      string `json:"status"`
+			Objects     int    `json:"objects"`
+			StaticBytes int64  `json:"static_bytes"`
+		} `json:"datasets"`
+	}
+	getJSON(base+"/v1/datasets", &list)
+	for _, d := range list.Datasets {
+		fmt.Printf("  %-6s v%d %-8s %6d objects, %s static\n",
+			d.Name, d.Version, d.Status, d.Objects, touch.FormatBytes(d.StaticBytes))
+	}
+
+	// Oracle: the same indexes built in-process.
+	oracleCells := touch.BuildIndex(cellsV1, touch.TOUCHConfig{Partitions: baseCfgPartitions})
+	oracleGrid := touch.BuildIndex(grid, touch.TOUCHConfig{Partitions: baseCfgPartitions})
+
+	fmt.Println("\nquerying over HTTP, verifying against the in-process oracle:")
+	checks := 0
+
+	// Range query on cells.
+	box := touch.NewBox(touch.Point{200, 200, 200}, touch.Point{420, 420, 420})
+	var qr struct {
+		Version   int64      `json:"version"`
+		Count     int        `json:"count"`
+		IDs       []touch.ID `json:"ids"`
+		Neighbors []struct {
+			ID       touch.ID `json:"id"`
+			Distance float64  `json:"distance"`
+		} `json:"neighbors"`
+	}
+	postJSON(base+"/v1/datasets/cells/query", map[string]any{
+		"type": "range",
+		"box":  []float64{box.Min[0], box.Min[1], box.Min[2], box.Max[0], box.Max[1], box.Max[2]},
+	}, &qr)
+	wantIDs, _ := oracleCells.RangeQuery(box)
+	mustEqualIDs("range(cells)", qr.IDs, wantIDs)
+	fmt.Printf("  range  cells  %5d ids   ✓ matches oracle\n", qr.Count)
+	checks++
+
+	// Point query on grid.
+	qr.IDs, qr.Neighbors = nil, nil // omitempty fields: reset between decodes
+	postJSON(base+"/v1/datasets/grid/query", map[string]any{
+		"type": "point", "point": []float64{500, 500, 500},
+	}, &qr)
+	wantIDs, _ = oracleGrid.PointQuery(500, 500, 500)
+	mustEqualIDs("point(grid)", qr.IDs, wantIDs)
+	fmt.Printf("  point  grid   %5d ids   ✓ matches oracle\n", len(qr.IDs))
+	checks++
+
+	// kNN on cells.
+	qr.IDs, qr.Neighbors = nil, nil
+	q := touch.Point{333, 666, 111}
+	postJSON(base+"/v1/datasets/cells/query", map[string]any{
+		"type": "knn", "point": q[:], "k": 12,
+	}, &qr)
+	wantNN, _ := oracleCells.KNN(q, 12)
+	if len(qr.Neighbors) != len(wantNN) {
+		log.Fatalf("knn: %d neighbors, oracle %d", len(qr.Neighbors), len(wantNN))
+	}
+	for i, n := range wantNN {
+		if qr.Neighbors[i].ID != n.ID || qr.Neighbors[i].Distance != n.Distance {
+			log.Fatalf("knn neighbor %d: (%d,%g) vs oracle (%d,%g)",
+				i, qr.Neighbors[i].ID, qr.Neighbors[i].Distance, n.ID, n.Distance)
+		}
+	}
+	fmt.Printf("  knn    cells  %5d nbrs  ✓ matches oracle\n", len(qr.Neighbors))
+	checks++
+
+	// ε-distance join: cells ⋈ grid by name.
+	var jr struct {
+		Version int64          `json:"version"`
+		Count   int64          `json:"count"`
+		Pairs   [][2]touch.ID  `json:"pairs"`
+		Stats   map[string]any `json:"stats"`
+	}
+	postJSON(base+"/v1/datasets/cells/join", map[string]any{"probe": "grid", "eps": 5.0}, &jr)
+	res, err := oracleCells.DistanceJoin(grid, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.SortPairs()
+	if int64(len(jr.Pairs)) != jr.Count || len(jr.Pairs) != len(res.Pairs) {
+		log.Fatalf("join: %d pairs over HTTP, oracle %d", len(jr.Pairs), len(res.Pairs))
+	}
+	for i, p := range res.Pairs {
+		if jr.Pairs[i][0] != p.A || jr.Pairs[i][1] != p.B {
+			log.Fatalf("join pair %d differs", i)
+		}
+	}
+	fmt.Printf("  join   cells⋈grid ε=5: %d pairs ✓ matches oracle\n", jr.Count)
+	checks++
+
+	// Hot swap: re-POST "cells" with fresh content. The old version keeps
+	// serving until the new index is ready, then the pointer flips.
+	fmt.Println("\nhot-swapping cells with new content:")
+	cellsV2 := touch.GenerateGaussian(4_000, 3)
+	postJSONBoxes(base, "cells", cellsV2)
+	waitReady(base, "cells", 2)
+	oracleV2 := touch.BuildIndex(cellsV2, touch.TOUCHConfig{Partitions: baseCfgPartitions})
+
+	qr.IDs, qr.Neighbors = nil, nil
+
+	postJSON(base+"/v1/datasets/cells/query", map[string]any{
+		"type": "range",
+		"box":  []float64{box.Min[0], box.Min[1], box.Min[2], box.Max[0], box.Max[1], box.Max[2]},
+	}, &qr)
+	wantIDs, _ = oracleV2.RangeQuery(box)
+	mustEqualIDs("range(cells v2)", qr.IDs, wantIDs)
+	fmt.Printf("  range  cells  v%d: %d ids ✓ matches the v2 oracle (was v1)\n", qr.Version, qr.Count)
+	checks++
+
+	fmt.Printf("\nall %d HTTP answers identical to direct Index calls ✓\n", checks)
+}
+
+// --- tiny HTTP client helpers -------------------------------------------
+
+func must(resp *http.Response, err error, wantStatus int) []byte {
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		log.Fatalf("%s %s: status %d, want %d: %s",
+			resp.Request.Method, resp.Request.URL.Path, resp.StatusCode, wantStatus, body)
+	}
+	return body
+}
+
+func postJSONBoxes(base, name string, ds touch.Dataset) {
+	rows := make([][]float64, len(ds))
+	for i, o := range ds {
+		b := o.Box
+		rows[i] = []float64{b.Min[0], b.Min[1], b.Min[2], b.Max[0], b.Max[1], b.Max[2]}
+	}
+	buf, _ := json.Marshal(map[string]any{
+		"boxes":  rows,
+		"config": map[string]any{"partitions": baseCfgPartitions},
+	})
+	resp, err := http.Post(base+"/v1/datasets/"+name, "application/json", bytes.NewReader(buf))
+	body := must(resp, err, http.StatusAccepted)
+	fmt.Printf("  POST %-6s (json): %s", name, body)
+}
+
+func postText(base, name string, ds touch.Dataset) {
+	var sb strings.Builder
+	if err := touch.WriteDataset(&sb, ds); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/datasets/"+name, "text/plain", strings.NewReader(sb.String()))
+	body := must(resp, err, http.StatusAccepted)
+	fmt.Printf("  POST %-6s (text): %s", name, body)
+}
+
+func postJSON(url string, req any, into any) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	body := must(resp, err, http.StatusOK)
+	if err := json.Unmarshal(body, into); err != nil {
+		log.Fatalf("decoding %s response: %v", url, err)
+	}
+}
+
+func getJSON(url string, into any) {
+	resp, err := http.Get(url)
+	body := must(resp, err, http.StatusOK)
+	if err := json.Unmarshal(body, into); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// waitReady polls the catalog listing until name serves version v.
+func waitReady(base, name string, v int64) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var list struct {
+			Datasets []struct {
+				Name    string `json:"name"`
+				Version int64  `json:"version"`
+				Status  string `json:"status"`
+			} `json:"datasets"`
+		}
+		getJSON(base+"/v1/datasets", &list)
+		for _, d := range list.Datasets {
+			if d.Name == name && d.Version >= v && d.Status != "building" {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatalf("dataset %s never reached version %d", name, v)
+}
+
+func mustEqualIDs(label string, got, want []touch.ID) {
+	if len(got) != len(want) {
+		log.Fatalf("%s: %d ids over HTTP, oracle %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			log.Fatalf("%s: id %d differs: %d vs %d", label, i, got[i], want[i])
+		}
+	}
+}

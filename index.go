@@ -93,6 +93,41 @@ func (ix *Index) DistanceJoin(b Dataset, eps float64, opt *Options) (*Result, er
 	return ix.Join(b.Expand(eps), opt), nil
 }
 
+// IndexStats describes the immutable build artifact behind an Index:
+// the indexed object count, the shape of the partitioning tree and its
+// analytic memory footprint. Serving layers use it for catalog listings
+// and metrics without reaching into the internal tree.
+type IndexStats struct {
+	// Objects is the number of indexed objects (|A|).
+	Objects int
+	// Nodes is the total node count of the partitioning tree, leaves
+	// included.
+	Nodes int
+	// Leaves is the number of leaf buckets (≤ the configured Partitions).
+	Leaves int
+	// Height is the number of tree levels; 1 means a single leaf.
+	Height int
+	// StaticBytes is the analytic footprint of the immutable build
+	// artifact — the tree structure plus the A references in the buckets
+	// (§6.4). Per-query probe state is accounted separately, in
+	// Stats.MemoryBytes of each join result.
+	StaticBytes int64
+}
+
+// Stats reports the size and shape of the index. The values are fixed at
+// BuildIndex time; calling Stats never touches per-query state, so it is
+// safe concurrently with any queries.
+func (ix *Index) Stats() IndexStats {
+	t := ix.tree
+	return IndexStats{
+		Objects:     ix.lenA,
+		Nodes:       t.Nodes,
+		Leaves:      t.Leaves,
+		Height:      t.Height,
+		StaticBytes: t.StaticBytes(),
+	}
+}
+
 // checkPoint validates a query point's coordinates.
 func checkPoint(p Point) error {
 	for d := range p {

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"touch"
+)
+
+// buildFunc constructs the index over one dataset version. Production
+// code uses touch.BuildIndex; tests inject slow builds to observe the
+// building states deterministically.
+type buildFunc func(touch.Dataset, touch.TOUCHConfig) *touch.Index
+
+// snapshot is one immutable version of a named dataset: the decoded
+// objects, the index built over them and the index stats. A reader
+// obtains a snapshot with a single atomic load and uses its fields
+// together, so every query and join answers from one consistent version
+// even while a rebuild swaps the entry underneath it.
+type snapshot struct {
+	version int64
+	ds      touch.Dataset
+	idx     *touch.Index
+	stats   touch.IndexStats
+	builtAt time.Time
+}
+
+// entry is one named dataset of the catalog.
+type entry struct {
+	name string
+
+	// ready holds the newest fully built snapshot; nil until the first
+	// build completes. This pointer is the hot swap: builders store,
+	// readers load, and the read path takes no locks.
+	ready atomic.Pointer[snapshot]
+
+	mu       sync.Mutex // guards the two version counters below
+	accepted int64      // newest version accepted for building
+	building int        // builds in flight or queued
+
+	buildMu sync.Mutex // serializes builds of this entry
+}
+
+// catalog is the named, versioned index store behind /v1/datasets.
+// Loading a name that already exists starts a background rebuild; the
+// old index keeps serving until the new one atomically replaces it, and
+// a version that finishes building after a newer one never regresses
+// the entry (the swap is guarded by a version comparison).
+type catalog struct {
+	build buildFunc
+
+	// pending counts builds accepted but not yet finished (or skipped),
+	// catalog-wide; the server's load path uses it to bound the build
+	// backlog, which lives outside the request-slot admission layer.
+	pending atomic.Int64
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+	// retired remembers the last accepted version of dropped names so a
+	// DELETE + re-POST cannot reset the version sequence — responses
+	// advertise per-name monotonic versions and clients rely on it.
+	retired map[string]int64
+}
+
+func newCatalog(build buildFunc) *catalog {
+	if build == nil {
+		build = touch.BuildIndex
+	}
+	return &catalog{build: build, entries: make(map[string]*entry), retired: make(map[string]int64)}
+}
+
+// entryFor returns the named entry, or nil when the name is unknown.
+func (c *catalog) entryFor(name string) *entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[name]
+}
+
+// acquireVersion creates the entry if needed and assigns the next
+// version under the catalog lock — the same lock drop takes — so a
+// DELETE racing a load can never record a stale counter into retired
+// and let a re-created entry reissue an already-used version number.
+func (c *catalog) acquireVersion(name string) (*entry, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[name]
+	if e == nil {
+		e = &entry{name: name, accepted: c.retired[name]}
+		delete(c.retired, name)
+		c.entries[name] = e
+	}
+	e.mu.Lock()
+	e.accepted++
+	v := e.accepted
+	e.building++
+	e.mu.Unlock()
+	return e, v
+}
+
+// load accepts a new version of the named dataset and builds its index,
+// in the background unless wait is set. When maxPending > 0 the build
+// backlog is capped: the reservation is a single atomic add, so
+// concurrent loads cannot overshoot it — ok is false when the cap is
+// hit and nothing was accepted. It returns the assigned version number
+// (monotonically increasing per name, surviving drop).
+func (c *catalog) load(name string, ds touch.Dataset, cfg touch.TOUCHConfig, wait bool, maxPending int) (version int64, ok bool) {
+	if n := c.pending.Add(1); maxPending > 0 && n > int64(maxPending) {
+		c.pending.Add(-1)
+		return 0, false
+	}
+	e, v := c.acquireVersion(name)
+
+	run := func() {
+		e.buildMu.Lock()
+		defer e.buildMu.Unlock()
+		defer func() {
+			e.mu.Lock()
+			e.building--
+			e.mu.Unlock()
+			c.pending.Add(-1)
+		}()
+		// Skip superseded builds: once a newer version has been accepted
+		// (it will build after us, or already has), our result could
+		// never serve — don't waste the work and release the pinned
+		// dataset immediately. The version-guarded store below still
+		// protects against any swap backwards.
+		e.mu.Lock()
+		superseded := e.accepted > v
+		e.mu.Unlock()
+		if superseded {
+			return
+		}
+		idx := c.build(ds, cfg)
+		snap := &snapshot{version: v, ds: ds, idx: idx, stats: idx.Stats(), builtAt: time.Now()}
+		e.mu.Lock()
+		if cur := e.ready.Load(); cur == nil || cur.version < v {
+			e.ready.Store(snap)
+		}
+		e.mu.Unlock()
+	}
+	if wait {
+		run()
+	} else {
+		go run()
+	}
+	return v, true
+}
+
+// snapshot returns the serving snapshot for a name. exists reports
+// whether the name is known at all; a known name with a nil snapshot is
+// still building its first version.
+func (c *catalog) snapshot(name string) (snap *snapshot, exists bool) {
+	e := c.entryFor(name)
+	if e == nil {
+		return nil, false
+	}
+	return e.ready.Load(), true
+}
+
+// maxRetired caps the dropped-name version memory: beyond it, arbitrary
+// entries are evicted (an evicted name re-POSTed later restarts at
+// version 1 — the monotonicity loss is confined to names deleted beyond
+// the cap, instead of letting a load/delete loop of random names grow
+// memory without bound).
+const maxRetired = 4096
+
+// drop removes a name from the catalog, remembering its version counter
+// so a later re-POST of the same name continues the sequence. In-flight
+// requests holding the entry's snapshot finish unharmed — snapshots are
+// immutable.
+func (c *catalog) drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return false
+	}
+	for len(c.retired) >= maxRetired {
+		for k := range c.retired {
+			delete(c.retired, k)
+			break
+		}
+	}
+	e.mu.Lock()
+	c.retired[name] = e.accepted
+	e.mu.Unlock()
+	delete(c.entries, name)
+	return true
+}
+
+// datasetInfo is one row of the catalog listing (GET /v1/datasets).
+type datasetInfo struct {
+	Name    string `json:"name"`
+	Version int64  `json:"version"`
+	// Status is "building" (no version ready yet), "ready", or
+	// "rebuilding" (serving one version while a newer one builds).
+	Status      string `json:"status"`
+	Objects     int    `json:"objects"`
+	StaticBytes int64  `json:"static_bytes"`
+	Nodes       int    `json:"nodes"`
+	Height      int    `json:"height"`
+	BuiltAt     string `json:"built_at,omitempty"`
+}
+
+func (e *entry) info() datasetInfo {
+	e.mu.Lock()
+	accepted, building := e.accepted, e.building
+	e.mu.Unlock()
+	snap := e.ready.Load()
+	if snap == nil {
+		return datasetInfo{Name: e.name, Version: accepted, Status: "building"}
+	}
+	status := "ready"
+	if building > 0 {
+		status = "rebuilding"
+	}
+	return datasetInfo{
+		Name:        e.name,
+		Version:     snap.version,
+		Status:      status,
+		Objects:     snap.stats.Objects,
+		StaticBytes: snap.stats.StaticBytes,
+		Nodes:       snap.stats.Nodes,
+		Height:      snap.stats.Height,
+		BuiltAt:     snap.builtAt.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// list returns the catalog rows sorted by name.
+func (c *catalog) list() []datasetInfo {
+	c.mu.RLock()
+	entries := make([]*entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.mu.RUnlock()
+	infos := make([]datasetInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, e.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// size returns the number of catalog entries.
+func (c *catalog) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"touch"
+)
+
+// Error codes carried in the JSON error body. Every non-2xx response has
+// the shape {"error":{"code":"...","message":"..."}} so clients can
+// branch on machine-readable codes instead of message text.
+const (
+	codeBadRequest     = "bad_request"      // malformed JSON, missing fields
+	codeInvalidBox     = "invalid_box"      // NaN/Inf/inverted box coordinates
+	codeInvalidPoint   = "invalid_point"    // NaN point coordinates
+	codeInvalidK       = "invalid_k"        // kNN k < 1
+	codeInvalidEps     = "invalid_eps"      // negative join distance
+	codeInvalidName    = "invalid_name"     // dataset name outside [A-Za-z0-9._-]
+	codeUnknownDataset = "unknown_dataset"  // no catalog entry with that name
+	codeBuilding       = "building"         // first index version not ready yet
+	codeBodyTooLarge   = "body_too_large"   // request body over the cap
+	codeResultTooLarge = "result_too_large" // join pair set over MaxJoinPairs
+	codeUnsupported    = "unsupported_type" // content type not JSON or text
+	codeOverload       = "overload"         // admission: too many in-flight
+	codeTimeout        = "timeout"          // request exceeded its budget
+	codeClientClosed   = "client_closed"    // client disconnected mid-request
+	codeDraining       = "draining"         // graceful shutdown in progress
+	codeNotFound       = "not_found"        // unknown route
+	codeMethod         = "method_not_allowed"
+	codeInternal       = "internal"
+)
+
+// statusClientClosed is nginx's non-standard 499 "client closed
+// request" — recorded so disconnects are distinguishable from server
+// errors in responses_total.
+const statusClientClosed = 499
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// response is a deferred HTTP response: handlers that offload work to a
+// worker goroutine return one instead of writing directly, so the
+// boundary goroutine stays the only writer.
+type response struct {
+	status int
+	body   any
+}
+
+func errResponse(status int, code, format string, args ...any) response {
+	return response{status: status, body: errorBody{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}}}
+}
+
+func (resp response) write(w http.ResponseWriter) {
+	writeJSON(w, resp.status, resp.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // write errors mean a gone client; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	errResponse(status, code, format, args...).write(w)
+}
+
+// engineError maps the touch package's typed validation errors onto the
+// HTTP error vocabulary. Unknown errors are 500s — with validated input
+// the engine has no expected failure mode.
+func engineError(err error) response {
+	switch {
+	case errors.Is(err, touch.ErrInvalidBox):
+		return errResponse(http.StatusBadRequest, codeInvalidBox, "%v", err)
+	case errors.Is(err, touch.ErrInvalidPoint):
+		return errResponse(http.StatusBadRequest, codeInvalidPoint, "%v", err)
+	case errors.Is(err, touch.ErrInvalidK):
+		return errResponse(http.StatusBadRequest, codeInvalidK, "%v", err)
+	case errors.Is(err, touch.ErrNegativeDistance):
+		return errResponse(http.StatusBadRequest, codeInvalidEps, "%v", err)
+	default:
+		return errResponse(http.StatusInternalServerError, codeInternal, "%v", err)
+	}
+}

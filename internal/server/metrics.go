@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Request classes for per-endpoint accounting. Query and join are the
+// serving hot paths and get latency rings; load and catalog traffic is
+// counted but not timed.
+const (
+	classQuery = iota
+	classJoin
+	classLoad
+	classCatalog
+	classOther // answered at the routing layer: bad route/method/name
+	nClasses
+)
+
+var classNames = [nClasses]string{"query", "join", "load", "catalog", "other"}
+
+// trackedCodes are the response codes the server emits; anything else
+// lands in the trailing "other" bucket.
+var trackedCodes = [...]int{200, 202, 400, 404, 405, 413, 415, 422, 429, 499, 500, 503}
+
+func codeIndex(status int) int {
+	for i, c := range trackedCodes {
+		if c == status {
+			return i
+		}
+	}
+	return len(trackedCodes)
+}
+
+// ringSize is the number of recent samples each latency ring keeps.
+// Quantiles are computed over this window at scrape time.
+const ringSize = 1024
+
+// latencyRing is a lock-free ring of recent request latencies. Writers
+// claim a slot with one atomic add; readers copy the window at scrape
+// time. A torn read can at worst mix two real samples — fine for
+// monitoring quantiles.
+type latencyRing struct {
+	n   atomic.Int64
+	buf [ringSize]atomic.Int64 // nanoseconds; 0 = never written
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 1 {
+		ns = 1 // 0 marks an empty slot
+	}
+	i := r.n.Add(1) - 1
+	r.buf[i%ringSize].Store(ns)
+}
+
+// quantiles returns the p50 and p99 of the current window; ok is false
+// when no samples have been recorded.
+func (r *latencyRing) quantiles() (p50, p99 time.Duration, ok bool) {
+	n := r.n.Load()
+	if n == 0 {
+		return 0, 0, false
+	}
+	if n > ringSize {
+		n = ringSize
+	}
+	window := make([]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		if v := r.buf[i].Load(); v > 0 {
+			window = append(window, v)
+		}
+	}
+	if len(window) == 0 {
+		return 0, 0, false
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	at := func(q float64) time.Duration {
+		return time.Duration(window[int(q*float64(len(window)-1))])
+	}
+	return at(0.50), at(0.99), true
+}
+
+// metrics aggregates the server's observability counters: request and
+// response totals per class, admission rejects by reason, the in-flight
+// gauge and the latency rings backing the p50/p99 lines of /metrics.
+type metrics struct {
+	start    time.Time
+	inFlight atomic.Int64
+
+	requests  [nClasses]atomic.Int64
+	responses [nClasses][len(trackedCodes) + 1]atomic.Int64
+	latency   [nClasses]latencyRing
+
+	// times holds the completion timestamps (unix nanos) of the most
+	// recent requests across all classes, backing the qps estimate.
+	times latencyRing
+
+	rejectOverload atomic.Int64
+	rejectDraining atomic.Int64
+	rejectTimeout  atomic.Int64
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// observe records a finished request. Only admitted requests feed the
+// latency rings — admission rejects finish in microseconds and would
+// mask real serving latency under overload.
+func (m *metrics) observe(class, status int, d time.Duration, admitted bool) {
+	m.responses[class][codeIndex(status)].Add(1)
+	m.times.observe(time.Duration(time.Now().UnixNano()))
+	if admitted && (class == classQuery || class == classJoin) {
+		m.latency[class].observe(d)
+	}
+}
+
+// qpsWindow is the recency window of the qps gauge.
+const qpsWindow = 60 * time.Second
+
+// qps estimates current throughput from the completion timestamps of
+// the most recent requests: samples inside the window divided by the
+// window, or by the ring's actual span when the full ring is newer than
+// the window (the ring undercounts a burst hotter than ringSize/60s).
+// A lifetime mean would read ~0 after a long idle stretch exactly when
+// a burst arrives, and stay inflated by a long-past burst during an
+// outage.
+func (m *metrics) qps(now time.Time) float64 {
+	n := m.times.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if n > ringSize {
+		n = ringSize
+	}
+	cutoff := now.Add(-qpsWindow).UnixNano()
+	inWindow, oldest := 0, int64(1)<<62
+	for i := int64(0); i < n; i++ {
+		v := m.times.buf[i].Load()
+		if v == 0 {
+			continue
+		}
+		if v >= cutoff {
+			inWindow++
+		}
+		if v < oldest {
+			oldest = v
+		}
+	}
+	// The span estimate applies only when the full ring is newer than
+	// the window (older samples were evicted, so inWindow/60 would
+	// undercount a hot burst). With a partially filled ring, window
+	// semantics win: one lone request 100ms ago is ~0.02 qps, not 10.
+	if span := now.UnixNano() - oldest; n == ringSize && inWindow == ringSize && span > 0 {
+		return float64(n) / (float64(span) / float64(time.Second))
+	}
+	return float64(inWindow) / qpsWindow.Seconds()
+}
+
+// render writes the Prometheus text exposition. datasets and staticBytes
+// describe the catalog at scrape time.
+func (m *metrics) render(w io.Writer, datasets []datasetInfo) {
+	uptime := time.Since(m.start).Seconds()
+
+	fmt.Fprintf(w, "# TYPE touchserved_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "touchserved_uptime_seconds %g\n", uptime)
+	fmt.Fprintf(w, "# TYPE touchserved_in_flight gauge\n")
+	fmt.Fprintf(w, "touchserved_in_flight %d\n", m.inFlight.Load())
+	// A windowed estimate, not a lifetime mean; for precise rates derive
+	// rate(touchserved_requests_total[1m]) from the counters below.
+	fmt.Fprintf(w, "# TYPE touchserved_qps gauge\n")
+	fmt.Fprintf(w, "touchserved_qps %g\n", m.qps(time.Now()))
+
+	fmt.Fprintf(w, "# TYPE touchserved_requests_total counter\n")
+	for i := 0; i < nClasses; i++ {
+		fmt.Fprintf(w, "touchserved_requests_total{class=%q} %d\n", classNames[i], m.requests[i].Load())
+	}
+	fmt.Fprintf(w, "# TYPE touchserved_responses_total counter\n")
+	for i := 0; i < nClasses; i++ {
+		for j, code := range trackedCodes {
+			if n := m.responses[i][j].Load(); n > 0 {
+				fmt.Fprintf(w, "touchserved_responses_total{class=%q,code=\"%d\"} %d\n", classNames[i], code, n)
+			}
+		}
+		if n := m.responses[i][len(trackedCodes)].Load(); n > 0 {
+			fmt.Fprintf(w, "touchserved_responses_total{class=%q,code=\"other\"} %d\n", classNames[i], n)
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE touchserved_rejects_total counter\n")
+	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"overload\"} %d\n", m.rejectOverload.Load())
+	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"draining\"} %d\n", m.rejectDraining.Load())
+	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"timeout\"} %d\n", m.rejectTimeout.Load())
+
+	fmt.Fprintf(w, "# TYPE touchserved_latency_seconds gauge\n")
+	for _, class := range []int{classQuery, classJoin} {
+		if p50, p99, ok := m.latency[class].quantiles(); ok {
+			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.5\"} %g\n",
+				classNames[class], p50.Seconds())
+			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.99\"} %g\n",
+				classNames[class], p99.Seconds())
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE touchserved_datasets gauge\n")
+	fmt.Fprintf(w, "touchserved_datasets %d\n", len(datasets))
+	fmt.Fprintf(w, "# TYPE touchserved_dataset_static_bytes gauge\n")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "touchserved_dataset_static_bytes{dataset=%q} %d\n", d.Name, d.StaticBytes)
+	}
+	fmt.Fprintf(w, "# TYPE touchserved_dataset_objects gauge\n")
+	for _, d := range datasets {
+		fmt.Fprintf(w, "touchserved_dataset_objects{dataset=%q} %d\n", d.Name, d.Objects)
+	}
+}

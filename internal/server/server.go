@@ -1,0 +1,786 @@
+// Package server implements touchserved: a JSON-over-HTTP serving
+// subsystem in front of the touch package's immutable Index. It is the
+// network boundary of the repository's serving story — prebuilt
+// partitioned indexes behind a catalog of named, versioned, atomically
+// hot-swappable datasets, with the per-request parallelism knobs of the
+// join engine exposed at the API.
+//
+// # Endpoints
+//
+//	POST   /v1/datasets/{name}        load a dataset (JSON boxes or text), build its index in the background
+//	GET    /v1/datasets               catalog listing: version, status, objects, StaticBytes
+//	DELETE /v1/datasets/{name}        drop a dataset
+//	POST   /v1/datasets/{name}/query  range | point | knn against the serving index version
+//	POST   /v1/datasets/{name}/join   intersection / ε-distance join vs inline boxes or a named dataset
+//	GET    /healthz                   liveness (503 while draining)
+//	GET    /metrics                   Prometheus text: qps, in-flight, p50/p99 latency, rejects
+//
+// # Hot swap
+//
+// Re-POSTing a name rebuilds its index in the background: readers keep
+// the old version through an atomic snapshot pointer until the new one
+// is ready, so a rebuild under sustained query load never produces an
+// error or a mixed-version answer. Versions are monotonic per name and a
+// slow stale build can never overwrite a newer one.
+//
+// # Admission control
+//
+// The server holds a fixed number of in-flight slots. A request that
+// finds no slot free is rejected immediately with 429 rather than queued
+// unboundedly. Each admitted request runs under a context deadline; on
+// timeout the client gets 503 but the abandoned computation keeps its
+// slot until it actually finishes — overload therefore cannot stack
+// zombie work behind the admission cap. Request bodies are capped (413)
+// and every error is structured JSON. BeginShutdown flips the server
+// into draining: new work is rejected with 503 while in-flight requests
+// complete (pair with http.Server.Shutdown to drain connections).
+//
+// The Server is an http.Handler; connection-level protection is the
+// enclosing http.Server's job. Deployments must set ReadTimeout /
+// ReadHeaderTimeout (as cmd/touchserved does): request bodies are
+// decoded before the per-request processing budget applies, so without
+// a read deadline a client trickling its body one byte at a time could
+// pin an admission slot indefinitely.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"touch"
+)
+
+// Config tunes the serving subsystem; the zero value is production-safe.
+type Config struct {
+	// MaxInFlight caps concurrently admitted /v1 requests; further
+	// requests are rejected with 429. Default 64.
+	MaxInFlight int
+	// RequestTimeout is the per-request processing budget enforced via
+	// context; an expired request gets 503 {"code":"timeout"}. Default 10s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; larger ones get 413. Default 8 MiB.
+	MaxBodyBytes int64
+	// Workers is the default per-join parallelism; a join request's
+	// "workers" field overrides it. Default 0 (single-threaded).
+	Workers int
+	// MaxPendingBuilds caps index builds accepted but not yet finished.
+	// Builds run in the background, outside the request-slot admission
+	// layer; without this cap a client looping POST /v1/datasets could
+	// queue unbounded build goroutines, each pinning its decoded
+	// dataset. Further loads get 429. Default 16.
+	MaxPendingBuilds int
+	// MaxJoinPairs caps the pairs one join response materializes. A join
+	// can legitimately produce up to |A|·|B| pairs — far beyond any
+	// body-size cap — and the engine cannot be cancelled mid-join, so
+	// the server collects at most this many and answers 422
+	// {"code":"result_too_large"} beyond it (count_only joins are
+	// unaffected; the count is always exact). Default 1<<20.
+	MaxJoinPairs int
+
+	// build replaces touch.BuildIndex in tests (slow/observable builds).
+	build buildFunc
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxPendingBuilds <= 0 {
+		c.MaxPendingBuilds = 16
+	}
+	if c.MaxJoinPairs <= 0 {
+		c.MaxJoinPairs = 1 << 20
+	}
+}
+
+// maxRequestWorkers bounds request-supplied parallelism: the engine
+// allocates per-worker counters, sinks and goroutines proportional to
+// the count, so an unclamped value is a one-request out-of-memory.
+// Anything beyond a few times the core count only adds overhead.
+var maxRequestWorkers = 4 * runtime.GOMAXPROCS(0)
+
+func clampWorkers(w int) int {
+	if w > maxRequestWorkers {
+		return maxRequestWorkers
+	}
+	return w
+}
+
+// maxLocalCells bounds the request-supplied local-join grid resolution:
+// join-time grids are sized per dimension from this value, so an
+// unclamped config could demand cells³ cell bookkeeping (the paper's
+// evaluated setting is 500).
+const maxLocalCells = 4096
+
+// Server is the HTTP serving subsystem. Create with New, mount as an
+// http.Handler, and call BeginShutdown before http.Server.Shutdown for a
+// graceful drain.
+type Server struct {
+	cfg      Config
+	cat      *catalog
+	met      *metrics
+	slots    chan struct{}
+	draining atomic.Bool
+
+	// testHookWorker, when set, runs inside every offloaded worker before
+	// the engine call — tests block it to hold requests in flight.
+	testHookWorker func()
+}
+
+// New returns a Server ready to serve; it owns no listener.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	return &Server{
+		cfg:   cfg,
+		cat:   newCatalog(cfg.build),
+		met:   newMetrics(),
+		slots: make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Load registers a dataset and builds its index synchronously — the
+// programmatic preload path used by touchserved -load, the benchmark
+// suite and the examples. HTTP loads build in the background instead.
+func (s *Server) Load(name string, ds touch.Dataset, cfg touch.TOUCHConfig) (version int64, stats touch.IndexStats) {
+	v, _ := s.cat.load(name, ds, cfg, true, 0) // synchronous: no backlog cap
+	// The snapshot can lag v only if a concurrent load superseded this
+	// one before it built; report whatever version is serving.
+	if snap, _ := s.cat.snapshot(name); snap != nil {
+		stats = snap.stats
+	}
+	return v, stats
+}
+
+// BeginShutdown puts the server into draining: every new request —
+// including healthz, so load balancers stop routing here — is answered
+// with 503 {"code":"draining"} while admitted requests run to
+// completion. Follow with http.Server.Shutdown to drain connections.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// slot is one admission token. Release is idempotent; whichever
+// goroutine finishes the request's computation releases it.
+type slot struct {
+	s    *Server
+	once sync.Once
+}
+
+func (sl *slot) Release() {
+	sl.once.Do(func() {
+		<-sl.s.slots
+		sl.s.met.inFlight.Add(-1)
+	})
+}
+
+// reject answers a request that never reached a handler — unknown
+// route, wrong method, bad dataset name — and records it under the
+// "other" class: a scanner flood answered at the routing layer must be
+// visible in /metrics, not read as an idle server.
+func (s *Server) reject(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.met.requests[classOther].Add(1)
+	s.met.responses[classOther][codeIndex(status)].Add(1)
+	writeError(w, status, code, format, args...)
+}
+
+// ServeHTTP routes requests. Routing is by hand — seven routes — so
+// unknown paths and wrong methods get the same structured JSON errors as
+// everything else.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		s.handleHealthz(w, r)
+	case path == "/metrics":
+		s.handleMetrics(w, r)
+	case path == "/v1/datasets":
+		if r.Method != http.MethodGet {
+			s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use GET on /v1/datasets")
+			return
+		}
+		s.admit(classCatalog, w, r, s.handleList)
+	case strings.HasPrefix(path, "/v1/datasets/"):
+		rest := strings.TrimPrefix(path, "/v1/datasets/")
+		name, action, _ := strings.Cut(rest, "/")
+		if !validName(name) {
+			s.reject(w, http.StatusBadRequest, codeInvalidName,
+				"dataset name must be 1-128 chars of [A-Za-z0-9._-], got %q", name)
+			return
+		}
+		switch action {
+		case "":
+			switch r.Method {
+			case http.MethodPost:
+				s.admit(classLoad, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
+					s.handleLoad(ctx, w, r, sl, name)
+				})
+			case http.MethodDelete:
+				s.admit(classCatalog, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
+					s.handleDelete(ctx, w, r, sl, name)
+				})
+			default:
+				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST or DELETE on /v1/datasets/{name}")
+			}
+		case "query":
+			if r.Method != http.MethodPost {
+				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST on /v1/datasets/{name}/query")
+				return
+			}
+			s.admit(classQuery, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
+				s.handleQuery(ctx, w, r, sl, name)
+			})
+		case "join":
+			if r.Method != http.MethodPost {
+				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST on /v1/datasets/{name}/join")
+				return
+			}
+			s.admit(classJoin, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
+				s.handleJoin(ctx, w, r, sl, name)
+			})
+		default:
+			s.reject(w, http.StatusNotFound, codeNotFound, "unknown action %q", action)
+		}
+	default:
+		s.reject(w, http.StatusNotFound, codeNotFound, "no route for %s", path)
+	}
+}
+
+// ValidDatasetName reports whether a name is servable over HTTP — the
+// check the router applies. Preload paths (touchserved -load) use it to
+// fail fast instead of cataloging a dataset no request could reach.
+func ValidDatasetName(name string) bool { return validName(name) }
+
+// validName keeps dataset names filesystem- and metrics-label-safe.
+func validName(name string) bool {
+	if len(name) == 0 || len(name) > 128 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type handlerFn func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot)
+
+// admit is the admission-control front door for all /v1 traffic: it
+// rejects during drain (503) or when every in-flight slot is taken
+// (429), caps the request body, arms the per-request deadline and
+// records metrics. The handler — or the worker it hands the slot to —
+// releases the slot when the computation finishes.
+func (s *Server) admit(class int, w http.ResponseWriter, r *http.Request, h handlerFn) {
+	s.met.requests[class].Add(1)
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	admitted := false
+	// Latency rings only see admitted requests: microsecond-fast 429s
+	// and drain rejections would otherwise drag the reported p50/p99
+	// toward zero exactly when the server is overloaded.
+	defer func() { s.met.observe(class, sr.status, time.Since(start), admitted) }()
+
+	if s.draining.Load() {
+		s.met.rejectDraining.Add(1)
+		writeError(sr, http.StatusServiceUnavailable, codeDraining, "server is draining for shutdown")
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.met.rejectOverload.Add(1)
+		sr.Header().Set("Retry-After", "1")
+		writeError(sr, http.StatusTooManyRequests, codeOverload,
+			"server at its %d-request in-flight cap", s.cfg.MaxInFlight)
+		return
+	}
+	s.met.inFlight.Add(1)
+	admitted = true
+	sl := &slot{s: s}
+
+	r.Body = http.MaxBytesReader(sr, r.Body, s.cfg.MaxBodyBytes)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	h(ctx, sr, r.WithContext(ctx), sl)
+}
+
+// offload runs fn on a worker goroutine and waits for it or for the
+// request deadline, whichever comes first. The admission slot follows
+// the computation, not the request: a timed-out request's abandoned work
+// keeps its slot until fn actually returns, so a flood of slow requests
+// degrades into 429s instead of an unbounded pile of zombie work.
+func (s *Server) offload(ctx context.Context, w http.ResponseWriter, sl *slot, fn func() response) {
+	done := make(chan response, 1)
+	go func() {
+		defer sl.Release()
+		if hook := s.testHookWorker; hook != nil {
+			hook()
+		}
+		done <- fn()
+	}()
+	select {
+	case resp := <-done:
+		resp.write(w)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.Canceled) {
+			// The client (or its load balancer) hung up — net/http
+			// cancels the request context on disconnect. That is not a
+			// processing-budget timeout: counting it as one would spike
+			// the timeout-reject metric during a mass client redeploy.
+			// 499 (client closed request) keeps it visible in
+			// responses_total; nobody reads the body.
+			writeError(w, statusClientClosed, codeClientClosed, "client closed the connection")
+			return
+		}
+		s.met.rejectTimeout.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, codeTimeout,
+			"request exceeded the %v processing budget", s.cfg.RequestTimeout)
+	}
+}
+
+// serving resolves the snapshot a read request answers from, writing the
+// 404 / 503-building error itself when there is none.
+func (s *Server) serving(w http.ResponseWriter, name string) (*snapshot, bool) {
+	snap, exists := s.cat.snapshot(name)
+	if !exists {
+		writeError(w, http.StatusNotFound, codeUnknownDataset, "dataset %q not loaded", name)
+		return nil, false
+	}
+	if snap == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, codeBuilding,
+			"dataset %q is still building its first index version", name)
+		return nil, false
+	}
+	return snap, true
+}
+
+// --- health & metrics ---------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status        string  `json:"status"`
+		Datasets      int     `json:"datasets"`
+		InFlight      int64   `json:"in_flight"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	h := health{
+		Status:        "ok",
+		Datasets:      s.cat.size(),
+		InFlight:      s.met.inFlight.Load(),
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w, s.cat.list())
+}
+
+// --- catalog ------------------------------------------------------------
+
+func (s *Server) handleList(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
+	defer sl.Release()
+	writeJSON(w, http.StatusOK, struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}{Datasets: s.cat.list()})
+}
+
+func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
+	defer sl.Release()
+	if !s.cat.drop(name) {
+		writeError(w, http.StatusNotFound, codeUnknownDataset, "dataset %q not loaded", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Name    string `json:"name"`
+		Deleted bool   `json:"deleted"`
+	}{Name: name, Deleted: true})
+}
+
+// loadRequest is the JSON body of POST /v1/datasets/{name}.
+type loadRequest struct {
+	// Boxes holds one [minX minY minZ maxX maxY maxZ] row per object.
+	Boxes [][]float64 `json:"boxes"`
+	// Config tunes the TOUCH tree built over the dataset.
+	Config struct {
+		Partitions int `json:"partitions"`
+		Fanout     int `json:"fanout"`
+		LocalCells int `json:"local_cells"`
+		Workers    int `json:"workers"`
+	} `json:"config"`
+}
+
+func (s *Server) handleLoad(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
+	defer sl.Release()
+	ct := r.Header.Get("Content-Type")
+	var (
+		ds  touch.Dataset
+		cfg touch.TOUCHConfig
+		err error
+	)
+	switch {
+	case strings.HasPrefix(ct, "application/json"):
+		var req loadRequest
+		if err = decodeJSONBody(r, &req); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+		if ds, err = boxesToDataset(req.Boxes); err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidBox, "%v", err)
+			return
+		}
+		// The engine treats fanout 1 as a programming error (the tree
+		// would never converge to a root) and panics — a background
+		// build panic would kill the process, so reject it here.
+		if req.Config.Fanout == 1 {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"config.fanout must be 0 (default) or >= 2")
+			return
+		}
+		cfg = touch.TOUCHConfig{
+			Partitions: req.Config.Partitions,
+			Fanout:     req.Config.Fanout,
+			LocalCells: min(req.Config.LocalCells, maxLocalCells),
+			Workers:    clampWorkers(req.Config.Workers),
+		}
+	case ct == "" || strings.HasPrefix(ct, "text/"):
+		if ds, err = touch.ReadDataset(r.Body); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusUnsupportedMediaType, codeUnsupported,
+			"content type %q: send application/json boxes or a text/plain dataset", ct)
+		return
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = s.cfg.Workers
+	}
+
+	// Builds run in the background and outlive the request's admission
+	// slot; the catalog reserves a backlog slot atomically so load
+	// floods degrade into 429s too.
+	version, accepted := s.cat.load(name, ds, cfg, false, s.cfg.MaxPendingBuilds)
+	if !accepted {
+		s.met.rejectOverload.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, codeOverload,
+			"server at its %d-build backlog cap", s.cfg.MaxPendingBuilds)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Name    string `json:"name"`
+		Version int64  `json:"version"`
+		Status  string `json:"status"`
+		Objects int    `json:"objects"`
+	}{Name: name, Version: version, Status: "building", Objects: len(ds)})
+}
+
+// --- query --------------------------------------------------------------
+
+// queryRequest is the JSON body of POST /v1/datasets/{name}/query.
+type queryRequest struct {
+	Type  string    `json:"type"` // "range" | "point" | "knn"
+	Box   []float64 `json:"box,omitempty"`
+	Point []float64 `json:"point,omitempty"`
+	K     int       `json:"k,omitempty"`
+}
+
+type neighborJSON struct {
+	ID       touch.ID `json:"id"`
+	Distance float64  `json:"distance"`
+}
+
+type queryResponse struct {
+	Dataset   string         `json:"dataset"`
+	Version   int64          `json:"version"`
+	Type      string         `json:"type"`
+	Count     int            `json:"count"`
+	IDs       []touch.ID     `json:"ids,omitempty"`
+	Neighbors []neighborJSON `json:"neighbors,omitempty"`
+}
+
+func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
+	var req queryRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		defer sl.Release()
+		writeDecodeError(w, err)
+		return
+	}
+	snap, ok := s.serving(w, name)
+	if !ok {
+		defer sl.Release()
+		return
+	}
+	s.offload(ctx, w, sl, func() response {
+		resp := queryResponse{Dataset: name, Version: snap.version, Type: req.Type}
+		switch req.Type {
+		case "range":
+			if len(req.Box) != 6 {
+				return errResponse(http.StatusBadRequest, codeInvalidBox, "range query needs a 6-number box, got %d", len(req.Box))
+			}
+			box := touch.Box{
+				Min: touch.Point{req.Box[0], req.Box[1], req.Box[2]},
+				Max: touch.Point{req.Box[3], req.Box[4], req.Box[5]},
+			}
+			ids, err := snap.idx.RangeQuery(box)
+			if err != nil {
+				return engineError(err)
+			}
+			resp.IDs, resp.Count = ids, len(ids)
+		case "point":
+			if len(req.Point) != 3 {
+				return errResponse(http.StatusBadRequest, codeInvalidPoint, "point query needs a 3-number point, got %d", len(req.Point))
+			}
+			ids, err := snap.idx.PointQuery(req.Point[0], req.Point[1], req.Point[2])
+			if err != nil {
+				return engineError(err)
+			}
+			resp.IDs, resp.Count = ids, len(ids)
+		case "knn":
+			if len(req.Point) != 3 {
+				return errResponse(http.StatusBadRequest, codeInvalidPoint, "knn query needs a 3-number point, got %d", len(req.Point))
+			}
+			nbrs, err := snap.idx.KNN(touch.Point{req.Point[0], req.Point[1], req.Point[2]}, req.K)
+			if err != nil {
+				return engineError(err)
+			}
+			resp.Neighbors = make([]neighborJSON, len(nbrs))
+			for i, n := range nbrs {
+				resp.Neighbors[i] = neighborJSON{ID: n.ID, Distance: n.Distance}
+			}
+			resp.Count = len(nbrs)
+		default:
+			return errResponse(http.StatusBadRequest, codeBadRequest,
+				"unknown query type %q (want range, point or knn)", req.Type)
+		}
+		return response{status: http.StatusOK, body: resp}
+	})
+}
+
+// --- join ---------------------------------------------------------------
+
+// joinRequest is the JSON body of POST /v1/datasets/{name}/join. Exactly
+// one of Boxes (an inline probe dataset) or Probe (the name of a loaded
+// dataset) selects the probe side.
+type joinRequest struct {
+	Boxes     [][]float64 `json:"boxes,omitempty"`
+	Probe     string      `json:"probe,omitempty"`
+	Eps       float64     `json:"eps,omitempty"`
+	Workers   int         `json:"workers,omitempty"`
+	CountOnly bool        `json:"count_only,omitempty"`
+}
+
+type joinStatsJSON struct {
+	Comparisons int64 `json:"comparisons"`
+	NodeTests   int64 `json:"node_tests"`
+	Filtered    int64 `json:"filtered"`
+	MemoryBytes int64 `json:"memory_bytes"`
+	AssignNs    int64 `json:"assign_ns"`
+	JoinNs      int64 `json:"join_ns"`
+}
+
+type joinResponse struct {
+	Dataset      string         `json:"dataset"`
+	Version      int64          `json:"version"`
+	Probe        string         `json:"probe,omitempty"`
+	ProbeVersion int64          `json:"probe_version,omitempty"`
+	ProbeObjects int            `json:"probe_objects"`
+	Count        int64          `json:"count"`
+	Pairs        [][2]touch.ID  `json:"pairs,omitempty"`
+	Stats        *joinStatsJSON `json:"stats,omitempty"`
+}
+
+func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
+	var req joinRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		defer sl.Release()
+		writeDecodeError(w, err)
+		return
+	}
+	snap, ok := s.serving(w, name)
+	if !ok {
+		defer sl.Release()
+		return
+	}
+
+	resp := joinResponse{Dataset: name, Version: snap.version}
+	var probe touch.Dataset
+	switch {
+	case req.Probe != "" && req.Boxes != nil:
+		defer sl.Release()
+		writeError(w, http.StatusBadRequest, codeBadRequest, "give either inline boxes or a probe name, not both")
+		return
+	case req.Probe != "":
+		probeSnap, ok := s.serving(w, req.Probe)
+		if !ok {
+			defer sl.Release()
+			return
+		}
+		probe = probeSnap.ds
+		resp.Probe, resp.ProbeVersion = req.Probe, probeSnap.version
+	case req.Boxes != nil:
+		var err error
+		if probe, err = boxesToDataset(req.Boxes); err != nil {
+			defer sl.Release()
+			writeError(w, http.StatusBadRequest, codeInvalidBox, "%v", err)
+			return
+		}
+	default:
+		defer sl.Release()
+		writeError(w, http.StatusBadRequest, codeBadRequest, "give inline boxes or a probe name")
+		return
+	}
+	resp.ProbeObjects = len(probe)
+
+	workers := clampWorkers(req.Workers)
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	s.offload(ctx, w, sl, func() response {
+		// A capped sink bounds what one response can materialize: a join
+		// may legitimately emit up to |A|·|B| pairs and the engine cannot
+		// abort mid-join, so collection stops at the cap and the request
+		// is rejected afterwards (the engine's own counters still give
+		// the exact total). The parallel join serializes sink access
+		// internally, so no locking is needed here.
+		var cs *cappedSink
+		opt := &touch.Options{Workers: workers, NoPairs: req.CountOnly}
+		if !req.CountOnly {
+			cs = &cappedSink{limit: s.cfg.MaxJoinPairs}
+			opt.Sink = cs
+		}
+		var res *touch.Result
+		var err error
+		if req.Eps == 0 {
+			// Plain intersection: skip DistanceJoin's O(|probe|)
+			// ε-expansion copy on the hot path.
+			res = snap.idx.Join(probe, opt)
+		} else {
+			res, err = snap.idx.DistanceJoin(probe, req.Eps, opt)
+		}
+		if err != nil {
+			return engineError(err)
+		}
+		resp.Count = res.Stats.Results
+		if cs != nil {
+			if res.Stats.Results > int64(s.cfg.MaxJoinPairs) {
+				return errResponse(http.StatusUnprocessableEntity, codeResultTooLarge,
+					"join produced %d pairs, over the %d-pair response cap; use count_only or a narrower probe",
+					res.Stats.Results, s.cfg.MaxJoinPairs)
+			}
+			// Canonical (indexed, probe) ascending order: parallel joins
+			// emit in nondeterministic order, but the wire format is
+			// stable and byte-identical to a direct Index call.
+			sorted := touch.Result{Pairs: cs.pairs}
+			sorted.SortPairs()
+			resp.Pairs = make([][2]touch.ID, len(sorted.Pairs))
+			for i, p := range sorted.Pairs {
+				resp.Pairs[i] = [2]touch.ID{p.A, p.B}
+			}
+		}
+		resp.Stats = &joinStatsJSON{
+			Comparisons: res.Stats.Comparisons,
+			NodeTests:   res.Stats.NodeTests,
+			Filtered:    res.Stats.Filtered,
+			MemoryBytes: res.Stats.MemoryBytes,
+			AssignNs:    res.Stats.AssignTime.Nanoseconds(),
+			JoinNs:      res.Stats.JoinTime.Nanoseconds(),
+		}
+		return response{status: http.StatusOK, body: resp}
+	})
+}
+
+// --- decoding helpers ---------------------------------------------------
+
+// decodeJSONBody decodes the request body, rejecting trailing garbage.
+func decodeJSONBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("request body has trailing data after the JSON document")
+	}
+	return nil
+}
+
+// writeDecodeError distinguishes an over-cap body (413, from
+// http.MaxBytesReader), an invalid dataset box (400 invalid_box) and
+// plain malformed input (400 bad_request).
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+			"request body exceeds the %d-byte cap", tooLarge.Limit)
+	case errors.Is(err, touch.ErrInvalidBox):
+		writeError(w, http.StatusBadRequest, codeInvalidBox, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
+	}
+}
+
+// cappedSink collects join pairs up to a limit and silently drops the
+// rest — the engine's Results counter still reports the exact total, so
+// the handler can detect the overflow and reject the response. Not
+// safe for concurrent use; the parallel join serializes sink access.
+type cappedSink struct {
+	limit int
+	pairs []touch.Pair
+}
+
+func (s *cappedSink) Emit(a, b touch.ID) {
+	if len(s.pairs) < s.limit {
+		s.pairs = append(s.pairs, touch.Pair{A: a, B: b})
+	}
+}
+
+// boxesToDataset turns decoded JSON rows into a hardened Dataset.
+func boxesToDataset(rows [][]float64) (touch.Dataset, error) {
+	boxes := make([]touch.Box, len(rows))
+	for i, row := range rows {
+		if len(row) != 6 {
+			return nil, fmt.Errorf("box %d: want 6 numbers [minX minY minZ maxX maxY maxZ], got %d", i, len(row))
+		}
+		boxes[i] = touch.Box{
+			Min: touch.Point{row[0], row[1], row[2]},
+			Max: touch.Point{row[3], row[4], row[5]},
+		}
+	}
+	return touch.DatasetFromBoxes(boxes)
+}

@@ -1,0 +1,77 @@
+#!/bin/sh
+# serve-smoke: boot touchserved on a random port, exercise healthz, one
+# query per shape (range/point/knn), a join, the catalog listing, the
+# metrics endpoint and one error mapping over real HTTP, then assert a
+# clean graceful shutdown on SIGTERM. CI runs this via `make serve-smoke`.
+set -eu
+
+WORK=$(mktemp -d)
+BIN="$WORK/touchserved"
+LOG="$WORK/touchserved.log"
+DATA="$WORK/smoke.txt"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+go build -o "$BIN" ./cmd/touchserved
+
+# Three known boxes so every query has a predictable answer.
+printf '0 0 0 10 10 10\n5 5 5 15 15 15\n20 20 20 30 30 30\n' > "$DATA"
+
+"$BIN" -addr 127.0.0.1:0 -load smoke="$DATA" > "$LOG" 2>&1 &
+PID=$!
+
+# The startup line carries the randomly chosen port.
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/.*touchserved listening on //p' "$LOG" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "server never printed its listen address"
+BASE="http://$ADDR"
+echo "serve-smoke: server on $BASE"
+
+post() { curl -sf -X POST "$BASE$1" -H 'Content-Type: application/json' -d "$2"; }
+
+curl -sf "$BASE/healthz" | grep -q '"status":"ok"' || fail "healthz"
+curl -sf "$BASE/v1/datasets" | grep -q '"name":"smoke"' || fail "catalog listing"
+
+post /v1/datasets/smoke/query '{"type":"range","box":[0,0,0,50,50,50]}' \
+    | grep -q '"count":3' || fail "range query"
+post /v1/datasets/smoke/query '{"type":"point","point":[6,6,6]}' \
+    | grep -q '"count":2' || fail "point query"
+post /v1/datasets/smoke/query '{"type":"knn","point":[1,1,1],"k":2}' \
+    | grep -q '"count":2' || fail "knn query"
+post /v1/datasets/smoke/join '{"boxes":[[4,4,4,6,6,6]]}' \
+    | grep -q '"count":2' || fail "join"
+curl -sf "$BASE/metrics" | grep -q 'touchserved_requests_total{class="query"} 3' \
+    || fail "metrics"
+
+# Error mapping: unknown dataset must be a structured 404.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/datasets/ghost/query" \
+    -H 'Content-Type: application/json' -d '{"type":"point","point":[0,0,0]}')
+[ "$CODE" = "404" ] || fail "unknown dataset returned $CODE, want 404"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+[ "$STATUS" = "0" ] || fail "server exited with status $STATUS"
+grep -q 'drained, bye' "$LOG" || fail "no clean-drain log line"
+PID=
+
+echo "serve-smoke: OK"

@@ -171,10 +171,11 @@ var ErrUnknownAlgorithm = errors.New("touch: unknown algorithm")
 // Index.DistanceJoin share it, so the two paths reject consistently.
 var ErrNegativeDistance = errors.New("touch: negative distance")
 
-// ErrInvalidBox is wrapped into the error returned when a query box is
-// malformed (NaN coordinates or Min > Max in some dimension); test with
-// errors.Is.
-var ErrInvalidBox = errors.New("touch: invalid query box")
+// ErrInvalidBox is wrapped into the error returned when a box is
+// malformed — a query box with NaN coordinates or Min > Max in some
+// dimension, or a dataset box with non-finite coordinates rejected by
+// the loaders (ReadDataset, DatasetFromBoxes); test with errors.Is.
+var ErrInvalidBox = errors.New("touch: invalid box")
 
 // ErrInvalidPoint is wrapped into the error returned when a query point
 // has NaN coordinates; test with errors.Is.
