@@ -24,8 +24,11 @@ vet:
 # points: range-cN / knn-cN throughput and allocs/op for single-probe
 # queries on the shared index. BENCH_4 adds the network-path points:
 # http-range-cN / http-knn-cN qps through the touchserved HTTP subsystem
-# on loopback, next to the in-process numbers.
-BENCH_OUT ?= BENCH_4.json
+# on loopback, next to the in-process numbers. BENCH_5 adds the
+# cancellable-execution points: stream-join (whole-dataset join consumed
+# off the JoinSeq iterator, pairs/sec) and cancel-latency (time from
+# context cancellation to engine quiescence).
+BENCH_OUT ?= BENCH_5.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

@@ -1,0 +1,423 @@
+package touch
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"touch/internal/stats"
+)
+
+// cancelFixture builds a workload dense enough that every algorithm has
+// plenty of comparisons left after the first result: |A|·|B| identical
+// boxes all pairwise overlap.
+func cancelFixture(n int) (a, b Dataset) {
+	box := NewBox(Point{0, 0, 0}, Point{10, 10, 10})
+	a = make(Dataset, n)
+	b = make(Dataset, n)
+	for i := 0; i < n; i++ {
+		a[i] = Object{ID: ID(i), Box: box}
+		b[i] = Object{ID: ID(i), Box: box}
+	}
+	return a, b
+}
+
+// TestCancelMidJoinBounded: cancelling the context from inside the sink
+// — i.e. mid-join, deterministically — must return ErrJoinCanceled, and
+// the engine must stop within a bounded number of further emissions
+// (the checkpoint interval plus one indivisible work unit), not run the
+// join to completion.
+func TestCancelMidJoinBounded(t *testing.T) {
+	a, b := cancelFixture(400) // 160000 pairs if run to completion
+	algs := append(Algorithms(), AlgSeeded)
+	for _, alg := range algs {
+		t.Run(string(alg), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var after atomic.Int64
+			canceledAt := int64(100)
+			var n int64
+			sink := countingSink(func() {
+				if n++; n == canceledAt {
+					cancel()
+				} else if n > canceledAt {
+					after.Add(1)
+				}
+			})
+			_, err := SpatialJoinCtx(ctx, alg, a, b, &Options{Sink: sink})
+			if !errors.Is(err, ErrJoinCanceled) {
+				t.Fatalf("cancelled %s join returned %v, want ErrJoinCanceled", alg, err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: error %v must wrap context.Canceled", alg, err)
+			}
+			// The abort is cooperative: every worker may run up to one
+			// checkpoint interval past the cancel, plus one indivisible
+			// unit (a grid-cell run, a sweep prefix). 2× the interval is
+			// a safe, meaningful bound — full completion would be 160000.
+			if got := after.Load(); got > 2*stats.CheckEvery {
+				t.Fatalf("%s emitted %d pairs after cancellation (bound %d)", alg, got, 2*stats.CheckEvery)
+			}
+		})
+	}
+}
+
+// countingSink adapts a func to Sink for the cancellation tests.
+type countingSink func()
+
+func (f countingSink) Emit(a, b ID) { f() }
+
+// TestCancelPreCanceledContext: a context that is already dead fails
+// fast on every entry point, before any work.
+func TestCancelPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := GenerateUniform(50, 1)
+	b := GenerateUniform(50, 2)
+	if _, err := SpatialJoinCtx(ctx, AlgTOUCH, a, b, nil); !errors.Is(err, ErrJoinCanceled) {
+		t.Fatalf("SpatialJoinCtx: %v", err)
+	}
+	if _, err := DistanceJoinCtx(ctx, AlgNL, a, b, 1, nil); !errors.Is(err, ErrJoinCanceled) {
+		t.Fatalf("DistanceJoinCtx: %v", err)
+	}
+	ix := BuildIndex(a, TOUCHConfig{})
+	if _, err := ix.JoinCtx(ctx, b, nil); !errors.Is(err, ErrJoinCanceled) {
+		t.Fatalf("Index.JoinCtx: %v", err)
+	}
+	if _, err := ix.DistanceJoinCtx(ctx, b, 1, nil); !errors.Is(err, ErrJoinCanceled) {
+		t.Fatalf("Index.DistanceJoinCtx: %v", err)
+	}
+	sawErr := false
+	for _, err := range ix.JoinSeq(ctx, b, nil) {
+		if !errors.Is(err, ErrJoinCanceled) {
+			t.Fatalf("JoinSeq on dead context yielded %v", err)
+		}
+		sawErr = true
+	}
+	if !sawErr {
+		t.Fatal("JoinSeq on dead context yielded nothing")
+	}
+}
+
+// TestIndexJoinCtxCancelKeepsProbeClean: a cancelled JoinCtx (aborted
+// mid-assignment or mid-join) must leave nothing behind in the probe it
+// returns to the pool — the next, uncancelled join on the same index
+// answers exactly like a fresh one.
+func TestIndexJoinCtxCancelKeepsProbeClean(t *testing.T) {
+	a := GenerateUniform(800, 31).Expand(100)
+	b := GenerateUniform(2000, 32)
+	ix := BuildIndex(a, TOUCHConfig{Partitions: 64})
+	want := ix.Join(b, nil)
+	want.SortPairs()
+	// The cancellation below lands within the first ~134 pairs; the join
+	// must have far more than a checkpoint interval of work left there,
+	// or a fast completion could legitimately beat the abort.
+	if want.Stats.Comparisons < 8*stats.CheckEvery {
+		t.Fatalf("premise: workload too sparse (%d comparisons)", want.Stats.Comparisons)
+	}
+
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		n, stopAt := 0, i*7+1
+		sink := countingSink(func() {
+			if n++; n == stopAt {
+				cancel()
+			}
+		})
+		if _, err := ix.JoinCtx(ctx, b, &Options{Sink: sink}); !errors.Is(err, ErrJoinCanceled) {
+			cancel()
+			t.Fatalf("round %d: %v", i, err)
+		}
+		cancel()
+
+		got := ix.Join(b, nil)
+		got.SortPairs()
+		if !slices.Equal(got.Pairs, want.Pairs) {
+			t.Fatalf("round %d: join after cancelled join diverged (%d vs %d pairs)",
+				i, len(got.Pairs), len(want.Pairs))
+		}
+	}
+}
+
+// TestLimitExact: Options.Limit delivers exactly N pairs — to the
+// result, to a sink, and under parallelism — with Stats.Results pinned
+// to the delivered count, and leaves shorter results untouched.
+func TestLimitExact(t *testing.T) {
+	a := GenerateUniform(500, 41).Expand(60)
+	b := GenerateUniform(900, 42)
+	full, err := SpatialJoin(AlgTOUCH, a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := full.Stats.Results
+	if total < 50 {
+		t.Fatalf("premise: workload too sparse (%d pairs)", total)
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, limit := range []int64{1, 7, total / 2, total, total + 1000} {
+			res, err := SpatialJoinCtx(context.Background(), AlgTOUCH, a, b,
+				&Options{Limit: limit, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := min(limit, total)
+			if int64(len(res.Pairs)) != want || res.Stats.Results != want {
+				t.Fatalf("workers=%d limit=%d: %d pairs, Results=%d, want %d",
+					workers, limit, len(res.Pairs), res.Stats.Results, want)
+			}
+		}
+	}
+
+	// Sink delivery is capped identically.
+	var delivered int64
+	sink := countingSink(func() { delivered++ })
+	if _, err := SpatialJoin(AlgTOUCH, a, b, &Options{Limit: 13, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 13 {
+		t.Fatalf("sink got %d pairs, want 13", delivered)
+	}
+
+	// NoPairs + Limit: the count stops at the limit too.
+	res, err := SpatialJoin(AlgTOUCH, a, b, &Options{Limit: 5, NoPairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != 5 {
+		t.Fatalf("NoPairs limited count = %d, want 5", res.Stats.Results)
+	}
+}
+
+// TestLimitRespectsSwap: with the join-order heuristic swapping the
+// datasets, limited pairs still arrive in (A, B) orientation.
+func TestLimitRespectsSwap(t *testing.T) {
+	a := GenerateUniform(900, 51).Expand(60) // larger: heuristic swaps
+	b := GenerateUniform(300, 52)
+	res, err := SpatialJoin(AlgTOUCH, a, b, &Options{Limit: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 25 {
+		t.Fatalf("limited swapped join delivered %d pairs", len(res.Pairs))
+	}
+	full, err := SpatialJoin(AlgTOUCH, a, b, &Options{KeepOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := make(map[Pair]bool, len(full.Pairs))
+	for _, p := range full.Pairs {
+		valid[p] = true
+	}
+	for _, p := range res.Pairs {
+		if !valid[p] {
+			t.Fatalf("limited join emitted pair %v not in the full (A,B)-oriented result", p)
+		}
+	}
+}
+
+// pairSet collects an iterator's pairs into a map, failing on error.
+func pairSet(t *testing.T, seq func(func(Pair, error) bool)) map[Pair]bool {
+	t.Helper()
+	m := make(map[Pair]bool)
+	for p, err := range seq {
+		if err != nil {
+			t.Fatalf("streaming join error: %v", err)
+		}
+		if m[p] {
+			t.Fatalf("streaming join yielded duplicate pair %v", p)
+		}
+		m[p] = true
+	}
+	return m
+}
+
+// TestStreamingMaterializedDifferential: the streaming, materialized and
+// effectively-unlimited (Limit far past the result size) paths must emit
+// identical pair sets, one-shot and on a prebuilt index, sequential and
+// parallel.
+func TestStreamingMaterializedDifferential(t *testing.T) {
+	a := GenerateUniform(600, 61).Expand(8)
+	b := GenerateUniform(1100, 62)
+
+	ref, err := SpatialJoin(AlgTOUCH, a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[Pair]bool, len(ref.Pairs))
+	for _, p := range ref.Pairs {
+		want[p] = true
+	}
+
+	check := func(name string, got map[Pair]bool) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d pairs, want %d", name, len(got), len(want))
+		}
+		for p := range got {
+			if !want[p] {
+				t.Fatalf("%s: spurious pair %v", name, p)
+			}
+		}
+	}
+
+	ix := BuildIndex(a, TOUCHConfig{})
+	ctx := context.Background()
+	check("one-shot stream", pairSet(t, JoinSeq(ctx, AlgTOUCH, a, b, nil)))
+	check("one-shot stream w4", pairSet(t, JoinSeq(ctx, AlgTOUCH, a, b, &Options{Workers: 4})))
+	check("one-shot stream nl", pairSet(t, JoinSeq(ctx, AlgNL, a, b, nil)))
+	check("index stream", pairSet(t, ix.JoinSeq(ctx, b, nil)))
+	check("index stream w4", pairSet(t, ix.JoinSeq(ctx, b, &Options{Workers: 4})))
+	check("limit beyond total", pairSet(t, ix.JoinSeq(ctx, b, &Options{Limit: int64(len(want)) + 10_000})))
+
+	mat, err := ix.JoinCtx(ctx, b, &Options{Limit: int64(len(want)) + 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[Pair]bool, len(mat.Pairs))
+	for _, p := range mat.Pairs {
+		got[p] = true
+	}
+	check("materialized with headroom limit", got)
+}
+
+// TestJoinSeqBreakAndLimit: breaking out of the iterator stops the join
+// cleanly, and Options.Limit truncates the sequence exactly.
+func TestJoinSeqBreakAndLimit(t *testing.T) {
+	a, b := cancelFixture(200) // 40000 pairs
+	ix := BuildIndex(a, TOUCHConfig{})
+
+	n := 0
+	for p, err := range ix.JoinSeq(context.Background(), b, nil) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = p
+		if n++; n == 37 {
+			break
+		}
+	}
+	if n != 37 {
+		t.Fatalf("broke after %d pairs", n)
+	}
+
+	n = 0
+	for _, err := range ix.JoinSeq(context.Background(), b, &Options{Limit: 123}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 123 {
+		t.Fatalf("limited sequence yielded %d pairs, want 123", n)
+	}
+}
+
+// TestDistanceJoinSeq: the streaming distance join shares the buffered
+// path's validation (negative eps yields the error as the only
+// element) and its probe-side expansion (same pair set).
+func TestDistanceJoinSeq(t *testing.T) {
+	a := GenerateUniform(300, 81)
+	b := GenerateUniform(500, 82)
+	ix := BuildIndex(a, TOUCHConfig{})
+
+	var got error
+	for _, err := range ix.DistanceJoinSeq(context.Background(), b, -1, nil) {
+		got = err
+	}
+	if !errors.Is(got, ErrNegativeDistance) {
+		t.Fatalf("negative eps yielded %v, want ErrNegativeDistance", got)
+	}
+
+	ref, err := ix.DistanceJoin(b, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[Pair]bool, len(ref.Pairs))
+	for _, p := range ref.Pairs {
+		want[p] = true
+	}
+	got2 := pairSet(t, ix.DistanceJoinSeq(context.Background(), b, 40, nil))
+	if len(got2) != len(want) {
+		t.Fatalf("streamed distance join: %d pairs, want %d", len(got2), len(want))
+	}
+	for p := range got2 {
+		if !want[p] {
+			t.Fatalf("streamed distance join: spurious pair %v", p)
+		}
+	}
+}
+
+// TestJoinSeqUnknownAlgorithm: the one-shot iterator surfaces a bad
+// algorithm name as its only element.
+func TestJoinSeqUnknownAlgorithm(t *testing.T) {
+	var got error
+	for _, err := range JoinSeq(context.Background(), Algorithm("bogus"), nil, nil, nil) {
+		got = err
+	}
+	if !errors.Is(got, ErrUnknownAlgorithm) {
+		t.Fatalf("got %v, want ErrUnknownAlgorithm", got)
+	}
+}
+
+// TestJoinSeqConcurrentBreakRace is the -race centerpiece of the
+// streaming API: 8 consumers iterate JoinSeq on one shared Index and
+// break at random points (some cancel instead), concurrently, in
+// several rounds. Probes must recycle cleanly through the pool — the
+// final full joins must stay bit-identical to the sequential oracle.
+func TestJoinSeqConcurrentBreakRace(t *testing.T) {
+	a := GenerateUniform(700, 71).Expand(8)
+	b := GenerateUniform(1500, 72)
+	ix := BuildIndex(a, TOUCHConfig{Partitions: 64})
+
+	oracle := ix.Join(b, nil)
+	oracle.SortPairs()
+
+	const consumers = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	for g := 0; g < consumers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 977))
+			for r := 0; r < rounds; r++ {
+				workers := 1 + rng.Intn(3)
+				stopAt := 1 + rng.Intn(2*len(oracle.Pairs))
+				ctx, cancel := context.WithCancel(context.Background())
+				n := 0
+				for _, err := range ix.JoinSeq(ctx, b, &Options{Workers: workers}) {
+					if err != nil {
+						if !errors.Is(err, ErrJoinCanceled) {
+							t.Errorf("consumer %d round %d: %v", g, r, err)
+						}
+						break
+					}
+					if n++; n == stopAt {
+						if rng.Intn(2) == 0 {
+							break // iterator break path
+						}
+						cancel() // context cancellation path
+					}
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After all that churn, full joins drawing recycled probes answer
+	// exactly like the pristine oracle.
+	for i := 0; i < 4; i++ {
+		got := ix.Join(b, nil)
+		got.SortPairs()
+		if !slices.Equal(got.Pairs, oracle.Pairs) {
+			t.Fatalf("post-race join %d diverged from oracle (%d vs %d pairs)",
+				i, len(got.Pairs), len(oracle.Pairs))
+		}
+	}
+}

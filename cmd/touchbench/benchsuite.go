@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,16 @@ import (
 	"touch/internal/server"
 	"touch/internal/testutil"
 )
+
+// signalSink closes its channel on the first emitted pair — the
+// cancellation-latency point uses it to know the join is mid-flight.
+type signalSink struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+// Emit implements touch.Sink.
+func (s *signalSink) Emit(a, b touch.ID) { s.once.Do(func() { close(s.ch) }) }
 
 // benchPoint is one measured configuration of the fixed-workload suite.
 type benchPoint struct {
@@ -180,6 +191,72 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			return err
 		}
 		report.Points = append(report.Points, pt)
+	}
+
+	// Streaming join: the same whole-dataset join consumed pair by pair
+	// off Index.JoinSeq instead of materialized — the iterator's channel
+	// batching is the only cost over serve-c1, and the O(1)-memory path
+	// the server's NDJSON mode rides on. Results carries the streamed
+	// pair count; QueriesPerS the pair throughput.
+	{
+		var best benchPoint
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			n := int64(0)
+			for _, err := range idx.JoinSeq(context.Background(), probe, nil) {
+				if err != nil {
+					return fmt.Errorf("stream-join: %w", err)
+				}
+				n++
+			}
+			ns := time.Since(start).Nanoseconds()
+			if rep == 0 || ns < best.NsPerOp {
+				best = benchPoint{
+					Name:        "stream-join",
+					Algorithm:   string(touch.AlgTOUCH),
+					NsPerOp:     ns,
+					Results:     n,
+					QueriesPerS: float64(n) / (float64(ns) / float64(time.Second)),
+				}
+			}
+		}
+		report.Points = append(report.Points, best)
+	}
+
+	// Cancellation latency: how long after ctx cancellation the engine
+	// takes to quiesce (JoinCtx returning ErrJoinCanceled), measured from
+	// the cancel call once the join is demonstrably mid-flight (first
+	// pair delivered). This is the tail a timed-out HTTP request holds
+	// its admission slot for — the bound behind "the slot frees
+	// immediately".
+	{
+		var best benchPoint
+		for rep := 0; rep < 3; rep++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			first := &signalSink{ch: make(chan struct{})}
+			ret := make(chan error, 1)
+			go func() {
+				_, err := idx.JoinCtx(ctx, probe, &touch.Options{Sink: first})
+				ret <- err
+			}()
+			select {
+			case <-first.ch:
+			case <-ret:
+				// Zero result pairs (possible at tiny -scale): nothing to
+				// observe mid-flight; fall through and measure the unwind.
+				close(ret) // re-selectable below
+			}
+			start := time.Now()
+			cancel()
+			// A join that finishes before the cancel lands still measures
+			// the (tiny) unwind cost, so the error is irrelevant here.
+			<-ret
+			ns := time.Since(start).Nanoseconds()
+			if rep == 0 || ns < best.NsPerOp {
+				best = benchPoint{Name: "cancel-latency", Algorithm: string(touch.AlgTOUCH), NsPerOp: ns}
+			}
+		}
+		report.Points = append(report.Points, best)
 	}
 
 	// Query serving: the same shared index answers single-probe range

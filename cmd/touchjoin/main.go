@@ -8,6 +8,7 @@
 // Usage:
 //
 //	touchjoin -a axons.txt -b dendrites.txt -eps 5 [-alg touch] [-out pairs.txt] [-stats]
+//	touchjoin -a axons.txt -b dendrites.txt -timeout 30s -limit 1000000
 //	touchjoin -a axons.txt -probes d1.txt,d2.txt,d3.txt -eps 5 [-stats]
 //	touchjoin -a axons.txt -query range -box 0,0,0,100,100,100
 //	touchjoin -a axons.txt -query point -point 50,50,50
@@ -15,10 +16,25 @@
 //
 // With -eps 0 the join reports intersecting pairs; with -eps > 0 it
 // reports pairs within that distance. The output lists one "i j" pair of
-// 0-based line indices per line. -stats prints the execution metrics
-// (comparisons, filtered objects, memory, per-phase timings) to stderr.
-// The -out file is only created once the inputs have validated and the
-// join has run, so a failed invocation never clobbers an existing file.
+// 0-based line indices per line; in -b mode pairs stream to the output
+// incrementally as the engine finds them — constant memory regardless
+// of result size — in emission order (deterministic with -workers 1,
+// arbitrary otherwise; sort externally if a canonical order is needed).
+// -stats prints the execution metrics (comparisons, filtered objects,
+// memory, per-phase timings) to stderr.
+//
+// -timeout arms a deadline over the whole run: an expired join aborts
+// inside the engine and the command exits 1. The abort is checked
+// during the assignment and join phases; the index-construction phase
+// of a run is not interruptible, and query mode — whose engine calls
+// are microsecond-scale — checks the deadline between its phases
+// instead of inside them. -limit stops a join after
+// exactly that many pairs (0 = all) — the engine aborts early instead
+// of discarding the excess. The -out file is only created once the
+// first pair streams (or, for empty results and -count, on success),
+// so a failed invocation never clobbers an existing file — with the
+// one exception of a -timeout expiring mid-stream, which leaves the
+// pairs written so far.
 //
 // -probes takes a comma-separated list of probe files and switches to
 // index-reuse mode (TOUCH only): the tree is built once on dataset A and
@@ -40,7 +56,7 @@ package main
 
 import (
 	"bufio"
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -65,6 +81,8 @@ func main() {
 		boxArg  = flag.String("box", "", "query box for -query range: minX,minY,minZ,maxX,maxY,maxZ")
 		ptArg   = flag.String("point", "", "query point for -query point|knn: x,y,z")
 		k       = flag.Int("k", 1, "neighbor count for -query knn")
+		timeout = flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline); a canceled join exits 1")
+		limit   = flag.Int64("limit", 0, "stop each join after exactly this many pairs (0 = all); the engine aborts early instead of discarding the excess")
 	)
 	flag.Parse()
 	if *fileA == "" || (*fileB == "" && *probes == "" && *query == "") {
@@ -88,14 +106,20 @@ func main() {
 		fatal(err)
 	}
 
-	opt := &touch.Options{NoPairs: *quiet, Workers: *workers}
+	opt := &touch.Options{NoPairs: *quiet, Workers: *workers, Limit: *limit}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *query != "" {
 		if alg := touch.Algorithm(*algName); alg != touch.AlgTOUCH {
 			fatal(fmt.Errorf("-query answers through a prebuilt TOUCH index; -alg %q is not supported (%s)",
 				*algName, algHint()))
 		}
-		if err := runQuery(a, *query, *boxArg, *ptArg, *k, *eps, *out); err != nil {
+		if err := runQuery(ctx, a, *query, *boxArg, *ptArg, *k, *eps, *out); err != nil {
 			fatal(err)
 		}
 		return
@@ -107,7 +131,7 @@ func main() {
 				*algName, algHint()))
 		}
 		files := strings.Split(*probes, ",")
-		if err := runProbes(a, files, *eps, opt, *out, *quiet, *stat); err != nil {
+		if err := runProbes(ctx, a, files, *eps, opt, *out, *quiet, *stat); err != nil {
 			fatal(err)
 		}
 		return
@@ -117,40 +141,137 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := touch.DistanceJoin(touch.Algorithm(*algName), a, b, *eps, opt)
+	// Pairs stream to the output as the engine emits them, so everything
+	// that can fail validation must fail before the output file is
+	// touched: the algorithm name, the distance, the inputs (above).
+	alg := touch.Algorithm(*algName)
+	if !touch.ValidAlgorithm(alg) {
+		fatal(fmt.Errorf("%w %q (%s)", touch.ErrUnknownAlgorithm, *algName, algHint()))
+	}
+	if *eps < 0 {
+		fatal(fmt.Errorf("%w %g", touch.ErrNegativeDistance, *eps))
+	}
+
+	// Pair mode streams through a sink that opens the output lazily on
+	// the first pair; count mode writes one number at the end. Either
+	// way a join that fails before producing anything — including a
+	// -timeout expiring during the build or assignment phases — never
+	// touches an existing output file.
+	var pw *pairWriter
+	joinCtx := ctx
+	if !*quiet {
+		// The writer gets its own cancel handle: a failed write (full
+		// disk, closed pipe) aborts the engine at its next checkpoint
+		// instead of letting a long join finish into the void.
+		var cancel context.CancelFunc
+		joinCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		pw = &pairWriter{path: *out, cancel: cancel}
+		opt.Sink = pw
+	}
+	res, err := touch.DistanceJoinCtx(joinCtx, alg, a, b, *eps, opt)
 	if err != nil {
-		if errors.Is(err, touch.ErrUnknownAlgorithm) {
-			err = fmt.Errorf("%w (%s)", err, algHint())
+		if pw != nil {
+			// Keep every pair already streamed: without the flush, the
+			// bufio tail is lost and the file can end on a torn line —
+			// a wrong-but-parseable pair.
+			pw.abortFlush()
+			if pw.err != nil {
+				// The write failure is what canceled the join; report it,
+				// not the secondhand cancellation.
+				fatal(pw.err)
+			}
 		}
 		fatal(err)
+	}
+	if pw != nil {
+		if err := pw.finish(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *stat {
 		printStats(*algName, len(a), len(b), &res.Stats)
 	}
-
-	// The join succeeded — only now touch the output file.
-	w, closeOut := openOut(*out)
 	if *quiet {
+		w, closeOut := openOut(*out)
 		fmt.Fprintln(w, res.Stats.Results)
-	} else {
-		res.SortPairs()
-		for _, p := range res.Pairs {
-			fmt.Fprintf(w, "%d %d\n", p.A, p.B)
+		if err := w.Flush(); err != nil {
+			fatal(err)
 		}
+		closeOut()
 	}
-	if err := w.Flush(); err != nil {
-		fatal(err)
+}
+
+// pairWriter streams result pairs to the output as the join delivers
+// them — constant memory however large the result. The output is
+// created lazily on the first pair, so a join canceled before emitting
+// anything leaves an existing file untouched. The first write error
+// sticks, suppresses the rest (a full disk should not print a million
+// errors) and cancels the join so the engine stops producing pairs
+// nobody can keep.
+type pairWriter struct {
+	path     string
+	cancel   context.CancelFunc
+	w        *bufio.Writer
+	closeOut func()
+	err      error
+}
+
+// Emit implements touch.Sink.
+func (pw *pairWriter) Emit(a, b touch.ID) {
+	if pw.err != nil {
+		return
 	}
-	closeOut()
+	if pw.w == nil {
+		pw.w, pw.closeOut = openOut(pw.path)
+	}
+	if _, pw.err = fmt.Fprintf(pw.w, "%d %d\n", a, b); pw.err != nil && pw.cancel != nil {
+		pw.cancel()
+	}
+}
+
+// finish flushes and closes the output after a successful join,
+// creating it (empty) if the join produced no pairs — a succeeded run
+// always leaves the requested file behind.
+func (pw *pairWriter) finish() error {
+	if pw.err != nil {
+		return pw.err
+	}
+	if pw.w == nil {
+		pw.w, pw.closeOut = openOut(pw.path)
+	}
+	if err := pw.w.Flush(); err != nil {
+		return err
+	}
+	pw.closeOut()
+	return nil
+}
+
+// abortFlush preserves what a canceled join already emitted: the
+// buffered tail is flushed so the file ends on a complete line, and
+// errors are ignored — the run is failing anyway. A join canceled
+// before its first pair never opened the output; nothing to do.
+func (pw *pairWriter) abortFlush() {
+	if pw.w == nil {
+		return
+	}
+	_ = pw.w.Flush()
+	pw.closeOut()
 }
 
 // runProbes builds one TOUCH index on a and joins every probe file
 // against it — the build phase runs exactly once. All probe files are
-// read (and therefore validated) before the output file is created.
-// Pair blocks are separated by "# file" headers; with count one
-// "file n" line per probe is written instead.
-func runProbes(a touch.Dataset, files []string, eps float64, opt *touch.Options, outPath string, count, stat bool) error {
+// read (and therefore validated) before any join runs, and the output
+// file is only created once the first join has succeeded, so a failed
+// or canceled invocation never truncates an existing file for nothing
+// (a deadline expiring mid-sequence leaves the complete blocks already
+// written). Pair blocks are separated by "# file" headers; with count
+// one "file n" line per probe is written instead. The ctx deadline
+// covers the whole sequence of joins; probe blocks are small enough
+// per join that they stay sorted (unlike the streaming single-join
+// mode).
+func runProbes(ctx context.Context, a touch.Dataset, files []string, eps float64, opt *touch.Options, outPath string, count, stat bool) error {
 	if eps < 0 {
 		return fmt.Errorf("%w %g", touch.ErrNegativeDistance, eps)
 	}
@@ -180,13 +301,33 @@ func runProbes(a touch.Dataset, files []string, eps float64, opt *touch.Options,
 	// side once instead of every probe dataset per join.
 	idx := touch.BuildIndex(a.Expand(eps), cfg)
 
-	w, closeOut := openOut(outPath)
+	// The output opens lazily, after the first join has succeeded: a
+	// -timeout expiring during the sequence then leaves an existing
+	// file either untouched (first join) or holding the complete blocks
+	// already written — never truncated for nothing.
+	var (
+		w        *bufio.Writer
+		closeOut func()
+	)
+	ensureOut := func() {
+		if w == nil {
+			w, closeOut = openOut(outPath)
+		}
+	}
 	for i, b := range datasets {
-		res := idx.Join(b, opt)
+		res, err := idx.JoinCtx(ctx, b, opt)
+		if err != nil {
+			if w != nil {
+				_ = w.Flush() // keep the blocks already written intact
+				closeOut()
+			}
+			return err
+		}
 		if stat {
 			fmt.Fprintf(os.Stderr, "--- %s\n", names[i])
 			printStats(string(touch.AlgTOUCH), len(a), len(b), &res.Stats)
 		}
+		ensureOut()
 		if count {
 			fmt.Fprintf(w, "%s %d\n", names[i], res.Stats.Results)
 			continue
@@ -227,8 +368,10 @@ func parseFloats(arg, flagName string, n int) ([]float64, error) {
 // runQuery builds one TOUCH index on a and answers a single range,
 // point or knn query. The output file is only created once the query
 // has succeeded, so a failed invocation never clobbers an existing
-// file.
-func runQuery(a touch.Dataset, mode, boxArg, ptArg string, k int, eps float64, outPath string) error {
+// file. Single-probe queries run in microseconds, so the -timeout ctx
+// is only honored at the phase boundaries (before the index build and
+// before the query), not inside them.
+func runQuery(ctx context.Context, a touch.Dataset, mode, boxArg, ptArg string, k int, eps float64, outPath string) error {
 	if eps < 0 {
 		return fmt.Errorf("%w %g", touch.ErrNegativeDistance, eps)
 	}
@@ -260,7 +403,13 @@ func runQuery(a touch.Dataset, mode, boxArg, ptArg string, k int, eps float64, o
 
 	// A non-zero ε expands the indexed boxes: results are the objects
 	// within ε of the query box or point.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("query canceled: %w", err)
+	}
 	ix := touch.BuildIndex(a.Expand(eps), touch.TOUCHConfig{})
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("query canceled: %w", err)
+	}
 
 	var lines []string
 	switch mode {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -84,7 +85,7 @@ func TestRunProbes(t *testing.T) {
 
 	outPath := filepath.Join(dir, "counts.txt")
 	opt := &touch.Options{NoPairs: true}
-	if err := runProbes(a, files, eps, opt, outPath, true, false); err != nil {
+	if err := runProbes(context.Background(), a, files, eps, opt, outPath, true, false); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(outPath)
@@ -104,7 +105,7 @@ func TestRunProbes(t *testing.T) {
 
 	// Pair mode: blocks headed by "# file", pairs matching the count.
 	pairPath := filepath.Join(dir, "pairs.txt")
-	if err := runProbes(a, files[:1], eps, &touch.Options{}, pairPath, false, false); err != nil {
+	if err := runProbes(context.Background(), a, files[:1], eps, &touch.Options{}, pairPath, false, false); err != nil {
 		t.Fatal(err)
 	}
 	raw, err = os.ReadFile(pairPath)
@@ -132,11 +133,19 @@ func TestRunProbesFailureKeepsOutFile(t *testing.T) {
 	}
 	a := touch.GenerateUniform(10, 1)
 	missing := []string{filepath.Join(dir, "missing.txt")}
-	if err := runProbes(a, missing, 0, &touch.Options{}, outPath, true, false); err == nil {
+	if err := runProbes(context.Background(), a, missing, 0, &touch.Options{}, outPath, true, false); err == nil {
 		t.Fatal("missing probe file must error")
 	}
-	if err := runProbes(a, nil, -1, &touch.Options{}, outPath, true, false); err == nil {
+	if err := runProbes(context.Background(), a, nil, -1, &touch.Options{}, outPath, true, false); err == nil {
 		t.Fatal("negative eps must error in probes mode")
+	}
+	// A canceled sequence whose first join never finished must not touch
+	// the file either — the output opens lazily after the first success.
+	probe := writeDataset(t, dir, "probe.txt", touch.GenerateUniform(10, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := runProbes(ctx, a, []string{probe}, 0, &touch.Options{}, outPath, true, false); !errors.Is(err, touch.ErrJoinCanceled) {
+		t.Fatalf("canceled probes run returned %v, want ErrJoinCanceled", err)
 	}
 	raw, err := os.ReadFile(outPath)
 	if err != nil {
@@ -148,7 +157,7 @@ func TestRunProbesFailureKeepsOutFile(t *testing.T) {
 }
 
 func TestRunProbesNegativeEpsSentinel(t *testing.T) {
-	err := runProbes(touch.GenerateUniform(10, 1), nil, -1, &touch.Options{}, "", true, false)
+	err := runProbes(context.Background(), touch.GenerateUniform(10, 1), nil, -1, &touch.Options{}, "", true, false)
 	if !errors.Is(err, touch.ErrNegativeDistance) {
 		t.Fatalf("want ErrNegativeDistance, got %v", err)
 	}
@@ -240,6 +249,131 @@ func TestFailurePaths(t *testing.T) {
 				t.Errorf("failed invocation created output file %s", outPath)
 			}
 		})
+	}
+}
+
+// TestJoinLimitFlag: -limit must cap the streamed pair output at exactly
+// N lines, and -count with -limit reports the truncated count.
+func TestJoinLimitFlag(t *testing.T) {
+	dir := t.TempDir()
+	a := touch.GenerateUniform(150, 11)
+	aPath := writeDataset(t, dir, "a.txt", a)
+	// Self-join with a wide ε guarantees far more than 5 pairs.
+	outPath := filepath.Join(dir, "limited.txt")
+	code, stderr := runTouchjoin(t, "-a", aPath, "-b", aPath, "-eps", "200", "-limit", "5", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != 5 {
+		t.Fatalf("limited output has %d lines, want 5", lines)
+	}
+
+	code, _ = runTouchjoin(t, "-a", aPath, "-b", aPath, "-eps", "200", "-limit", "7", "-count",
+		"-out", filepath.Join(dir, "count.txt"))
+	if code != 0 {
+		t.Fatal("count+limit run failed")
+	}
+	raw, err = os.ReadFile(filepath.Join(dir, "count.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw)); got != "7" {
+		t.Fatalf("limited count = %q, want 7", got)
+	}
+}
+
+// TestJoinTimeoutFlag: an expired -timeout cancels the join inside the
+// engine and exits 1 with the cancellation error.
+func TestJoinTimeoutFlag(t *testing.T) {
+	dir := t.TempDir()
+	aPath := writeDataset(t, dir, "a.txt", touch.GenerateUniform(200, 12))
+	code, stderr := runTouchjoin(t, "-a", aPath, "-b", aPath, "-eps", "100", "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d (stderr %s), want 1", code, stderr)
+	}
+	if !strings.Contains(stderr, "join canceled") {
+		t.Fatalf("stderr %q does not mention the cancellation", stderr)
+	}
+}
+
+// TestCountTimeoutKeepsOutFile: count mode writes its one number only
+// after the join succeeds, so a canceled run must not clobber an
+// existing output file (the streaming pair mode is the documented
+// exception).
+func TestCountTimeoutKeepsOutFile(t *testing.T) {
+	dir := t.TempDir()
+	aPath := writeDataset(t, dir, "a.txt", touch.GenerateUniform(100, 15))
+	outPath := filepath.Join(dir, "count.txt")
+	const precious = "12345\n"
+	if err := os.WriteFile(outPath, []byte(precious), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _ := runTouchjoin(t, "-a", aPath, "-b", aPath, "-eps", "100", "-count",
+		"-timeout", "1ns", "-out", outPath)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != precious {
+		t.Fatalf("canceled count run clobbered the output file: %q", raw)
+	}
+
+	// Pair mode opens its output lazily on the first pair, so a join
+	// canceled before anything streamed must leave the file alone too.
+	code, _ = runTouchjoin(t, "-a", aPath, "-b", aPath, "-eps", "100",
+		"-timeout", "1ns", "-out", outPath)
+	if code != 1 {
+		t.Fatalf("pair-mode exit %d, want 1", code)
+	}
+	raw, err = os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != precious {
+		t.Fatalf("canceled pair-mode run clobbered the output file: %q", raw)
+	}
+}
+
+// TestJoinStreamedOutputMatchesOracle: the streamed (unsorted) pair
+// lines of a single-threaded join are, as a set, exactly the oracle's.
+func TestJoinStreamedOutputMatchesOracle(t *testing.T) {
+	dir := t.TempDir()
+	a := touch.GenerateUniform(120, 13)
+	b := touch.GenerateUniform(180, 14)
+	aPath := writeDataset(t, dir, "a.txt", a)
+	bPath := writeDataset(t, dir, "b.txt", b)
+	outPath := filepath.Join(dir, "pairs.txt")
+	code, stderr := runTouchjoin(t, "-a", aPath, "-b", bPath, "-eps", "40", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	ref, err := touch.DistanceJoin(touch.AlgNL, a, b, 40, &touch.Options{KeepOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]bool, len(ref.Pairs))
+	for _, p := range ref.Pairs {
+		want[fmt.Sprintf("%d %d", p.A, p.B)] = true
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("streamed %d pairs, oracle has %d", len(lines), len(want))
+	}
+	for _, line := range lines {
+		if !want[line] {
+			t.Fatalf("streamed pair %q not in oracle", line)
+		}
 	}
 }
 

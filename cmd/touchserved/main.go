@@ -38,7 +38,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrently admitted requests; more get 429")
-		timeout     = flag.Duration("timeout", 10*time.Second, "per-request processing budget")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request processing budget; expiry cancels the running computation")
 		maxBody     = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		workers     = flag.Int("workers", 0, "default per-join parallelism (a request's workers field overrides)")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown drain budget")

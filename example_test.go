@@ -1,6 +1,7 @@
 package touch_test
 
 import (
+	"context"
 	"fmt"
 
 	"touch"
@@ -27,6 +28,32 @@ func ExampleIndex_RangeQuery() {
 	}
 	fmt.Println(ids)
 	// Output: [0 1]
+}
+
+// JoinSeq streams join results as a range-over-func iterator: pairs
+// arrive as the engine finds them, so nothing is materialized, breaking
+// out of the loop aborts the join promptly, and cancelling the context
+// (or Options.Limit) bounds the work. Here the consumer stops after two
+// pairs of a join that would produce three.
+func ExampleIndex_JoinSeq() {
+	idx := touch.BuildIndex(exampleDataset(), touch.TOUCHConfig{})
+	probe := touch.Dataset{
+		{ID: 100, Box: touch.NewBox(touch.Point{0, 0, 0}, touch.Point{9, 1, 1})},
+	}
+
+	seen := 0
+	for pair, err := range idx.JoinSeq(context.Background(), probe, nil) {
+		if err != nil {
+			panic(err) // only a canceled context ends the stream early
+		}
+		fmt.Printf("indexed %d overlaps probe %d\n", pair.A, pair.B)
+		if seen++; seen == 2 {
+			break // stops the running join, no goroutine leaks
+		}
+	}
+	// Output:
+	// indexed 0 overlaps probe 100
+	// indexed 1 overlaps probe 100
 }
 
 // KNN returns the k nearest objects by point-to-MBR distance, ordered

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -94,4 +96,32 @@ func main() {
 	fmt.Printf("throughput:  %.2fx\n", seqWall.Seconds()/parWall.Seconds())
 	fmt.Printf("%d result pairs total — all %d concurrent joins matched the sequential run ✓\n",
 		totalResults.Load(), total)
+
+	// The same index also serves cancellable, streaming consumers: a
+	// JoinSeq loop pulls pairs as the engine finds them (O(1) result
+	// memory) and breaking out aborts the join instead of finishing it.
+	sample := int(want[0][0]/2 + 1) // stop halfway through the result set
+	streamed := 0
+	for _, err := range idx.JoinSeq(context.Background(), probes[0][0], nil) {
+		if err != nil {
+			log.Fatalf("streaming join: %v", err)
+		}
+		if streamed++; streamed == sample {
+			break // the engine stops here, not at pair want[0][0]
+		}
+	}
+	if streamed != sample {
+		log.Fatalf("streamed %d pairs, expected to break at %d", streamed, sample)
+	}
+	fmt.Printf("streamed the first %d of %d pairs off an iterator, then broke out ✓\n",
+		streamed, want[0][0])
+
+	// And a deadline cancels a join mid-flight instead of letting it run
+	// to completion — the serving layer's timeout story.
+	ctx, cancel := context.WithTimeout(context.Background(), 1*time.Nanosecond)
+	defer cancel()
+	if _, err := idx.JoinCtx(ctx, probes[0][0], &touch.Options{NoPairs: true}); !errors.Is(err, touch.ErrJoinCanceled) {
+		log.Fatalf("expected ErrJoinCanceled, got %v", err)
+	}
+	fmt.Println("deadline-canceled join returned ErrJoinCanceled ✓")
 }

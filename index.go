@@ -1,6 +1,7 @@
 package touch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -45,41 +46,60 @@ func BuildIndex(a Dataset, cfg TOUCHConfig) *Index {
 // Join runs TOUCH's assignment and join phases against b, reusing the
 // prebuilt tree. Result pairs are in (index dataset, b) orientation.
 // Safe to call concurrently on a shared Index: each call checks a
-// private probe out of the pool and the tree is never written.
+// private probe out of the pool and the tree is never written. It is
+// JoinCtx with a background context — uncancellable, and free of any
+// cancellation bookkeeping unless Options.Limit is set.
 func (ix *Index) Join(b Dataset, opt *Options) *Result {
-	o := opt.normalized()
-	res := &Result{}
-	var sink Sink
-	switch {
-	case o.Sink != nil:
-		sink = o.Sink
-	case o.NoPairs:
-		sink = &stats.CountSink{}
-	default:
-		collect := &stats.CollectSink{}
-		sink = collect
-		defer func() { res.Pairs = collect.Pairs }()
-	}
+	// A background context can never cancel, so the only abort cause is
+	// a limit stop — not an error.
+	res, _ := ix.JoinCtx(context.Background(), b, opt)
+	return res
+}
 
+// JoinCtx is Join under a context: cancelling ctx (or its deadline
+// expiring) aborts the assignment and join phases cooperatively — every
+// worker checkpoints at least once per CheckEvery comparisons — and
+// returns ctx's error wrapped in ErrJoinCanceled. A join stopped by
+// Options.Limit is not an error; it returns the truncated result. The
+// probe recycles cleanly either way: an aborted call leaves no state
+// behind for the next join drawing the same probe from the pool.
+func (ix *Index) JoinCtx(ctx context.Context, b Dataset, opt *Options) (*Result, error) {
+	o := opt.normalized()
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
+	}
+	ctl := control(ctx, &o)
+	res := &Result{}
+	sink, finish := joinSink(&o, false, ctl, res)
+	ix.runProbe(b, o.Workers, ctl, &res.Stats, sink)
+	if err := canceledErr(ctx, ctl); err != nil {
+		return nil, err
+	}
+	finish()
+	return res, nil
+}
+
+// runProbe is the engine block shared by JoinCtx and JoinSeq: draw a
+// probe from the pool, pin its worker count (a recycled probe keeps its
+// previous count, so it is re-pinned to the build-time default unless
+// the call overrides it), run the assignment and join phases with their
+// timings, and account the memory.
+func (ix *Index) runProbe(b Dataset, workers int, ctl *stats.Control, c *Stats, sink Sink) {
 	p := ix.probes.Get().(*core.Probe)
 	defer ix.probes.Put(p)
-	// A recycled probe keeps its previous worker count; pin it to the
-	// build-time default unless the call overrides it.
-	if o.Workers > 1 {
-		p.SetWorkers(o.Workers)
+	if workers > 1 {
+		p.SetWorkers(workers)
 	} else {
 		p.SetWorkers(ix.tree.Workers())
 	}
 
-	c := &res.Stats
 	start := time.Now()
-	p.Assign(b, c)
+	p.Assign(b, ctl, c)
 	c.AssignTime += time.Since(start)
 	start = time.Now()
-	p.JoinPhase(c, sink)
+	p.JoinPhase(ctl, c, sink)
 	c.JoinTime += time.Since(start)
 	c.MemoryBytes += ix.tree.StaticBytes() + p.MemoryBytes()
-	return res
 }
 
 // DistanceJoin is Join with the probe dataset's boxes enlarged by eps —
@@ -87,10 +107,16 @@ func (ix *Index) Join(b Dataset, opt *Options) *Result {
 // probe side, unlike the one-shot DistanceJoin which expands A. Like the
 // one-shot DistanceJoin, a negative eps is rejected.
 func (ix *Index) DistanceJoin(b Dataset, eps float64, opt *Options) (*Result, error) {
+	return ix.DistanceJoinCtx(context.Background(), b, eps, opt)
+}
+
+// DistanceJoinCtx is DistanceJoin under a context, with the cancellation
+// and limit semantics of JoinCtx.
+func (ix *Index) DistanceJoinCtx(ctx context.Context, b Dataset, eps float64, opt *Options) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
-	return ix.Join(b.Expand(eps), opt), nil
+	return ix.JoinCtx(ctx, b.Expand(eps), opt)
 }
 
 // IndexStats describes the immutable build artifact behind an Index:

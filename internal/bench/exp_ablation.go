@@ -38,7 +38,7 @@ func runAblation(rc RunConfig, w io.Writer) error {
 	fmt.Fprintf(tw, "strategy\tcomparisons\ttime\tresults\n")
 	for _, kind := range kinds {
 		var c stats.Counters
-		core.Join(a, b, core.Config{LocalJoin: kind}, &c, &stats.CountSink{})
+		core.Join(a, b, core.Config{LocalJoin: kind}, nil, &c, &stats.CountSink{})
 		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\n",
 			kind, c.Comparisons, c.Total().Round(time.Millisecond), c.Results)
 	}
@@ -57,7 +57,7 @@ func runAblation(rc RunConfig, w io.Writer) error {
 		fmt.Fprintf(tw, "%d", fo)
 		for _, kind := range []core.LocalJoinKind{core.LocalJoinGrid, core.LocalJoinGridPostDedup} {
 			var c stats.Counters
-			core.Join(a, b, core.Config{Fanout: fo, LocalJoin: kind}, &c, &stats.CountSink{})
+			core.Join(a, b, core.Config{Fanout: fo, LocalJoin: kind}, nil, &c, &stats.CountSink{})
 			fmt.Fprintf(tw, "\t%d", c.Comparisons)
 		}
 		fmt.Fprintln(tw)

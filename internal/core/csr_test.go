@@ -61,7 +61,7 @@ func runMapReference(a, b geom.Dataset, cfg Config, postDedup bool) (stats.Count
 	sink := &stats.CollectSink{}
 	t := Build(a, cfg)
 	p := t.NewProbe()
-	p.Assign(b, &c)
+	p.Assign(b, nil, &c)
 	occupied := int64(0)
 	for _, id := range p.active {
 		occupied += t.mapGridJoin(t.nodes[id], p.nodeB(id), postDedup, &c, sink)
@@ -109,7 +109,7 @@ func TestCSRMatchesMapGrid(t *testing.T) {
 			sink := &stats.CollectSink{}
 			tr := Build(tc.a, cfg)
 			p := tr.NewProbe()
-			p.Assign(tc.b, &c)
+			p.Assign(tc.b, nil, &c)
 			ws := &joinScratch{}
 			occupied := int64(0)
 			for _, id := range p.active {
@@ -119,7 +119,7 @@ func TestCSRMatchesMapGrid(t *testing.T) {
 				csr := ws.buildCSR(g, bs)
 				occupied += csr.occupied
 				c.Replicas += csr.replicas
-				tr.gridProbe(g, csr, bs, tr.subtreeA(n), &c, sink)
+				tr.gridProbe(g, csr, bs, tr.subtreeA(n), nil, &c, sink)
 			}
 
 			if c.Comparisons != refC.Comparisons {

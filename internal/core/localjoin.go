@@ -54,15 +54,17 @@ func (k LocalJoinKind) String() string {
 
 // localJoin dispatches one node's local join according to the
 // configuration. bs is the probe's B segment for the node and ws the
-// calling worker's scratch arena; the tree itself is only read.
-func (t *Tree) localJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
+// calling worker's scratch arena; the tree itself is only read. tk is
+// the worker's cancellation ticker, threaded through every node the
+// worker processes so the checkpoints amortize across nodes.
+func (t *Tree) localJoin(n *Node, bs []geom.Object, tk *stats.Ticker, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	switch t.cfg.LocalJoin {
 	case LocalJoinGrid, LocalJoinGridPostDedup:
-		t.gridJoin(n, bs, c, sink, ws)
+		t.gridJoin(n, bs, tk, c, sink, ws)
 	case LocalJoinSweep:
-		t.sweepJoin(n, bs, c, sink, ws)
+		t.sweepJoin(n, bs, tk, c, sink, ws)
 	case LocalJoinNested:
-		t.nestedJoin(n, bs, c, sink)
+		t.nestedJoin(n, bs, tk, c, sink)
 	default:
 		panic("core: unknown local join kind")
 	}
@@ -74,7 +76,7 @@ func (t *Tree) localJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stat
 // cells it overlaps. Depending on the configuration, duplicate
 // candidates are skipped before the test (canonical-cell rule) or
 // discarded after it (reference-point method).
-func (t *Tree) gridJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
+func (t *Tree) gridJoin(n *Node, bs []geom.Object, tk *stats.Ticker, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	g := t.localGrid(n, bs)
 
 	csr := ws.buildCSR(g, bs)
@@ -86,18 +88,24 @@ func (t *Tree) gridJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats
 		ws.peakBytes = gridBytes
 	}
 
-	t.gridProbe(g, csr, bs, t.subtreeA(n), c, sink)
+	t.gridProbe(g, csr, bs, t.subtreeA(n), tk, c, sink)
 }
 
 // gridProbe runs the probe side of Algorithm 4: every A object in as
 // probes the cells it overlaps in the built CSR grid. The grid and csr
 // are read-only here, so joinParallel can fan the A objects of one huge
-// node out across workers, each probing its own chunk.
-func (t *Tree) gridProbe(g *grid.Grid, csr *csrGrid, bs, as []geom.Object, c *stats.Counters, sink stats.Sink) {
+// node out across workers, each probing its own chunk. The worker's
+// ticker is charged one unit per candidate run entry, so a cancelled
+// join aborts within CheckEvery comparisons plus one cell run.
+func (t *Tree) gridProbe(g *grid.Grid, csr *csrGrid, bs, as []geom.Object, tk *stats.Ticker, c *stats.Counters, sink stats.Sink) {
 	postDedup := t.cfg.LocalJoin == LocalJoinGridPostDedup
 	var a *geom.Object
 	probe := func(key int64) {
-		for _, bi := range csr.run(key) {
+		run := csr.run(key)
+		if len(run) == 0 || tk.TickN(len(run)) {
+			return
+		}
+		for _, bi := range run {
 			b := &bs[bi]
 			if postDedup {
 				// Paper mode: test in every shared cell, keep the
@@ -121,6 +129,9 @@ func (t *Tree) gridProbe(g *grid.Grid, csr *csrGrid, bs, as []geom.Object, c *st
 		}
 	}
 	for ai := range as {
+		if tk.Stopped() {
+			return
+		}
 		a = &as[ai]
 		lo, hi := g.Range(a.Box)
 		g.ForEachKey(lo, hi, probe)
@@ -160,7 +171,7 @@ func (t *Tree) localGrid(n *Node, bs []geom.Object) *grid.Grid {
 // objects. The A objects are copied into worker scratch before sorting
 // (the arena must stay in leaf order); the B segment is private to the
 // probe and rewritten by its next Assign, so it is sorted in place.
-func (t *Tree) sweepJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
+func (t *Tree) sweepJoin(n *Node, bs []geom.Object, tk *stats.Ticker, c *stats.Counters, sink stats.Sink, ws *joinScratch) {
 	byXMin := func(a, b geom.Object) int { return cmp.Compare(a.Box.Min[0], b.Box.Min[0]) }
 	as := append(ws.aObjs[:0], t.subtreeA(n)...)
 	ws.aObjs = as
@@ -169,18 +180,21 @@ func (t *Tree) sweepJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stat
 	if bytes := int64(len(as)+len(bs)) * stats.BytesPerObject; bytes > ws.peakBytes {
 		ws.peakBytes = bytes
 	}
-	sweep.JoinSorted(as, bs, c, func(x, y *geom.Object) {
+	sweep.JoinSorted(as, bs, tk, c, func(x, y *geom.Object) {
 		c.Results++
 		sink.Emit(x.ID, y.ID)
 	})
 }
 
 // nestedJoin is the unpartitioned local join: all pairs.
-func (t *Tree) nestedJoin(n *Node, bs []geom.Object, c *stats.Counters, sink stats.Sink) {
+func (t *Tree) nestedJoin(n *Node, bs []geom.Object, tk *stats.Ticker, c *stats.Counters, sink stats.Sink) {
 	as := t.subtreeA(n)
 	for ai := range as {
 		a := &as[ai]
 		for i := range bs {
+			if tk.Tick() {
+				return
+			}
 			c.Comparisons++
 			if a.Box.Intersects(bs[i].Box) {
 				c.Results++

@@ -75,5 +75,5 @@ func TestUnknownLocalJoinPanics(t *testing.T) {
 	a := datagen.UniformSet(50, 331).Expand(30)
 	b := datagen.UniformSet(50, 332)
 	var c stats.Counters
-	Join(a, b, Config{LocalJoin: LocalJoinKind(7)}, &c, &stats.CountSink{})
+	Join(a, b, Config{LocalJoin: LocalJoinKind(7)}, nil, &c, &stats.CountSink{})
 }

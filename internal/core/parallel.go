@@ -24,7 +24,7 @@ const (
 // per-index dest slot, so no synchronization is needed beyond the final
 // counting-sort merge (Probe.merge), which runs in input order and makes
 // every node's B segment bit-identical to the sequential assignment.
-func (p *Probe) assignParallel(b geom.Dataset, dest []int32, c *stats.Counters) {
+func (p *Probe) assignParallel(b geom.Dataset, dest []int32, ctl *stats.Control, c *stats.Counters) {
 	t := p.tree
 	workers := p.workers
 	if max := (len(b) + minParallelAssign - 1) / minParallelAssign; workers > max {
@@ -43,7 +43,11 @@ func (p *Probe) assignParallel(b geom.Dataset, dest []int32, c *stats.Counters) 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			local := &counters[w]
+			tk := stats.NewTicker(ctl)
 			for i := lo; i < hi; i++ {
+				if tk.Tick() {
+					break
+				}
 				if n := t.AssignOne(b[i], local); n != nil {
 					dest[i] = n.id
 				} else {
@@ -71,7 +75,7 @@ func (p *Probe) assignParallel(b geom.Dataset, dest []int32, c *stats.Counters) 
 // taking the shared sink's mutex once per batch instead of once per
 // pair. The tree is only read; everything written lives in the probe,
 // the counters and the sink.
-func (p *Probe) joinParallel(c *stats.Counters, sink stats.Sink) {
+func (p *Probe) joinParallel(ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	t := p.tree
 	// Not clamped to the active-node count: the stage-1 chunked probe
 	// wants every worker even when a single giant node is all there is;
@@ -113,6 +117,9 @@ func (p *Probe) joinParallel(c *stats.Counters, sink stats.Sink) {
 	// Stage 1: big nodes, all workers probing chunks of one node's
 	// subtree range at a time.
 	for _, id := range p.big {
+		if ctl.Stopped() {
+			break
+		}
 		n := t.nodes[id]
 		bs := p.nodeB(id)
 		g := t.localGrid(n, bs)
@@ -134,7 +141,8 @@ func (p *Probe) joinParallel(c *stats.Counters, sink stats.Sink) {
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				t.gridProbe(g, csr, bs, as[lo:hi], &counters[w], batches[w])
+				tk := stats.NewTicker(ctl)
+				t.gridProbe(g, csr, bs, as[lo:hi], &tk, &counters[w], batches[w])
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -147,13 +155,14 @@ func (p *Probe) joinParallel(c *stats.Counters, sink stats.Sink) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			tk := stats.NewTicker(ctl)
+			for !tk.Stopped() {
 				i := int(next.Add(1)) - 1
 				if i >= len(small) {
 					break
 				}
 				id := small[i]
-				t.localJoin(t.nodes[id], p.nodeB(id), &counters[w], batches[w], p.scratches[w])
+				t.localJoin(t.nodes[id], p.nodeB(id), &tk, &counters[w], batches[w], p.scratches[w])
 			}
 			batches[w].Flush()
 		}(w)

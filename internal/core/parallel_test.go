@@ -74,12 +74,12 @@ func TestParallelAssignMatchesSequential(t *testing.T) {
 	tr := Build(a, Config{})
 	seq := tr.NewProbe()
 	var cs stats.Counters
-	seq.Assign(b, &cs)
+	seq.Assign(b, nil, &cs)
 
 	par := tr.NewProbe()
 	par.SetWorkers(4)
 	var cp stats.Counters
-	par.Assign(b, &cp)
+	par.Assign(b, nil, &cp)
 
 	if cs.NodeTests != cp.NodeTests || cs.Filtered != cp.Filtered {
 		t.Fatalf("assignment counters diverge: %+v vs %+v", cs, cp)
@@ -106,8 +106,8 @@ func TestParallelReuseAcrossProbes(t *testing.T) {
 		b := datagen.UniformSet(3000, seed)
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		p.Assign(b, &c)
-		p.JoinPhase(&c, sink)
+		p.Assign(b, nil, &c)
+		p.JoinPhase(nil, &c, sink)
 		verifyLemmas(t, "reuse", sink.Pairs, oracle(a, b))
 	}
 }
@@ -137,8 +137,8 @@ func TestConcurrentProbesOneTree(t *testing.T) {
 			p := tr.NewProbe()
 			var c stats.Counters
 			sink := &stats.CollectSink{}
-			p.Assign(b, &c)
-			p.JoinPhase(&c, sink)
+			p.Assign(b, nil, &c)
+			p.JoinPhase(nil, &c, sink)
 			refs[g][m] = want{pairs: sortedPairs(sink.Pairs), c: c}
 		}
 	}
@@ -156,8 +156,8 @@ func TestConcurrentProbesOneTree(t *testing.T) {
 			for m := 0; m < probesPer; m++ {
 				var c stats.Counters
 				sink := &stats.CollectSink{}
-				p.Assign(datasets[g][m], &c)
-				p.JoinPhase(&c, sink)
+				p.Assign(datasets[g][m], nil, &c)
+				p.JoinPhase(nil, &c, sink)
 				ref := refs[g][m]
 				if !slices.Equal(sortedPairs(sink.Pairs), ref.pairs) {
 					errs <- fmt.Errorf("goroutine %d probe %d: pair set differs", g, m)

@@ -92,16 +92,25 @@ func (p *Probe) MemoryBytes() int64 {
 // previous assignment held by the probe. With more than one worker the
 // dataset is sharded across goroutines; the per-node B order is
 // identical to the sequential assignment (input order) either way.
-func (p *Probe) Assign(b geom.Dataset, c *stats.Counters) {
+//
+// ctl (which may be nil) is polled once per assigned object; an aborted
+// assignment leaves the probe holding an empty assignment (JoinPhase
+// then has nothing to do) — never a partially merged one — and the next
+// Assign recycles it as usual.
+func (p *Probe) Assign(b geom.Dataset, ctl *stats.Control, c *stats.Counters) {
 	t := p.tree
 	if cap(p.dest) < len(b) {
 		p.dest = make([]int32, len(b))
 	}
 	dest := p.dest[:len(b)]
 	if p.workers > 1 && len(b) >= minParallelAssign {
-		p.assignParallel(b, dest, c)
+		p.assignParallel(b, dest, ctl, c)
 	} else {
+		tk := stats.NewTicker(ctl)
 		for i := range b {
+			if tk.Tick() {
+				break
+			}
 			if n := t.AssignOne(b[i], c); n != nil {
 				dest[i] = n.id
 			} else {
@@ -109,6 +118,13 @@ func (p *Probe) Assign(b geom.Dataset, c *stats.Counters) {
 				c.Filtered++
 			}
 		}
+	}
+	if ctl.Stopped() {
+		// The tail of dest was never written this round (it may hold a
+		// previous assignment's ids); merging it would corrupt the CSR.
+		p.bObjs = p.bObjs[:0]
+		p.active = p.active[:0]
+		return
 	}
 	p.merge(b, dest)
 }
@@ -158,21 +174,28 @@ func (p *Probe) merge(b geom.Dataset, dest []int32) {
 
 // JoinPhase runs the third phase: every node holding B objects is joined
 // with the A objects of its descendant leaves via the tree's configured
-// local join, across the probe's workers when > 1.
-func (p *Probe) JoinPhase(c *stats.Counters, sink stats.Sink) {
+// local join, across the probe's workers when > 1. ctl (which may be
+// nil) is polled through amortized checkpoints inside every local join;
+// a stopped phase unwinds with partial counters and whatever pairs were
+// already emitted.
+func (p *Probe) JoinPhase(ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	p.peakGridBytes = 0
-	if len(p.active) == 0 {
+	if len(p.active) == 0 || ctl.Stopped() {
 		return
 	}
 	if p.workers > 1 {
-		p.joinParallel(c, sink)
+		p.joinParallel(ctl, c, sink)
 		return
 	}
 	t := p.tree
 	ws := p.scratch(0)
 	ws.peakBytes = 0
+	tk := stats.NewTicker(ctl)
 	for _, id := range p.active {
-		t.localJoin(t.nodes[id], p.nodeB(id), c, sink, ws)
+		if tk.Stopped() {
+			break
+		}
+		t.localJoin(t.nodes[id], p.nodeB(id), &tk, c, sink, ws)
 	}
 	p.peakGridBytes = ws.peakBytes
 }

@@ -216,8 +216,8 @@ func TestQueryAfterJoinInterleaving(t *testing.T) {
 	wantIDs := nl.RangeQuery(a, q)
 	var c stats.Counters
 	sink := &stats.CountSink{}
-	p.Assign(b, &c)
-	p.JoinPhase(&c, sink)
+	p.Assign(b, nil, &c)
+	p.JoinPhase(nil, &c, sink)
 	joinResults := sink.N
 
 	for round := 0; round < 3; round++ {
@@ -226,8 +226,8 @@ func TestQueryAfterJoinInterleaving(t *testing.T) {
 		}
 		var c2 stats.Counters
 		sink2 := &stats.CountSink{}
-		p.Assign(b, &c2)
-		p.JoinPhase(&c2, sink2)
+		p.Assign(b, nil, &c2)
+		p.JoinPhase(nil, &c2, sink2)
 		if sink2.N != joinResults {
 			t.Fatalf("round %d: join after query found %d results, want %d", round, sink2.N, joinResults)
 		}

@@ -296,19 +296,22 @@ func (t *Tree) StaticBytes() int64 {
 
 // Join runs all three TOUCH phases: build the tree on a, assign b via a
 // fresh probe, join. Phase timings land in c.BuildTime / c.AssignTime /
-// c.JoinTime and the analytic footprint in c.MemoryBytes.
-func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+// c.JoinTime and the analytic footprint in c.MemoryBytes. ctl (which may
+// be nil) is the cooperative abort signal polled throughout the
+// assignment and join phases; a stopped join unwinds with partial
+// counters.
+func Join(a, b geom.Dataset, cfg Config, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	start := time.Now()
 	t := Build(a, cfg)
 	c.BuildTime += time.Since(start)
 	p := t.NewProbe()
 
 	start = time.Now()
-	p.Assign(b, c)
+	p.Assign(b, ctl, c)
 	c.AssignTime += time.Since(start)
 
 	start = time.Now()
-	p.JoinPhase(c, sink)
+	p.JoinPhase(ctl, c, sink)
 	c.JoinTime += time.Since(start)
 	c.MemoryBytes += t.StaticBytes() + p.MemoryBytes()
 }

@@ -14,7 +14,7 @@ import (
 func oracle(a, b geom.Dataset) map[geom.Pair]bool {
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	nl.Join(a, b, &c, sink)
+	nl.Join(a, b, nil, &c, sink)
 	m := make(map[geom.Pair]bool, len(sink.Pairs))
 	for _, p := range sink.Pairs {
 		m[p] = true
@@ -26,7 +26,7 @@ func run(t *testing.T, a, b geom.Dataset, cfg Config) ([]geom.Pair, stats.Counte
 	t.Helper()
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(a, b, cfg, &c, sink)
+	Join(a, b, cfg, nil, &c, sink)
 	return sink.Pairs, c
 }
 
@@ -269,8 +269,8 @@ func TestProbeReuseAcrossJoins(t *testing.T) {
 	runOnce := func(b geom.Dataset) []geom.Pair {
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		p.Assign(b, &c)
-		p.JoinPhase(&c, sink)
+		p.Assign(b, nil, &c)
+		p.JoinPhase(nil, &c, sink)
 		return sink.Pairs
 	}
 	got1 := runOnce(b1)
@@ -293,8 +293,8 @@ func TestProbeAccountsMemoryLikeOneShot(t *testing.T) {
 	tr := Build(a, Config{})
 	p := tr.NewProbe()
 	var c stats.Counters
-	p.Assign(b, &c)
-	p.JoinPhase(&c, &stats.CountSink{})
+	p.Assign(b, nil, &c)
+	p.JoinPhase(nil, &c, &stats.CountSink{})
 	if got := tr.StaticBytes() + p.MemoryBytes(); got != ref.MemoryBytes {
 		t.Fatalf("probe memory accounting %d, one-shot %d", got, ref.MemoryBytes)
 	}
@@ -361,7 +361,7 @@ func TestPropTouchLemmas(t *testing.T) {
 		want := oracle(a, b)
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		Join(a, b, cfg, &c, sink)
+		Join(a, b, cfg, nil, &c, sink)
 		if len(sink.Pairs) != len(want) {
 			return false
 		}

@@ -29,8 +29,15 @@ func (ds Dataset) MBR() Box {
 }
 
 // Expand returns a copy of the dataset with every object's box grown by
-// eps on all sides. The original dataset is not modified.
+// eps on all sides. The original dataset is not modified. eps == 0 is
+// the identity and returns the receiver itself without copying — the
+// dataset is value-semantically immutable to all join paths, and the
+// ε=0 distance join is exactly the intersection join, so every caller
+// gets the O(1) fast path instead of re-implementing the skip.
 func (ds Dataset) Expand(eps float64) Dataset {
+	if eps == 0 {
+		return ds
+	}
 	out := make(Dataset, len(ds))
 	for i, o := range ds {
 		o.Box = o.Box.Expand(eps)

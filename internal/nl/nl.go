@@ -13,12 +13,19 @@ import (
 )
 
 // Join compares every object of a against every object of b and emits
-// the overlapping pairs.
-func Join(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
+// the overlapping pairs. ctl (which may be nil) is polled once per
+// comparison through an amortized checkpoint; a stopped join unwinds
+// with partial counters.
+func Join(a, b geom.Dataset, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	start := time.Now()
+	tk := stats.NewTicker(ctl)
+loop:
 	for i := range a {
 		ab := &a[i].Box
 		for j := range b {
+			if tk.Tick() {
+				break loop
+			}
 			c.Comparisons++
 			if ab.Intersects(b[j].Box) {
 				c.Results++
@@ -33,11 +40,16 @@ func Join(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
 // tests: it reports pairs whose boxes are within eps per-dimension
 // (AxisDistance), which is exactly the predicate that ε-expansion of one
 // dataset's MBRs captures.
-func DistanceJoin(a, b geom.Dataset, eps float64, c *stats.Counters, sink stats.Sink) {
+func DistanceJoin(a, b geom.Dataset, eps float64, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	start := time.Now()
+	tk := stats.NewTicker(ctl)
+loop:
 	for i := range a {
 		ab := &a[i].Box
 		for j := range b {
+			if tk.Tick() {
+				break loop
+			}
 			c.Comparisons++
 			if ab.AxisDistance(b[j].Box) <= eps {
 				c.Results++

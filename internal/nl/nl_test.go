@@ -14,7 +14,7 @@ func TestJoinExhaustive(t *testing.T) {
 	b := datagen.UniformSet(60, 2)
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(a, b, &c, sink)
+	Join(a, b, nil, &c, sink)
 
 	if c.Comparisons != int64(len(a)*len(b)) {
 		t.Fatalf("comparisons = %d, want exactly %d", c.Comparisons, len(a)*len(b))
@@ -47,8 +47,8 @@ func TestJoinEmpty(t *testing.T) {
 	ds := datagen.UniformSet(5, 1)
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(nil, ds, &c, sink)
-	Join(ds, nil, &c, sink)
+	Join(nil, ds, nil, &c, sink)
+	Join(ds, nil, nil, &c, sink)
 	if len(sink.Pairs) != 0 || c.Comparisons != 0 {
 		t.Fatal("empty joins must do nothing")
 	}
@@ -58,7 +58,7 @@ func TestJoinUsesNoMemory(t *testing.T) {
 	a := datagen.UniformSet(30, 1)
 	b := datagen.UniformSet(30, 2)
 	var c stats.Counters
-	Join(a, b, &c, &stats.CountSink{})
+	Join(a, b, nil, &c, &stats.CountSink{})
 	if c.MemoryBytes != 0 {
 		t.Fatalf("nested loop must need no support structures, got %d bytes", c.MemoryBytes)
 	}
@@ -71,8 +71,8 @@ func TestDistanceJoinMatchesExpansion(t *testing.T) {
 		var c1, c2 stats.Counters
 		s1 := &stats.CollectSink{}
 		s2 := &stats.CollectSink{}
-		DistanceJoin(a, b, eps, &c1, s1)
-		Join(a.Expand(eps), b, &c2, s2)
+		DistanceJoin(a, b, eps, nil, &c1, s1)
+		Join(a.Expand(eps), b, nil, &c2, s2)
 		if len(s1.Pairs) != len(s2.Pairs) {
 			t.Fatalf("eps=%g: DistanceJoin %d pairs, expanded Join %d",
 				eps, len(s1.Pairs), len(s2.Pairs))
@@ -95,7 +95,7 @@ func TestDistanceJoinZeroEpsIsIntersection(t *testing.T) {
 	b := geom.Dataset{{ID: 0, Box: geom.NewBox(geom.Point{1, 0, 0}, geom.Point{2, 1, 1})}}
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	DistanceJoin(a, b, 0, &c, sink)
+	DistanceJoin(a, b, 0, nil, &c, sink)
 	if len(sink.Pairs) != 1 {
 		t.Fatal("touching pair must match at eps=0")
 	}

@@ -15,8 +15,11 @@ import (
 )
 
 // JoinFunc is the signature shared by all single-threaded joins in this
-// repository once their configuration is bound.
-type JoinFunc func(a, b geom.Dataset, c *stats.Counters, sink stats.Sink)
+// repository once their configuration is bound. The ctl argument (which
+// may be nil) is the cooperative abort signal: implementations poll it
+// through amortized checkpoints in their inner loops and unwind with
+// partial counters when it fires.
+type JoinFunc func(a, b geom.Dataset, ctl *stats.Control, c *stats.Counters, sink stats.Sink)
 
 // Join splits the joint universe into workers contiguous slabs along the
 // longest axis, runs join on each slab concurrently and merges the
@@ -24,7 +27,9 @@ type JoinFunc func(a, b geom.Dataset, c *stats.Counters, sink stats.Sink)
 // flushed to sink under a mutex, and every overlapping pair is emitted
 // exactly once: a pair spanning a slab boundary is owned by the slab
 // containing the maximum of the two boxes' minima on the split axis.
-func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink stats.Sink) {
+// The shared ctl fans out to every slab worker, so one cancellation
+// stops all of them at their next checkpoint.
+func Join(a, b geom.Dataset, workers int, join JoinFunc, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -32,7 +37,7 @@ func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink
 		return
 	}
 	if workers == 1 {
-		join(a, b, c, sink)
+		join(a, b, ctl, c, sink)
 		return
 	}
 
@@ -41,7 +46,7 @@ func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink
 	lo, width := universe.Min[axis], universe.Extent(axis)
 	if width <= 0 {
 		// Degenerate universe: nothing to split on.
-		join(a, b, c, sink)
+		join(a, b, ctl, c, sink)
 		return
 	}
 	bounds := make([]float64, workers+1)
@@ -84,7 +89,7 @@ func Join(a, b geom.Dataset, workers int, join JoinFunc, c *stats.Counters, sink
 				batch.Emit(x, y)
 			})
 			local := &counters[w]
-			join(sa, sb, local, owned)
+			join(sa, sb, ctl, local, owned)
 			batch.Flush()
 			// The inner algorithm counted every emitted pair, including
 			// boundary duplicates this slab does not own; the ownership

@@ -14,7 +14,7 @@ import (
 func oracle(a, b geom.Dataset) map[geom.Pair]bool {
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	nl.Join(a, b, &c, sink)
+	nl.Join(a, b, nil, &c, sink)
 	m := make(map[geom.Pair]bool, len(sink.Pairs))
 	for _, p := range sink.Pairs {
 		m[p] = true
@@ -22,15 +22,15 @@ func oracle(a, b geom.Dataset) map[geom.Pair]bool {
 	return m
 }
 
-func touchJoin(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
-	core.Join(a, b, core.Config{}, c, sink)
+func touchJoin(a, b geom.Dataset, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
+	core.Join(a, b, core.Config{}, ctl, c, sink)
 }
 
 func runParallel(t *testing.T, a, b geom.Dataset, workers int, join JoinFunc) ([]geom.Pair, stats.Counters) {
 	t.Helper()
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(a, b, workers, join, &c, sink)
+	Join(a, b, workers, join, nil, &c, sink)
 	return sink.Pairs, c
 }
 

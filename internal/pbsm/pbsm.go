@@ -70,8 +70,10 @@ type entry struct {
 // Join performs the PBSM join of a and b, emitting each overlapping pair
 // exactly once. Comparisons include the duplicate tests that multiple
 // assignment causes (the paper's PBSM comparison counts include them;
-// only the *results* are deduplicated).
-func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+// only the *results* are deduplicated). ctl (which may be nil) is polled
+// through amortized checkpoints in both the assignment and merge phases;
+// a stopped join unwinds with partial counters.
+func Join(a, b geom.Dataset, cfg Config, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	cfg.fillDefaults()
 	if len(a) == 0 || len(b) == 0 {
 		return
@@ -86,18 +88,22 @@ func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
 	c.BuildTime += time.Since(start)
 
 	start = time.Now()
-	eb := assign(g, bs, nil, c)
+	tk := stats.NewTicker(ctl)
+	eb := assign(g, bs, nil, &tk, c)
 	// Dataset A replicas landing in cells with no B entry can never be
 	// compared; skipping their materialization keeps the process inside
 	// real memory at the paper's replication factors. The accounting in
 	// assign still charges canonical PBSM — one entry per overlapped cell
 	// of both datasets — which is the footprint the paper measures (and
 	// Replicas counts the canonical number either way).
-	ea := assign(g, as, newOccupancy(g, eb), c)
+	ea := assign(g, as, newOccupancy(g, eb), &tk, c)
 	c.AssignTime += time.Since(start)
+	if tk.Stopped() {
+		return
+	}
 
 	start = time.Now()
-	merge(g, as, bs, ea, eb, c, sink)
+	merge(g, as, bs, ea, eb, &tk, c, sink)
 	c.JoinTime += time.Since(start)
 }
 
@@ -195,13 +201,18 @@ func clampResolution(res int, universe geom.Box, a, b geom.Dataset) int {
 // When occ (the occupancy of the opposite dataset) is non-nil, entries
 // whose cell has no counterpart are not materialized: they cannot
 // contribute comparisons or results. Canonical PBSM replication is
-// still charged to c.Replicas and c.MemoryBytes.
-func assign(g *grid.Grid, ds geom.Dataset, occ *occupancy, c *stats.Counters) []entry {
+// still charged to c.Replicas and c.MemoryBytes. A stopped ticker
+// aborts the scan; the caller checks it before using the entries.
+func assign(g *grid.Grid, ds geom.Dataset, occ *occupancy, tk *stats.Ticker, c *stats.Counters) []entry {
 	total := int64(0)
 	keep := int64(0)
 	for i := range ds {
 		lo, hi := g.Range(ds[i].Box)
-		total += grid.RangeCells(lo, hi)
+		cells := grid.RangeCells(lo, hi)
+		total += cells
+		if tk.TickN(int(cells)) {
+			return nil
+		}
 		if occ != nil {
 			g.ForEachKey(lo, hi, func(k int64) {
 				if occ.has(int32(k)) {
@@ -225,6 +236,9 @@ func assign(g *grid.Grid, ds geom.Dataset, occ *occupancy, c *stats.Counters) []
 	for i := range ds {
 		idx = int32(i)
 		lo, hi := g.Range(ds[i].Box)
+		if tk.TickN(int(grid.RangeCells(lo, hi))) {
+			return entries
+		}
 		g.ForEachKey(lo, hi, fill)
 	}
 	c.Replicas += total - int64(len(ds))
@@ -281,10 +295,13 @@ func (o *occupancy) has(key int32) bool {
 
 // merge walks the two sorted replica arrays in lockstep and joins the
 // cell contents wherever both datasets occupy the same cell.
-func merge(g *grid.Grid, as, bs geom.Dataset, ea, eb []entry, c *stats.Counters, sink stats.Sink) {
+func merge(g *grid.Grid, as, bs geom.Dataset, ea, eb []entry, tk *stats.Ticker, c *stats.Counters, sink stats.Sink) {
 	var cellA, cellB []geom.Object // reusable per-cell scratch
 	i, j := 0, 0
 	for i < len(ea) && j < len(eb) {
+		if tk.Stopped() {
+			return
+		}
 		switch {
 		case ea[i].key < eb[j].key:
 			i++
@@ -302,7 +319,7 @@ func merge(g *grid.Grid, as, bs geom.Dataset, ea, eb []entry, c *stats.Counters,
 				cellB = append(cellB, bs[eb[j].idx])
 				j++
 			}
-			joinCell(g, g.KeyCoords(int64(key)), cellA, cellB, c, sink)
+			joinCell(g, g.KeyCoords(int64(key)), cellA, cellB, tk, c, sink)
 		}
 	}
 }
@@ -310,8 +327,8 @@ func merge(g *grid.Grid, as, bs geom.Dataset, ea, eb []entry, c *stats.Counters,
 // joinCell plane-sweeps the two cell contents; an overlapping pair is
 // reported only when the reference point of the pair falls in this cell,
 // so pairs replicated into several common cells are emitted exactly once.
-func joinCell(g *grid.Grid, cc grid.Coords, cellA, cellB []geom.Object, c *stats.Counters, sink stats.Sink) {
-	sweep.JoinSorted(cellA, cellB, c, func(x, y *geom.Object) {
+func joinCell(g *grid.Grid, cc grid.Coords, cellA, cellB []geom.Object, tk *stats.Ticker, c *stats.Counters, sink stats.Sink) {
+	sweep.JoinSorted(cellA, cellB, tk, c, func(x, y *geom.Object) {
 		if g.RefCell(&x.Box, &y.Box) != cc {
 			return // duplicate: another cell owns this pair
 		}

@@ -15,7 +15,7 @@ import (
 func oracle(a, b geom.Dataset) map[geom.Pair]bool {
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	nl.Join(a, b, &c, sink)
+	nl.Join(a, b, nil, &c, sink)
 	m := make(map[geom.Pair]bool, len(sink.Pairs))
 	for _, p := range sink.Pairs {
 		m[p] = true
@@ -27,7 +27,7 @@ func run(t *testing.T, a, b geom.Dataset, cfg Config) ([]geom.Pair, stats.Counte
 	t.Helper()
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(a, b, cfg, &c, sink)
+	Join(a, b, cfg, nil, &c, sink)
 	return sink.Pairs, c
 }
 
@@ -190,7 +190,7 @@ func TestPropPBSMEqualsNL(t *testing.T) {
 		want := oracle(a, b)
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		Join(a, b, Config{Resolution: res}, &c, sink)
+		Join(a, b, Config{Resolution: res}, nil, &c, sink)
 		if len(sink.Pairs) != len(want) {
 			return false
 		}
@@ -274,7 +274,7 @@ func TestCollapsedUniverseClamp(t *testing.T) {
 
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(a, b, Config{Resolution: Resolution500}, &c, sink)
+	Join(a, b, Config{Resolution: Resolution500}, nil, &c, sink)
 	if len(sink.Pairs) != len(a)*len(b) {
 		t.Fatalf("identical boxes: got %d pairs, want %d", len(sink.Pairs), len(a)*len(b))
 	}
@@ -344,7 +344,7 @@ func TestClampResolutionSpanningObject(t *testing.T) {
 
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(a, b, Config{Resolution: Resolution500}, &c, sink)
+	Join(a, b, Config{Resolution: Resolution500}, nil, &c, sink)
 	want := oracle(a, b)
 	if len(sink.Pairs) != len(want) {
 		t.Fatalf("got %d pairs, oracle has %d", len(sink.Pairs), len(want))

@@ -12,8 +12,10 @@ import (
 // both datasets are indexed (here: STR bulk-loaded) and the two trees are
 // descended in lockstep, recursing only into child pairs whose MBRs
 // intersect. Leaf pairs are joined with the plane-sweep local join. This
-// is the paper's "RTree" baseline.
-func SyncJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+// is the paper's "RTree" baseline. ctl (which may be nil) is polled
+// through amortized checkpoints in the traversal; a stopped join unwinds
+// with partial counters.
+func SyncJoin(a, b geom.Dataset, cfg Config, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	start := time.Now()
 	ta := Bulkload(a, cfg)
 	tb := Bulkload(b, cfg)
@@ -24,7 +26,8 @@ func SyncJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink)
 	if len(a) > 0 && len(b) > 0 {
 		c.NodeTests++
 		if ta.Root.MBR.Intersects(tb.Root.MBR) {
-			syncTraverse(ta.Root, tb.Root, c, sink)
+			tk := stats.NewTicker(ctl)
+			syncTraverse(ta.Root, tb.Root, &tk, c, sink)
 		}
 	}
 	c.JoinTime += time.Since(start)
@@ -32,34 +35,47 @@ func SyncJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink)
 
 // syncTraverse recursively joins two nodes whose MBRs are known to
 // intersect. Trees of different heights are handled by descending only
-// the deeper side once a leaf is reached on the other.
-func syncTraverse(na, nb *Node, c *stats.Counters, sink stats.Sink) {
+// the deeper side once a leaf is reached on the other. A stopped ticker
+// prunes the remaining traversal.
+func syncTraverse(na, nb *Node, tk *stats.Ticker, c *stats.Counters, sink stats.Sink) {
+	if tk.Stopped() {
+		return
+	}
 	switch {
 	case na.Leaf() && nb.Leaf():
-		sweep.JoinSorted(na.Entries, nb.Entries, c, func(x, y *geom.Object) {
+		sweep.JoinSorted(na.Entries, nb.Entries, tk, c, func(x, y *geom.Object) {
 			c.Results++
 			sink.Emit(x.ID, y.ID)
 		})
 	case na.Leaf():
 		for _, ch := range nb.Children {
+			if tk.Tick() {
+				return
+			}
 			c.NodeTests++
 			if na.MBR.Intersects(ch.MBR) {
-				syncTraverse(na, ch, c, sink)
+				syncTraverse(na, ch, tk, c, sink)
 			}
 		}
 	case nb.Leaf():
 		for _, ch := range na.Children {
+			if tk.Tick() {
+				return
+			}
 			c.NodeTests++
 			if ch.MBR.Intersects(nb.MBR) {
-				syncTraverse(ch, nb, c, sink)
+				syncTraverse(ch, nb, tk, c, sink)
 			}
 		}
 	default:
 		for _, ca := range na.Children {
 			for _, cb := range nb.Children {
+				if tk.Tick() {
+					return
+				}
 				c.NodeTests++
 				if ca.MBR.Intersects(cb.MBR) {
-					syncTraverse(ca, cb, c, sink)
+					syncTraverse(ca, cb, tk, c, sink)
 				}
 			}
 		}
@@ -70,7 +86,9 @@ func syncTraverse(na, nb *Node, c *stats.Counters, sink stats.Sink) {
 // object of B issues a range query against the index. Per the paper, the
 // repeated root-to-leaf traversals make it slower than SyncJoin even
 // though both perform almost the same number of object comparisons.
-func INLJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+// One cancellation ticker threads through all probes, so a stopped join
+// aborts mid-query, not merely between queries.
+func INLJoin(a, b geom.Dataset, cfg Config, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	start := time.Now()
 	ta := Bulkload(a, cfg)
 	c.MemoryBytes += ta.MemoryBytes()
@@ -78,9 +96,13 @@ func INLJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) 
 
 	start = time.Now()
 	if len(a) > 0 {
+		tk := stats.NewTicker(ctl)
 		for i := range b {
+			if tk.Stopped() {
+				break
+			}
 			bo := &b[i]
-			ta.Query(bo.Box, c, func(ao *geom.Object) {
+			ta.query(ta.Root, bo.Box, &tk, c, func(ao *geom.Object) {
 				c.Results++
 				sink.Emit(ao.ID, bo.ID)
 			})

@@ -12,7 +12,7 @@ import (
 func oracle(a, b geom.Dataset) map[geom.Pair]bool {
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	nl.Join(a, b, &c, sink)
+	nl.Join(a, b, nil, &c, sink)
 	m := make(map[geom.Pair]bool, len(sink.Pairs))
 	for _, p := range sink.Pairs {
 		m[p] = true
@@ -44,7 +44,7 @@ func TestSyncJoinMatchesOracle(t *testing.T) {
 		want := oracle(a, b)
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		SyncJoin(a, b, Config{}, &c, sink)
+		SyncJoin(a, b, Config{}, nil, &c, sink)
 		checkAgainstOracle(t, dist.String(), sink.Pairs, want)
 		if c.Results != int64(len(sink.Pairs)) {
 			t.Fatalf("%s: Results=%d pairs=%d", dist, c.Results, len(sink.Pairs))
@@ -61,18 +61,18 @@ func TestINLJoinMatchesOracle(t *testing.T) {
 	want := oracle(a, b)
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	INLJoin(a, b, Config{}, &c, sink)
+	INLJoin(a, b, Config{}, nil, &c, sink)
 	checkAgainstOracle(t, "inl", sink.Pairs, want)
 }
 
 func TestJoinsEmptyInputs(t *testing.T) {
 	ds := datagen.UniformSet(10, 1)
-	for _, fn := range []func(a, b geom.Dataset, cfg Config, c *stats.Counters, s stats.Sink){SyncJoin, INLJoin} {
+	for _, fn := range []func(a, b geom.Dataset, cfg Config, ctl *stats.Control, c *stats.Counters, s stats.Sink){SyncJoin, INLJoin} {
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		fn(nil, ds, Config{}, &c, sink)
-		fn(ds, nil, Config{}, &c, sink)
-		fn(nil, nil, Config{}, &c, sink)
+		fn(nil, ds, Config{}, nil, &c, sink)
+		fn(ds, nil, Config{}, nil, &c, sink)
+		fn(nil, nil, Config{}, nil, &c, sink)
 		if len(sink.Pairs) != 0 {
 			t.Fatal("joins with empty inputs must produce nothing")
 		}
@@ -90,14 +90,14 @@ func TestSyncJoinDifferentHeights(t *testing.T) {
 	}
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	SyncJoin(a, b, Config{}, &c, sink)
+	SyncJoin(a, b, Config{}, nil, &c, sink)
 	checkAgainstOracle(t, "heights", sink.Pairs, want)
 
 	// And the mirrored case.
 	want2 := oracle(b, a)
 	var c2 stats.Counters
 	sink2 := &stats.CollectSink{}
-	SyncJoin(b, a, Config{}, &c2, sink2)
+	SyncJoin(b, a, Config{}, nil, &c2, sink2)
 	checkAgainstOracle(t, "heights-swapped", sink2.Pairs, want2)
 }
 
@@ -108,8 +108,8 @@ func TestINLSlowerButSameComparisonsAsSync(t *testing.T) {
 	a := datagen.UniformSet(2000, 51).Expand(5)
 	b := datagen.UniformSet(4000, 52)
 	var ci, cs stats.Counters
-	INLJoin(a, b, Config{}, &ci, &stats.CountSink{})
-	SyncJoin(a, b, Config{}, &cs, &stats.CountSink{})
+	INLJoin(a, b, Config{}, nil, &ci, &stats.CountSink{})
+	SyncJoin(a, b, Config{}, nil, &cs, &stats.CountSink{})
 	if ci.Comparisons == 0 || cs.Comparisons == 0 {
 		t.Fatal("premise: joins must compare something")
 	}

@@ -111,12 +111,19 @@ func (t *Tree) MemoryBytes() int64 {
 // c.Comparisons, matching the paper's metric (a query object probing a
 // leaf compares two objects' boxes).
 func (t *Tree) Query(q geom.Box, c *stats.Counters, visit func(*geom.Object)) {
-	t.query(t.Root, q, c, visit)
+	t.query(t.Root, q, nil, c, visit)
 }
 
-func (t *Tree) query(n *Node, q geom.Box, c *stats.Counters, visit func(*geom.Object)) {
+// query is the cancellable descent behind Query: a stopped ticker (tk
+// may be nil) prunes the rest of the traversal. INLJoin threads one
+// ticker through all of its probes so the checkpoints amortize across
+// queries.
+func (t *Tree) query(n *Node, q geom.Box, tk *stats.Ticker, c *stats.Counters, visit func(*geom.Object)) {
 	if n.Leaf() {
 		for i := range n.Entries {
+			if tk.Tick() {
+				return
+			}
 			c.Comparisons++
 			if q.Intersects(n.Entries[i].Box) {
 				visit(&n.Entries[i])
@@ -125,9 +132,12 @@ func (t *Tree) query(n *Node, q geom.Box, c *stats.Counters, visit func(*geom.Ob
 		return
 	}
 	for _, ch := range n.Children {
+		if tk.Tick() {
+			return
+		}
 		c.NodeTests++
 		if q.Intersects(ch.MBR) {
-			t.query(ch, q, c, visit)
+			t.query(ch, q, tk, c, visit)
 		}
 	}
 }

@@ -17,7 +17,10 @@ import (
 // a grown subtree, and the two trees are joined with the synchronous
 // traversal. Aligning IB's bounding boxes with IA's reduces the node
 // pairs the traversal must expand.
-func SeededJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+// ctl (which may be nil) is polled through amortized checkpoints in the
+// routing pass and the traversal; a stopped join unwinds with partial
+// counters.
+func SeededJoin(a, b geom.Dataset, cfg Config, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	cfg.fillDefaults()
 	start := time.Now()
 	ta := Bulkload(a, cfg)
@@ -27,15 +30,19 @@ func SeededJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sin
 		return
 	}
 
+	tk := stats.NewTicker(ctl)
 	start = time.Now()
-	tb := seedTree(ta, b, cfg)
+	tb := seedTree(ta, b, cfg, &tk)
 	c.MemoryBytes += tb.MemoryBytes()
 	c.AssignTime += time.Since(start)
+	if tk.Stopped() {
+		return
+	}
 
 	start = time.Now()
 	c.NodeTests++
 	if ta.Root.MBR.Intersects(tb.Root.MBR) {
-		syncTraverse(ta.Root, tb.Root, c, sink)
+		syncTraverse(ta.Root, tb.Root, &tk, c, sink)
 	}
 	c.JoinTime += time.Since(start)
 }
@@ -44,14 +51,19 @@ func SeededJoin(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sin
 // as slots for routing dataset B.
 const seedTargetSlots = 64
 
-// seedTree builds the R-tree on B using IA's seed level as skeleton.
-func seedTree(ta *Tree, b geom.Dataset, cfg Config) *Tree {
+// seedTree builds the R-tree on B using IA's seed level as skeleton. A
+// stopped ticker aborts the routing pass; the caller checks it before
+// joining the partially grown tree.
+func seedTree(ta *Tree, b geom.Dataset, cfg Config, tk *stats.Ticker) *Tree {
 	seeds := seedLevel(ta, seedTargetSlots)
 	// Route each object of B to the seed whose MBR needs the least
 	// enlargement (ties: the smaller MBR), the seeded tree's growth
 	// heuristic.
 	slots := make([][]geom.Object, len(seeds))
 	for i := range b {
+		if tk.TickN(len(seeds)) {
+			break
+		}
 		best, bestCost := 0, math.Inf(1)
 		for s, seed := range seeds {
 			u := seed.MBR.Union(b[i].Box)
@@ -61,6 +73,11 @@ func seedTree(ta *Tree, b geom.Dataset, cfg Config) *Tree {
 			}
 		}
 		slots[best] = append(slots[best], b[i])
+	}
+	if tk.Stopped() {
+		// Abort observed during routing: the caller will discard the
+		// tree, so don't pay the bulkloads — they dominate this phase.
+		return &Tree{Root: &Node{MBR: geom.EmptyBox(), Entries: []geom.Object{}}, Height: 1, Nodes: 1}
 	}
 	// Grow each slot into a bulk-loaded subtree; assemble under a fresh
 	// root. Subtree heights may differ — the synchronous traversal

@@ -15,7 +15,7 @@ func TestSeededJoinMatchesOracle(t *testing.T) {
 		want := oracle(a, b)
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		SeededJoin(a, b, Config{}, &c, sink)
+		SeededJoin(a, b, Config{}, nil, &c, sink)
 		checkAgainstOracle(t, "seeded-"+dist.String(), sink.Pairs, want)
 		if c.Results != int64(len(sink.Pairs)) {
 			t.Fatalf("%s: Results=%d pairs=%d", dist, c.Results, len(sink.Pairs))
@@ -28,7 +28,7 @@ func TestSeededJoinEmptyInputs(t *testing.T) {
 	for _, pair := range [][2]geom.Dataset{{nil, ds}, {ds, nil}, {nil, nil}} {
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		SeededJoin(pair[0], pair[1], Config{}, &c, sink)
+		SeededJoin(pair[0], pair[1], Config{}, nil, &c, sink)
 		if len(sink.Pairs) != 0 {
 			t.Fatal("empty seeded join must produce nothing")
 		}
@@ -43,7 +43,7 @@ func TestSeededJoinTinyA(t *testing.T) {
 	want := oracle(a, b)
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	SeededJoin(a, b, Config{}, &c, sink)
+	SeededJoin(a, b, Config{}, nil, &c, sink)
 	checkAgainstOracle(t, "tinyA", sink.Pairs, want)
 }
 
@@ -51,7 +51,7 @@ func TestSeedTreeHoldsAllObjects(t *testing.T) {
 	a := datagen.ClusteredSet(2000, 361)
 	b := datagen.ClusteredSet(5000, 362)
 	ta := Bulkload(a, Config{})
-	tb := seedTree(ta, b, Config{})
+	tb := seedTree(ta, b, Config{}, nil)
 	if got := tb.CountObjects(); got != len(b) {
 		t.Fatalf("seeded tree holds %d objects, want %d", got, len(b))
 	}

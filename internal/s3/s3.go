@@ -61,8 +61,11 @@ type hierarchy struct {
 
 // Join performs the S3 join of a and b. Objects are assigned exactly
 // once (no replication, no duplicate results); comparisons are the
-// plane-sweep tests across all joined cell pairs.
-func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
+// plane-sweep tests across all joined cell pairs. ctl (which may be
+// nil) is polled through amortized checkpoints in the hierarchy join; a
+// stopped join unwinds with partial counters (and skips the Filtered
+// accounting, which is only meaningful for a complete join).
+func Join(a, b geom.Dataset, cfg Config, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	cfg.fillDefaults()
 	if len(a) == 0 || len(b) == 0 {
 		return
@@ -93,7 +96,12 @@ func Join(a, b geom.Dataset, cfg Config, c *stats.Counters, sink stats.Sink) {
 	c.AssignTime += time.Since(start)
 
 	start = time.Now()
-	joinHierarchies(cfg, ha, hb, c, sink)
+	tk := stats.NewTicker(ctl)
+	joinHierarchies(cfg, ha, hb, &tk, c, sink)
+	if tk.Stopped() {
+		c.JoinTime += time.Since(start)
+		return
+	}
 	// Filtered = B objects whose cell was never joined against a
 	// non-empty A cell; they were eliminated without any comparison.
 	for _, lv := range hb.levels {
@@ -150,7 +158,7 @@ func assignLevel(grids []*grid.Grid, b geom.Box) (level int, key int64) {
 // ancestors (covering the case where the A object sits on a finer level
 // than the B object). Every (A cell, B cell) pair is visited at most
 // once.
-func joinHierarchies(cfg Config, ha, hb *hierarchy, c *stats.Counters, sink stats.Sink) {
+func joinHierarchies(cfg Config, ha, hb *hierarchy, tk *stats.Ticker, c *stats.Counters, sink stats.Sink) {
 	emit := func(x, y *geom.Object) {
 		c.Results++
 		sink.Emit(x.ID, y.ID)
@@ -158,13 +166,16 @@ func joinHierarchies(cfg Config, ha, hb *hierarchy, c *stats.Counters, sink stat
 	// B cells vs same-or-coarser A cells.
 	for lb := 0; lb < cfg.Levels; lb++ {
 		for key, cb := range hb.levels[lb] {
+			if tk.Stopped() {
+				return
+			}
 			coords := hb.grids[lb].KeyCoords(key)
 			for la := lb; la >= 0; la-- {
 				ca := ha.levels[la][ha.grids[la].Key(coords)]
 				if ca != nil {
 					ca.participated = true
 					cb.participated = true
-					sweep.JoinSorted(ca.objs, cb.objs, c, emit)
+					sweep.JoinSorted(ca.objs, cb.objs, tk, c, emit)
 				}
 				coords = parentCoords(coords, cfg.Factor)
 			}
@@ -173,13 +184,16 @@ func joinHierarchies(cfg Config, ha, hb *hierarchy, c *stats.Counters, sink stat
 	// A cells vs strictly coarser B cells.
 	for la := 1; la < cfg.Levels; la++ {
 		for key, ca := range ha.levels[la] {
+			if tk.Stopped() {
+				return
+			}
 			coords := parentCoords(ha.grids[la].KeyCoords(key), cfg.Factor)
 			for lb := la - 1; lb >= 0; lb-- {
 				cb := hb.levels[lb][hb.grids[lb].Key(coords)]
 				if cb != nil {
 					ca.participated = true
 					cb.participated = true
-					sweep.JoinSorted(ca.objs, cb.objs, c, emit)
+					sweep.JoinSorted(ca.objs, cb.objs, tk, c, emit)
 				}
 				coords = parentCoords(coords, cfg.Factor)
 			}

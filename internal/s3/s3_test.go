@@ -15,7 +15,7 @@ import (
 func oracle(a, b geom.Dataset) map[geom.Pair]bool {
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	nl.Join(a, b, &c, sink)
+	nl.Join(a, b, nil, &c, sink)
 	m := make(map[geom.Pair]bool, len(sink.Pairs))
 	for _, p := range sink.Pairs {
 		m[p] = true
@@ -27,7 +27,7 @@ func run(t *testing.T, a, b geom.Dataset, cfg Config) ([]geom.Pair, stats.Counte
 	t.Helper()
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	Join(a, b, cfg, &c, sink)
+	Join(a, b, cfg, nil, &c, sink)
 	return sink.Pairs, c
 }
 
@@ -200,7 +200,7 @@ func TestPropS3EqualsNL(t *testing.T) {
 		want := oracle(a, b)
 		var c stats.Counters
 		sink := &stats.CollectSink{}
-		Join(a, b, cfg, &c, sink)
+		Join(a, b, cfg, nil, &c, sink)
 		if len(sink.Pairs) != len(want) {
 			return false
 		}

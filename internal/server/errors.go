@@ -47,9 +47,8 @@ type errorBody struct {
 	Error apiError `json:"error"`
 }
 
-// response is a deferred HTTP response: handlers that offload work to a
-// worker goroutine return one instead of writing directly, so the
-// boundary goroutine stays the only writer.
+// response is a status + body pair, the unit the error helpers below
+// build before writing.
 type response struct {
 	status int
 	body   any

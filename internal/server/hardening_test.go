@@ -184,6 +184,11 @@ func TestJoinResultCap(t *testing.T) {
 	if status != http.StatusUnprocessableEntity || errCode(t, body) != codeResultTooLarge {
 		t.Fatalf("over-cap join: %d %s", status, body)
 	}
+	// The abort happened inside the engine (a result limit, not a
+	// post-hoc discard) and is counted under its own reject reason.
+	if got := ts.srv.met.rejectLimited.Load(); got != 1 {
+		t.Fatalf("over-cap join recorded %d limited rejects, want 1", got)
+	}
 	// count_only is exempt and exact.
 	status, body = ts.postJSON("/v1/datasets/dense/join", joinRequest{Boxes: boxRows(ds), CountOnly: true})
 	if status != http.StatusOK {
@@ -214,13 +219,16 @@ func TestVersionsSurviveDelete(t *testing.T) {
 }
 
 // TestClientDisconnectIsNotATimeout: a client hanging up mid-request
-// cancels the request context; the server must not count that as a
-// processing-budget timeout (a mass client redeploy would otherwise
-// read as the server blowing its budget).
+// cancels the request context, which cancels the computation; the
+// server must record that under its own "canceled" reject reason, never
+// as a processing-budget timeout (a mass client redeploy would
+// otherwise read as the server blowing its budget) — and the admission
+// slot frees with the abort, since no computation survives the request.
 func TestClientDisconnectIsNotATimeout(t *testing.T) {
-	gate := make(chan struct{})
 	ts := newTestServer(t, Config{})
-	ts.srv.testHookWorker = func() { <-gate }
+	// Park the request under its own context: it unblocks the instant
+	// the client below hangs up.
+	ts.srv.testHookWorker = func(ctx context.Context) { <-ctx.Done() }
 	ts.loadAndWait("ds", touch.GenerateUniform(80, 161), 16)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -243,12 +251,13 @@ func TestClientDisconnectIsNotATimeout(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	cancel() // client hangs up while the worker is still busy
+	cancel() // client hangs up while the request is parked
 	if err := <-errc; err == nil {
 		t.Fatal("client request should have errored on cancel")
 	}
 
-	// Wait for the handler to observe the cancellation and record it.
+	// The handler observes the cancellation, records the 499 and
+	// releases its slot — nothing external to unblock.
 	deadline = time.Now().Add(5 * time.Second)
 	for ts.srv.met.responses[classQuery][codeIndex(statusClientClosed)].Load() != 1 {
 		if time.Now().After(deadline) {
@@ -256,10 +265,18 @@ func TestClientDisconnectIsNotATimeout(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	for ts.srv.met.inFlight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slot still held after disconnect, in-flight = %d", ts.srv.met.inFlight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if got := ts.srv.met.rejectTimeout.Load(); got != 0 {
 		t.Fatalf("client disconnect counted as %d timeout rejects", got)
 	}
-	close(gate)
+	if got := ts.srv.met.rejectCanceled.Load(); got != 1 {
+		t.Fatalf("client disconnect recorded %d canceled rejects, want 1", got)
+	}
 }
 
 // TestQPSWindowedEstimate: the qps gauge must report window semantics

@@ -101,6 +101,12 @@ type metrics struct {
 	rejectOverload atomic.Int64
 	rejectDraining atomic.Int64
 	rejectTimeout  atomic.Int64
+	// rejectCanceled counts computations aborted because the client went
+	// away, rejectLimited those aborted by the MaxJoinPairs response
+	// cap — kept apart from rejectTimeout so dashboards can tell budget
+	// blowouts from client behavior and from oversized result sets.
+	rejectCanceled atomic.Int64
+	rejectLimited  atomic.Int64
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -192,6 +198,8 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo) {
 	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"overload\"} %d\n", m.rejectOverload.Load())
 	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"draining\"} %d\n", m.rejectDraining.Load())
 	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"timeout\"} %d\n", m.rejectTimeout.Load())
+	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"canceled\"} %d\n", m.rejectCanceled.Load())
+	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"limited\"} %d\n", m.rejectLimited.Load())
 
 	fmt.Fprintf(w, "# TYPE touchserved_latency_seconds gauge\n")
 	for _, class := range []int{classQuery, classJoin} {

@@ -15,6 +15,15 @@
 //	GET    /healthz                   liveness (503 while draining)
 //	GET    /metrics                   Prometheus text: qps, in-flight, p50/p99 latency, rejects
 //
+// A join request with "Accept: application/x-ndjson" streams its pairs
+// as newline-delimited JSON instead of buffering them: one `[a,b]` array
+// per pair in the engine's emission order, then one `{"count":N}`
+// trailer object marking a complete stream. Streaming joins run in O(1)
+// result memory on the server, are exempt from the MaxJoinPairs response
+// cap, and stop promptly when the client disconnects (the request
+// context cancels the engine); a stream that ends without the trailer
+// line was truncated by cancellation.
+//
 // # Hot swap
 //
 // Re-POSTing a name rebuilds its index in the background: readers keep
@@ -27,13 +36,21 @@
 //
 // The server holds a fixed number of in-flight slots. A request that
 // finds no slot free is rejected immediately with 429 rather than queued
-// unboundedly. Each admitted request runs under a context deadline; on
-// timeout the client gets 503 but the abandoned computation keeps its
-// slot until it actually finishes — overload therefore cannot stack
-// zombie work behind the admission cap. Request bodies are capped (413)
-// and every error is structured JSON. BeginShutdown flips the server
-// into draining: new work is rejected with 503 while in-flight requests
-// complete (pair with http.Server.Shutdown to drain connections).
+// unboundedly. Each admitted request runs under a context deadline that
+// is plumbed into the join engine: a join that outlives its budget gets
+// 503 {"code":"timeout"}, a client that disconnects cancels the
+// computation the same way, and in both cases the engine aborts
+// cooperatively within a bounded number of comparisons — the admission
+// slot frees as soon as the abort unwinds, never pinned behind an
+// abandoned computation. Single-probe queries, whose engine calls run
+// in microseconds, check the budget at the handler boundary instead of
+// inside the engine. Joins whose buffered response would exceed
+// MaxJoinPairs abort the same way (422 {"code":"result_too_large"})
+// instead of materializing pairs that would only be thrown away.
+// Request bodies are capped (413) and every error is structured JSON.
+// BeginShutdown flips the server into draining: new work is rejected
+// with 503 while in-flight requests complete (pair with
+// http.Server.Shutdown to drain connections).
 //
 // The Server is an http.Handler; connection-level protection is the
 // enclosing http.Server's job. Deployments must set ReadTimeout /
@@ -44,12 +61,15 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,7 +84,10 @@ type Config struct {
 	// requests are rejected with 429. Default 64.
 	MaxInFlight int
 	// RequestTimeout is the per-request processing budget enforced via
-	// context; an expired request gets 503 {"code":"timeout"}. Default 10s.
+	// context; an expired request gets 503 {"code":"timeout"}. Joins are
+	// canceled mid-flight inside the engine; single-probe queries, whose
+	// engine calls run in microseconds, check the budget at the handler
+	// boundary instead. Default 10s.
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies; larger ones get 413. Default 8 MiB.
 	MaxBodyBytes int64
@@ -77,12 +100,14 @@ type Config struct {
 	// queue unbounded build goroutines, each pinning its decoded
 	// dataset. Further loads get 429. Default 16.
 	MaxPendingBuilds int
-	// MaxJoinPairs caps the pairs one join response materializes. A join
-	// can legitimately produce up to |A|·|B| pairs — far beyond any
-	// body-size cap — and the engine cannot be cancelled mid-join, so
-	// the server collects at most this many and answers 422
-	// {"code":"result_too_large"} beyond it (count_only joins are
-	// unaffected; the count is always exact). Default 1<<20.
+	// MaxJoinPairs caps the pairs one buffered join response carries. A
+	// join can legitimately produce up to |A|·|B| pairs — far beyond any
+	// body-size cap — so the engine runs with a result limit of this
+	// many + 1 pairs and aborts cooperatively the moment the cap is
+	// exceeded; the request is answered 422 {"code":"result_too_large"}
+	// with no wasted materialization. count_only joins and NDJSON
+	// streaming joins are exempt (the first carries no pairs, the second
+	// never buffers them). Default 1<<20.
 	MaxJoinPairs int
 
 	// build replaces touch.BuildIndex in tests (slow/observable builds).
@@ -136,9 +161,10 @@ type Server struct {
 	slots    chan struct{}
 	draining atomic.Bool
 
-	// testHookWorker, when set, runs inside every offloaded worker before
-	// the engine call — tests block it to hold requests in flight.
-	testHookWorker func()
+	// testHookWorker, when set, runs inside query and join handlers
+	// before the engine call, under the request context — tests block it
+	// to hold requests in flight or to park them past their deadline.
+	testHookWorker func(context.Context)
 }
 
 // New returns a Server ready to serve; it owns no listener.
@@ -171,7 +197,9 @@ func (s *Server) Load(name string, ds touch.Dataset, cfg touch.TOUCHConfig) (ver
 // completion. Follow with http.Server.Shutdown to drain connections.
 func (s *Server) BeginShutdown() { s.draining.Store(true) }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status for metrics and forwards
+// Flush so the NDJSON streaming path can push pairs through the
+// net/http buffer as they are produced.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -182,18 +210,10 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
-// slot is one admission token. Release is idempotent; whichever
-// goroutine finishes the request's computation releases it.
-type slot struct {
-	s    *Server
-	once sync.Once
-}
-
-func (sl *slot) Release() {
-	sl.once.Do(func() {
-		<-sl.s.slots
-		sl.s.met.inFlight.Add(-1)
-	})
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // reject answers a request that never reached a handler — unknown
@@ -234,12 +254,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case "":
 			switch r.Method {
 			case http.MethodPost:
-				s.admit(classLoad, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
-					s.handleLoad(ctx, w, r, sl, name)
+				s.admit(classLoad, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+					s.handleLoad(ctx, w, r, name)
 				})
 			case http.MethodDelete:
-				s.admit(classCatalog, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
-					s.handleDelete(ctx, w, r, sl, name)
+				s.admit(classCatalog, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+					s.handleDelete(ctx, w, r, name)
 				})
 			default:
 				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST or DELETE on /v1/datasets/{name}")
@@ -249,16 +269,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST on /v1/datasets/{name}/query")
 				return
 			}
-			s.admit(classQuery, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
-				s.handleQuery(ctx, w, r, sl, name)
+			s.admit(classQuery, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+				s.handleQuery(ctx, w, r, name)
 			})
 		case "join":
 			if r.Method != http.MethodPost {
 				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST on /v1/datasets/{name}/join")
 				return
 			}
-			s.admit(classJoin, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
-				s.handleJoin(ctx, w, r, sl, name)
+			s.admit(classJoin, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+				s.handleJoin(ctx, w, r, name)
 			})
 		default:
 			s.reject(w, http.StatusNotFound, codeNotFound, "unknown action %q", action)
@@ -289,13 +309,14 @@ func validName(name string) bool {
 	return true
 }
 
-type handlerFn func(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot)
+type handlerFn func(ctx context.Context, w http.ResponseWriter, r *http.Request)
 
 // admit is the admission-control front door for all /v1 traffic: it
 // rejects during drain (503) or when every in-flight slot is taken
 // (429), caps the request body, arms the per-request deadline and
-// records metrics. The handler — or the worker it hands the slot to —
-// releases the slot when the computation finishes.
+// records metrics. The slot is held exactly for the handler's lifetime —
+// a canceled request's engine work aborts cooperatively inside the
+// handler, so there is no abandoned computation for the slot to follow.
 func (s *Server) admit(class int, w http.ResponseWriter, r *http.Request, h handlerFn) {
 	s.met.requests[class].Add(1)
 	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -322,47 +343,43 @@ func (s *Server) admit(class int, w http.ResponseWriter, r *http.Request, h hand
 	}
 	s.met.inFlight.Add(1)
 	admitted = true
-	sl := &slot{s: s}
+	defer func() {
+		<-s.slots
+		s.met.inFlight.Add(-1)
+	}()
 
 	r.Body = http.MaxBytesReader(sr, r.Body, s.cfg.MaxBodyBytes)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	h(ctx, sr, r.WithContext(ctx), sl)
+	h(ctx, sr, r.WithContext(ctx))
 }
 
-// offload runs fn on a worker goroutine and waits for it or for the
-// request deadline, whichever comes first. The admission slot follows
-// the computation, not the request: a timed-out request's abandoned work
-// keeps its slot until fn actually returns, so a flood of slow requests
-// degrades into 429s instead of an unbounded pile of zombie work.
-func (s *Server) offload(ctx context.Context, w http.ResponseWriter, sl *slot, fn func() response) {
-	done := make(chan response, 1)
-	go func() {
-		defer sl.Release()
-		if hook := s.testHookWorker; hook != nil {
-			hook()
-		}
-		done <- fn()
-	}()
-	select {
-	case resp := <-done:
-		resp.write(w)
-	case <-ctx.Done():
-		if errors.Is(ctx.Err(), context.Canceled) {
-			// The client (or its load balancer) hung up — net/http
-			// cancels the request context on disconnect. That is not a
-			// processing-budget timeout: counting it as one would spike
-			// the timeout-reject metric during a mass client redeploy.
-			// 499 (client closed request) keeps it visible in
-			// responses_total; nobody reads the body.
-			writeError(w, statusClientClosed, codeClientClosed, "client closed the connection")
-			return
-		}
+// recordAbort classifies a canceled computation for the reject metrics
+// — one place for the deadline-vs-disconnect distinction, shared by the
+// buffered error responses and the NDJSON mid-stream truncation path.
+// It reports whether the deadline was to blame.
+func (s *Server) recordAbort(ctx context.Context) (timedOut bool) {
+	if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
 		s.met.rejectTimeout.Add(1)
+		return true
+	}
+	s.met.rejectCanceled.Add(1)
+	return false
+}
+
+// writeAborted answers a request whose computation was canceled, telling
+// budget blowouts apart from client behavior: a deadline expiry is the
+// server's own 503 timeout; anything else means the client (or its load
+// balancer) hung up — 499, written for the metrics' sake, since nobody
+// reads it.
+func (s *Server) writeAborted(ctx context.Context, w http.ResponseWriter) {
+	if s.recordAbort(ctx) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, codeTimeout,
 			"request exceeded the %v processing budget", s.cfg.RequestTimeout)
+		return
 	}
+	writeError(w, statusClientClosed, codeClientClosed, "client closed the connection")
 }
 
 // serving resolves the snapshot a read request answers from, writing the
@@ -412,15 +429,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // --- catalog ------------------------------------------------------------
 
-func (s *Server) handleList(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot) {
-	defer sl.Release()
+func (s *Server) handleList(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Datasets []datasetInfo `json:"datasets"`
 	}{Datasets: s.cat.list()})
 }
 
-func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
-	defer sl.Release()
+func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
 	if !s.cat.drop(name) {
 		writeError(w, http.StatusNotFound, codeUnknownDataset, "dataset %q not loaded", name)
 		return
@@ -444,8 +459,7 @@ type loadRequest struct {
 	} `json:"config"`
 }
 
-func (s *Server) handleLoad(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
-	defer sl.Release()
+func (s *Server) handleLoad(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
 	ct := r.Header.Get("Content-Type")
 	var (
 		ds  touch.Dataset
@@ -534,62 +548,75 @@ type queryResponse struct {
 	Neighbors []neighborJSON `json:"neighbors,omitempty"`
 }
 
-func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
+func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
 	var req queryRequest
 	if err := decodeJSONBody(r, &req); err != nil {
-		defer sl.Release()
 		writeDecodeError(w, err)
 		return
 	}
 	snap, ok := s.serving(w, name)
 	if !ok {
-		defer sl.Release()
 		return
 	}
-	s.offload(ctx, w, sl, func() response {
-		resp := queryResponse{Dataset: name, Version: snap.version, Type: req.Type}
-		switch req.Type {
-		case "range":
-			if len(req.Box) != 6 {
-				return errResponse(http.StatusBadRequest, codeInvalidBox, "range query needs a 6-number box, got %d", len(req.Box))
-			}
-			box := touch.Box{
-				Min: touch.Point{req.Box[0], req.Box[1], req.Box[2]},
-				Max: touch.Point{req.Box[3], req.Box[4], req.Box[5]},
-			}
-			ids, err := snap.idx.RangeQuery(box)
-			if err != nil {
-				return engineError(err)
-			}
-			resp.IDs, resp.Count = ids, len(ids)
-		case "point":
-			if len(req.Point) != 3 {
-				return errResponse(http.StatusBadRequest, codeInvalidPoint, "point query needs a 3-number point, got %d", len(req.Point))
-			}
-			ids, err := snap.idx.PointQuery(req.Point[0], req.Point[1], req.Point[2])
-			if err != nil {
-				return engineError(err)
-			}
-			resp.IDs, resp.Count = ids, len(ids)
-		case "knn":
-			if len(req.Point) != 3 {
-				return errResponse(http.StatusBadRequest, codeInvalidPoint, "knn query needs a 3-number point, got %d", len(req.Point))
-			}
-			nbrs, err := snap.idx.KNN(touch.Point{req.Point[0], req.Point[1], req.Point[2]}, req.K)
-			if err != nil {
-				return engineError(err)
-			}
-			resp.Neighbors = make([]neighborJSON, len(nbrs))
-			for i, n := range nbrs {
-				resp.Neighbors[i] = neighborJSON{ID: n.ID, Distance: n.Distance}
-			}
-			resp.Count = len(nbrs)
-		default:
-			return errResponse(http.StatusBadRequest, codeBadRequest,
-				"unknown query type %q (want range, point or knn)", req.Type)
+	if hook := s.testHookWorker; hook != nil {
+		hook(ctx)
+	}
+	// Single-probe queries run in microseconds, so the deadline is only
+	// checked at the boundary — a request whose budget is already gone
+	// (it spent it queueing upstream, or the client left) skips the work.
+	if ctx.Err() != nil {
+		s.writeAborted(ctx, w)
+		return
+	}
+	resp := queryResponse{Dataset: name, Version: snap.version, Type: req.Type}
+	switch req.Type {
+	case "range":
+		if len(req.Box) != 6 {
+			writeError(w, http.StatusBadRequest, codeInvalidBox, "range query needs a 6-number box, got %d", len(req.Box))
+			return
 		}
-		return response{status: http.StatusOK, body: resp}
-	})
+		box := touch.Box{
+			Min: touch.Point{req.Box[0], req.Box[1], req.Box[2]},
+			Max: touch.Point{req.Box[3], req.Box[4], req.Box[5]},
+		}
+		ids, err := snap.idx.RangeQuery(box)
+		if err != nil {
+			engineError(err).write(w)
+			return
+		}
+		resp.IDs, resp.Count = ids, len(ids)
+	case "point":
+		if len(req.Point) != 3 {
+			writeError(w, http.StatusBadRequest, codeInvalidPoint, "point query needs a 3-number point, got %d", len(req.Point))
+			return
+		}
+		ids, err := snap.idx.PointQuery(req.Point[0], req.Point[1], req.Point[2])
+		if err != nil {
+			engineError(err).write(w)
+			return
+		}
+		resp.IDs, resp.Count = ids, len(ids)
+	case "knn":
+		if len(req.Point) != 3 {
+			writeError(w, http.StatusBadRequest, codeInvalidPoint, "knn query needs a 3-number point, got %d", len(req.Point))
+			return
+		}
+		nbrs, err := snap.idx.KNN(touch.Point{req.Point[0], req.Point[1], req.Point[2]}, req.K)
+		if err != nil {
+			engineError(err).write(w)
+			return
+		}
+		resp.Neighbors = make([]neighborJSON, len(nbrs))
+		for i, n := range nbrs {
+			resp.Neighbors[i] = neighborJSON{ID: n.ID, Distance: n.Distance}
+		}
+		resp.Count = len(nbrs)
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"unknown query type %q (want range, point or knn)", req.Type)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- join ---------------------------------------------------------------
@@ -625,16 +652,39 @@ type joinResponse struct {
 	Stats        *joinStatsJSON `json:"stats,omitempty"`
 }
 
-func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.Request, sl *slot, name string) {
+// ndjsonContentType is the media type selecting (and labelling) the
+// streaming join response.
+const ndjsonContentType = "application/x-ndjson"
+
+// wantsNDJSON reports whether the Accept header names the NDJSON media
+// type as acceptable — listed as a proper token (not a substring) and
+// not explicitly refused with q=0. Full content negotiation is not
+// attempted; the buffered JSON answer is the default for everything
+// else.
+func wantsNDJSON(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, params, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil || mediaType != ndjsonContentType {
+			continue
+		}
+		if qs, ok := params["q"]; ok {
+			if q, err := strconv.ParseFloat(qs, 64); err == nil && q <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
 	var req joinRequest
 	if err := decodeJSONBody(r, &req); err != nil {
-		defer sl.Release()
 		writeDecodeError(w, err)
 		return
 	}
 	snap, ok := s.serving(w, name)
 	if !ok {
-		defer sl.Release()
 		return
 	}
 
@@ -642,13 +692,11 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 	var probe touch.Dataset
 	switch {
 	case req.Probe != "" && req.Boxes != nil:
-		defer sl.Release()
 		writeError(w, http.StatusBadRequest, codeBadRequest, "give either inline boxes or a probe name, not both")
 		return
 	case req.Probe != "":
 		probeSnap, ok := s.serving(w, req.Probe)
 		if !ok {
-			defer sl.Release()
 			return
 		}
 		probe = probeSnap.ds
@@ -656,12 +704,10 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 	case req.Boxes != nil:
 		var err error
 		if probe, err = boxesToDataset(req.Boxes); err != nil {
-			defer sl.Release()
 			writeError(w, http.StatusBadRequest, codeInvalidBox, "%v", err)
 			return
 		}
 	default:
-		defer sl.Release()
 		writeError(w, http.StatusBadRequest, codeBadRequest, "give inline boxes or a probe name")
 		return
 	}
@@ -671,58 +717,172 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
-	s.offload(ctx, w, sl, func() response {
-		// A capped sink bounds what one response can materialize: a join
-		// may legitimately emit up to |A|·|B| pairs and the engine cannot
-		// abort mid-join, so collection stops at the cap and the request
-		// is rejected afterwards (the engine's own counters still give
-		// the exact total). The parallel join serializes sink access
-		// internally, so no locking is needed here.
-		var cs *cappedSink
-		opt := &touch.Options{Workers: workers, NoPairs: req.CountOnly}
-		if !req.CountOnly {
-			cs = &cappedSink{limit: s.cfg.MaxJoinPairs}
-			opt.Sink = cs
+	if hook := s.testHookWorker; hook != nil {
+		hook(ctx)
+	}
+
+	if !req.CountOnly && wantsNDJSON(r.Header.Get("Accept")) {
+		s.streamJoin(ctx, w, snap, probe, req.Eps, workers)
+		return
+	}
+
+	// The buffered path runs with a result limit one past the response
+	// cap: a join that would blow the cap aborts cooperatively right
+	// there, instead of materializing |A|·|B| pairs to throw away.
+	// count_only joins carry no pairs, so their count stays exact and
+	// uncapped.
+	opt := &touch.Options{Workers: workers, NoPairs: req.CountOnly}
+	if !req.CountOnly {
+		opt.Limit = int64(s.cfg.MaxJoinPairs) + 1
+	}
+	// ε = 0 is the plain intersection join; Dataset.Expand(0) is the
+	// identity, so there is no expansion copy to skip.
+	res, err := snap.idx.DistanceJoinCtx(ctx, probe, req.Eps, opt)
+	switch {
+	case errors.Is(err, touch.ErrJoinCanceled):
+		s.writeAborted(ctx, w)
+		return
+	case err != nil:
+		engineError(err).write(w)
+		return
+	}
+	resp.Count = res.Stats.Results
+	if !req.CountOnly {
+		if res.Stats.Results > int64(s.cfg.MaxJoinPairs) {
+			s.met.rejectLimited.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, codeResultTooLarge,
+				"join exceeds the %d-pair response cap; use count_only, the %s streaming mode, or a narrower probe",
+				s.cfg.MaxJoinPairs, ndjsonContentType)
+			return
 		}
-		var res *touch.Result
-		var err error
-		if req.Eps == 0 {
-			// Plain intersection: skip DistanceJoin's O(|probe|)
-			// ε-expansion copy on the hot path.
-			res = snap.idx.Join(probe, opt)
-		} else {
-			res, err = snap.idx.DistanceJoin(probe, req.Eps, opt)
+		// Canonical (indexed, probe) ascending order: parallel joins
+		// emit in nondeterministic order, but the wire format is
+		// stable and byte-identical to a direct Index call.
+		res.SortPairs()
+		resp.Pairs = make([][2]touch.ID, len(res.Pairs))
+		for i, p := range res.Pairs {
+			resp.Pairs[i] = [2]touch.ID{p.A, p.B}
 		}
+	}
+	resp.Stats = &joinStatsJSON{
+		Comparisons: res.Stats.Comparisons,
+		NodeTests:   res.Stats.NodeTests,
+		Filtered:    res.Stats.Filtered,
+		MemoryBytes: res.Stats.MemoryBytes,
+		AssignNs:    res.Stats.AssignTime.Nanoseconds(),
+		JoinNs:      res.Stats.JoinTime.Nanoseconds(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamFlushEvery is how many NDJSON pair lines are written between
+// explicit flushes at full production rate — rare enough that the
+// syscall cost disappears. Slow producers are covered separately: the
+// first line flushes eagerly (so the client sees the stream start) and
+// a timer goroutine bounds how stale pending lines may get.
+const streamFlushEvery = 4096
+
+// streamFlushInterval caps the time pairs may sit in the stream buffer
+// when the join produces them slowly or in bursts with long gaps — the
+// timer fires independently of the next pair's arrival, keeping
+// trickling results moving and intermediary idle-body timeouts at bay.
+const streamFlushInterval = 250 * time.Millisecond
+
+// streamJoin answers a join with Accept: application/x-ndjson by
+// streaming one `[a,b]` line per pair straight off the engine's
+// iterator — O(1) server memory, no response cap — and a `{"count":N}`
+// trailer line after a complete join. Client disconnect or deadline
+// expiry cancels the engine mid-stream; the truncated stream simply
+// ends without the trailer (the status line is long gone), and the
+// abort is recorded under its own reject reason.
+func (s *Server) streamJoin(ctx context.Context, w http.ResponseWriter, snap *snapshot, probe touch.Dataset, eps float64, workers int) {
+	// The eps validation must run before the 200 goes on the wire, so it
+	// is checked here for the status and delegated to the engine
+	// (DistanceJoinSeq) for the semantics — expansion policy included.
+	if eps < 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidEps, "%v",
+			fmt.Errorf("%w %g", touch.ErrNegativeDistance, eps))
+		return
+	}
+	// Last boundary check before the 200 goes on the wire: a request
+	// whose budget is already gone (or whose client already left) gets
+	// the same 503/499 the buffered path would give, not an empty
+	// trailer-less 200.
+	if ctx.Err() != nil {
+		s.writeAborted(ctx, w)
+		return
+	}
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	flusher, _ := w.(http.Flusher)
+
+	// All writer access — pair lines, count-based flushes and the timer
+	// goroutine's staleness flushes — runs under one mutex: the
+	// ResponseWriter is not safe for concurrent use. The per-pair lock
+	// is uncontended except at the 4 Hz the timer fires.
+	var mu sync.Mutex
+	dirty := false
+	flushLocked := func() {
+		_ = bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+		dirty = false
+	}
+	stopTimer := make(chan struct{})
+	timerDone := make(chan struct{})
+	go func() {
+		defer close(timerDone)
+		t := time.NewTicker(streamFlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				mu.Lock()
+				if dirty {
+					flushLocked()
+				}
+				mu.Unlock()
+			case <-stopTimer:
+				return
+			}
+		}
+	}()
+	// The timer goroutine must be gone before the handler returns — a
+	// flush racing the handler's exit would write a dead ResponseWriter.
+	defer func() {
+		close(stopTimer)
+		<-timerDone
+	}()
+
+	n := int64(0)
+	for p, err := range snap.idx.DistanceJoinSeq(ctx, probe, eps, &touch.Options{Workers: workers}) {
 		if err != nil {
-			return engineError(err)
-		}
-		resp.Count = res.Stats.Results
-		if cs != nil {
-			if res.Stats.Results > int64(s.cfg.MaxJoinPairs) {
-				return errResponse(http.StatusUnprocessableEntity, codeResultTooLarge,
-					"join produced %d pairs, over the %d-pair response cap; use count_only or a narrower probe",
-					res.Stats.Results, s.cfg.MaxJoinPairs)
+			// Mid-stream failure: the 200 is already on the wire, so the
+			// truncation is the signal — plus, for cancellations, the
+			// reject metric. (A non-cancellation engine error is
+			// unreachable today: eps was validated above.)
+			if errors.Is(err, touch.ErrJoinCanceled) {
+				s.recordAbort(ctx)
 			}
-			// Canonical (indexed, probe) ascending order: parallel joins
-			// emit in nondeterministic order, but the wire format is
-			// stable and byte-identical to a direct Index call.
-			sorted := touch.Result{Pairs: cs.pairs}
-			sorted.SortPairs()
-			resp.Pairs = make([][2]touch.ID, len(sorted.Pairs))
-			for i, p := range sorted.Pairs {
-				resp.Pairs[i] = [2]touch.ID{p.A, p.B}
-			}
+			mu.Lock()
+			_ = bw.Flush()
+			mu.Unlock()
+			return
 		}
-		resp.Stats = &joinStatsJSON{
-			Comparisons: res.Stats.Comparisons,
-			NodeTests:   res.Stats.NodeTests,
-			Filtered:    res.Stats.Filtered,
-			MemoryBytes: res.Stats.MemoryBytes,
-			AssignNs:    res.Stats.AssignTime.Nanoseconds(),
-			JoinNs:      res.Stats.JoinTime.Nanoseconds(),
+		mu.Lock()
+		fmt.Fprintf(bw, "[%d,%d]\n", p.A, p.B)
+		dirty = true
+		if n++; n == 1 || n%streamFlushEvery == 0 {
+			flushLocked()
 		}
-		return response{status: http.StatusOK, body: resp}
-	})
+		mu.Unlock()
+	}
+	mu.Lock()
+	fmt.Fprintf(bw, "{\"count\":%d}\n", n)
+	_ = bw.Flush()
+	mu.Unlock()
 }
 
 // --- decoding helpers ---------------------------------------------------
@@ -752,21 +912,6 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, codeInvalidBox, "%v", err)
 	default:
 		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
-	}
-}
-
-// cappedSink collects join pairs up to a limit and silently drops the
-// rest — the engine's Results counter still reports the exact total, so
-// the handler can detect the overflow and reject the response. Not
-// safe for concurrent use; the parallel join serializes sink access.
-type cappedSink struct {
-	limit int
-	pairs []touch.Pair
-}
-
-func (s *cappedSink) Emit(a, b touch.ID) {
-	if len(s.pairs) < s.limit {
-		s.pairs = append(s.pairs, touch.Pair{A: a, B: b})
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -497,7 +498,7 @@ func TestBuildingStatus(t *testing.T) {
 func TestOverloadRejects(t *testing.T) {
 	gate := make(chan struct{})
 	ts := newTestServer(t, Config{MaxInFlight: 2})
-	ts.srv.testHookWorker = func() { <-gate }
+	ts.srv.testHookWorker = func(context.Context) { <-gate }
 	ts.loadAndWait("ds", touch.GenerateUniform(100, 61), 16)
 
 	// Occupy both slots with worker-blocked queries.
@@ -554,27 +555,27 @@ func TestOverloadRejects(t *testing.T) {
 }
 
 // TestRequestTimeout: a request whose computation outlives the budget
-// gets 503 {"code":"timeout"}; the abandoned worker keeps its admission
-// slot until it finishes, then the server recovers fully.
+// gets 503 {"code":"timeout"} and its admission slot frees immediately —
+// the deadline cancels the engine, so there is no abandoned computation
+// left to pin the slot (the old slot-follows-the-zombie design is gone).
 func TestRequestTimeout(t *testing.T) {
-	gate := make(chan struct{})
-	ts := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond})
-	ts.srv.testHookWorker = func() { <-gate }
+	ts := newTestServer(t, Config{RequestTimeout: 20 * time.Millisecond})
+	// Park the request under its own context until the deadline fires —
+	// deterministic, no sleeps in the assertion path.
+	ts.srv.testHookWorker = func(ctx context.Context) { <-ctx.Done() }
 	ts.loadAndWait("ds", touch.GenerateUniform(100, 71), 16)
 
 	status, body := ts.postJSON("/v1/datasets/ds/query", queryRequest{Type: "point", Point: []float64{1, 1, 1}})
 	if status != http.StatusServiceUnavailable || errCode(t, body) != codeTimeout {
 		t.Fatalf("timeout: %d %s", status, body)
 	}
-	// The zombie worker still holds its slot until released.
-	if got := ts.srv.met.inFlight.Load(); got != 1 {
-		t.Fatalf("abandoned worker should hold its slot, in-flight = %d", got)
-	}
-	close(gate)
-	deadline := time.Now().Add(5 * time.Second)
+	// The slot frees with the response, with nothing to unblock: only the
+	// handler's own return races the client here, so a short poll is all
+	// the slack needed.
+	deadline := time.Now().Add(2 * time.Second)
 	for ts.srv.met.inFlight.Load() != 0 {
 		if time.Now().After(deadline) {
-			t.Fatal("slot never released")
+			t.Fatalf("slot still held after timeout response, in-flight = %d", ts.srv.met.inFlight.Load())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -584,13 +585,35 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// TestJoinTimeoutCancelsEngine: a join that outlives its budget is
+// canceled inside the engine (ErrJoinCanceled surfaces as the same 503
+// timeout) and the slot frees with the response.
+func TestJoinTimeoutCancelsEngine(t *testing.T) {
+	ts := newTestServer(t, Config{RequestTimeout: 20 * time.Millisecond})
+	ts.srv.testHookWorker = func(ctx context.Context) { <-ctx.Done() }
+	ts.loadAndWait("ds", touch.GenerateUniform(200, 72).Expand(5), 16)
+
+	status, body := ts.postJSON("/v1/datasets/ds/join",
+		joinRequest{Boxes: boxRows(touch.GenerateUniform(300, 73))})
+	if status != http.StatusServiceUnavailable || errCode(t, body) != codeTimeout {
+		t.Fatalf("join timeout: %d %s", status, body)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ts.srv.met.inFlight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slot still held after join timeout, in-flight = %d", ts.srv.met.inFlight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestGracefulDrain: after BeginShutdown, in-flight requests complete
 // while new ones — and healthz, so load balancers rotate the instance
 // out — get 503 {"code":"draining"}.
 func TestGracefulDrain(t *testing.T) {
 	gate := make(chan struct{})
 	ts := newTestServer(t, Config{})
-	ts.srv.testHookWorker = func() { <-gate }
+	ts.srv.testHookWorker = func(context.Context) { <-gate }
 	ts.loadAndWait("ds", touch.GenerateUniform(100, 81), 16)
 
 	inFlight := make(chan int, 1)

@@ -21,7 +21,9 @@ import (
 // Join performs a plane-sweep join of a and b, emitting every pair of
 // objects whose boxes overlap. It sorts private copies of the inputs
 // (counted in the memory footprint) and then scans them synchronously.
-func Join(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
+// ctl (which may be nil) is polled through an amortized checkpoint; a
+// stopped join unwinds with partial counters.
+func Join(a, b geom.Dataset, ctl *stats.Control, c *stats.Counters, sink stats.Sink) {
 	start := time.Now()
 	as := SortByXMin(a)
 	bs := SortByXMin(b)
@@ -29,7 +31,8 @@ func Join(a, b geom.Dataset, c *stats.Counters, sink stats.Sink) {
 	c.BuildTime += time.Since(start)
 
 	start = time.Now()
-	JoinSorted(as, bs, c, func(x, y *geom.Object) {
+	tk := stats.NewTicker(ctl)
+	JoinSorted(as, bs, &tk, c, func(x, y *geom.Object) {
 		c.Results++
 		sink.Emit(x.ID, y.ID)
 	})
@@ -57,16 +60,21 @@ func byXMin(a, b geom.Object) int { return cmp.Compare(a.Box.Min[0], b.Box.Min[0
 // axis is tested for full intersection (one comparison each, the paper's
 // metric); overlapping pairs are passed to emit with the object from a
 // first. It allocates nothing, so it is suitable as a per-cell local
-// join. Result counting is left to the emit callback, because callers
-// such as PBSM may discard duplicate hits.
-func JoinSorted(a, b []geom.Object, c *stats.Counters, emit func(x, y *geom.Object)) {
+// join — callers that sweep many cells pass one Ticker across all calls
+// so the cancellation checkpoints amortize correctly (tk may be nil).
+// Result counting is left to the emit callback, because callers such as
+// PBSM may discard duplicate hits.
+func JoinSorted(a, b []geom.Object, tk *stats.Ticker, c *stats.Counters, emit func(x, y *geom.Object)) {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
+		if tk.Stopped() {
+			return
+		}
 		if a[i].Box.Min[0] <= b[j].Box.Min[0] {
-			sweepOne(&a[i], b[j:], c, emit, false)
+			sweepOne(&a[i], b[j:], tk, c, emit, false)
 			i++
 		} else {
-			sweepOne(&b[j], a[i:], c, emit, true)
+			sweepOne(&b[j], a[i:], tk, c, emit, true)
 			j++
 		}
 	}
@@ -77,12 +85,15 @@ func JoinSorted(a, b []geom.Object, c *stats.Counters, emit func(x, y *geom.Obje
 // dimension 0, so only the remaining dimensions are tested — but each
 // test still counts as one object–object comparison. swapped indicates
 // that cur comes from dataset B, so emit arguments must be reversed.
-func sweepOne(cur *geom.Object, other []geom.Object, c *stats.Counters, emit func(x, y *geom.Object), swapped bool) {
+func sweepOne(cur *geom.Object, other []geom.Object, tk *stats.Ticker, c *stats.Counters, emit func(x, y *geom.Object), swapped bool) {
 	curMax := cur.Box.Max[0]
 	for k := range other {
 		o := &other[k]
 		if o.Box.Min[0] > curMax {
 			break
+		}
+		if tk.Tick() {
+			return
 		}
 		c.Comparisons++
 		if overlapYZ(&cur.Box, &o.Box) {

@@ -15,7 +15,7 @@ import (
 func nlPairs(a, b geom.Dataset) map[geom.Pair]bool {
 	var c stats.Counters
 	sink := &stats.CollectSink{}
-	nl.Join(a, b, &c, sink)
+	nl.Join(a, b, nil, &c, sink)
 	m := make(map[geom.Pair]bool, len(sink.Pairs))
 	for _, p := range sink.Pairs {
 		m[p] = true
@@ -25,7 +25,7 @@ func nlPairs(a, b geom.Dataset) map[geom.Pair]bool {
 
 func sweepPairs(a, b geom.Dataset, c *stats.Counters) []geom.Pair {
 	sink := &stats.CollectSink{}
-	Join(a, b, c, sink)
+	Join(a, b, nil, c, sink)
 	return sink.Pairs
 }
 
@@ -137,7 +137,7 @@ func TestJoinSortedEmitsOrientation(t *testing.T) {
 	})
 	var c stats.Counters
 	var pairs []geom.Pair
-	JoinSorted(a, b, &c, func(x, y *geom.Object) {
+	JoinSorted(a, b, nil, &c, func(x, y *geom.Object) {
 		pairs = append(pairs, geom.Pair{A: x.ID, B: y.ID})
 	})
 	if len(pairs) != 2 {

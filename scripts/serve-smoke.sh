@@ -58,6 +58,14 @@ post /v1/datasets/smoke/query '{"type":"knn","point":[1,1,1],"k":2}' \
     | grep -q '"count":2' || fail "knn query"
 post /v1/datasets/smoke/join '{"boxes":[[4,4,4,6,6,6]]}' \
     | grep -q '"count":2' || fail "join"
+
+# NDJSON streaming join: pair lines then a {"count":N} trailer marking a
+# complete (non-truncated) stream.
+NDJSON=$(curl -sf -X POST "$BASE/v1/datasets/smoke/join" \
+    -H 'Content-Type: application/json' -H 'Accept: application/x-ndjson' \
+    -d '{"boxes":[[4,4,4,6,6,6]]}')
+echo "$NDJSON" | grep -q '^{"count":2}$' || fail "ndjson join trailer"
+[ "$(echo "$NDJSON" | grep -c '^\[')" = "2" ] || fail "ndjson join pair lines"
 curl -sf "$BASE/metrics" | grep -q 'touchserved_requests_total{class="query"} 3' \
     || fail "metrics"
 

@@ -23,9 +23,17 @@
 //	res, err := touch.DistanceJoin(touch.AlgTOUCH, a, b, 5, nil)
 //	if err != nil { ... }
 //	fmt.Println(len(res.Pairs), res.Stats.Comparisons)
+//
+// Execution is context-first: the Ctx variants (SpatialJoinCtx,
+// Index.JoinCtx, …) abort cooperatively when their context is canceled,
+// returning ErrJoinCanceled within a bounded number of comparisons, and
+// the JoinSeq iterators stream result pairs with O(1) memory — breaking
+// out of the loop, cancelling the context, or Options.Limit all stop
+// the engine instead of letting it run to completion.
 package touch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -122,6 +130,16 @@ func Algorithms() []Algorithm {
 	return []Algorithm{AlgNL, AlgPS, AlgPBSM500, AlgPBSM100, AlgS3, AlgINL, AlgRTree, AlgTOUCH}
 }
 
+// ValidAlgorithm reports whether alg names an implemented join — the
+// same resolution every join entry point performs, so callers that must
+// validate before doing irreversible work (creating an output file,
+// admitting a request) cannot drift from the engine's registry. It
+// accepts everything Algorithms lists plus AlgSeeded and AlgPBSM.
+func ValidAlgorithm(alg Algorithm) bool {
+	_, err := bind(alg, &Options{})
+	return err == nil
+}
+
 // Options tunes a join execution. The zero value (or a nil pointer) uses
 // the paper's experimental defaults for every algorithm.
 type Options struct {
@@ -153,6 +171,13 @@ type Options struct {
 	// splits space into contiguous slabs and suppresses boundary
 	// duplicates with an ownership rule.
 	Workers int
+	// Limit > 0 stops the join after exactly that many result pairs have
+	// been delivered (to Result.Pairs, the Sink, or a JoinSeq consumer).
+	// The engine aborts cooperatively instead of materializing and
+	// discarding the excess; a limited join returns normally with
+	// Stats.Results equal to the delivered count. Which pairs are kept is
+	// deterministic single-threaded and arbitrary under parallelism.
+	Limit int64
 }
 
 func (o *Options) normalized() Options {
@@ -160,6 +185,19 @@ func (o *Options) normalized() Options {
 		return Options{}
 	}
 	return *o
+}
+
+// orderDatasets applies the join-order heuristic of §5.2.3 unless
+// KeepOrder disables it: the smaller dataset builds the tree/index — it
+// is likely sparser, enabling more filtering, and cheaper to index.
+// swapped tells the sink layer to re-orient emitted pairs back to
+// (A, B). One implementation shared by the materializing and streaming
+// one-shot paths, so the orientation policy cannot drift between them.
+func (o *Options) orderDatasets(a, b Dataset) (x, y Dataset, swapped bool) {
+	if !o.KeepOrder && len(b) < len(a) {
+		return b, a, true
+	}
+	return a, b, false
 }
 
 // ErrUnknownAlgorithm is wrapped into the error returned when an
@@ -170,6 +208,45 @@ var ErrUnknownAlgorithm = errors.New("touch: unknown algorithm")
 // join is asked for a negative ε; test with errors.Is. DistanceJoin and
 // Index.DistanceJoin share it, so the two paths reject consistently.
 var ErrNegativeDistance = errors.New("touch: negative distance")
+
+// ErrJoinCanceled is wrapped into the error returned when a join's
+// context is canceled or times out mid-flight: the engine aborts
+// cooperatively within a bounded number of comparisons per worker and
+// the partial result is discarded. The bound covers the assignment and
+// join phases; a one-shot join's index-construction phase (tree build,
+// bulk loads, sort passes) runs to completion before the first
+// checkpoint — prebuilt Index joins have no such phase. The returned
+// error also wraps the context's own error, so errors.Is matches
+// ErrJoinCanceled, context.Canceled and context.DeadlineExceeded as
+// appropriate. A join truncated by Options.Limit or by a consumer
+// breaking out of a JoinSeq iterator is a normal termination, not an
+// ErrJoinCanceled.
+var ErrJoinCanceled = errors.New("touch: join canceled")
+
+// canceled wraps a context error in ErrJoinCanceled.
+func canceled(cause error) error {
+	return fmt.Errorf("%w: %w", ErrJoinCanceled, cause)
+}
+
+// canceledErr translates an execution's abort state into the public
+// error: only a context-caused abort is an error — limit and iterator
+// stops terminate normally.
+func canceledErr(ctx context.Context, ctl *stats.Control) error {
+	if ctl.Cause() == stats.CauseContext {
+		return canceled(context.Cause(ctx))
+	}
+	return nil
+}
+
+// control builds the cooperative abort handle for one execution, or nil
+// when the context can never fire and no limit is set — the
+// uncancellable fast path adds no per-comparison state at all.
+func control(ctx context.Context, o *Options) *stats.Control {
+	if ctx.Done() == nil && o.Limit <= 0 {
+		return nil
+	}
+	return stats.NewControl(ctx.Done())
+}
 
 // ErrInvalidBox is wrapped into the error returned when a box is
 // malformed — a query box with NaN coordinates or Min > Max in some
@@ -193,50 +270,125 @@ func checkEps(eps float64) error {
 	return nil
 }
 
+// limitSink truncates delivery at Options.Limit pairs: the first limit
+// pairs reach the inner sink, the limit-th triggers a consumer-side
+// stop, and anything the engine emits before it observes the stop is
+// dropped — so the limit is exact, not approximate. It runs under the
+// engine's emission serialization (parallel joins already funnel all
+// workers through one locked sink), so no locking is needed here.
+type limitSink struct {
+	inner     Sink
+	ctl       *stats.Control
+	left      int64
+	delivered int64
+}
+
+func (s *limitSink) Emit(a, b geom.ID) {
+	if s.left <= 0 {
+		return
+	}
+	s.left--
+	s.delivered++
+	s.inner.Emit(a, b)
+	if s.left == 0 {
+		s.ctl.Stop()
+	}
+}
+
+// joinSink builds the pair-delivery chain of one join: the engine-facing
+// sink (re-orienting pairs when the join-order heuristic swapped the
+// datasets, capping delivery when a limit is set) and a finish func the
+// caller runs on success to materialize collected pairs into res and pin
+// Stats.Results to the delivered count.
+func joinSink(o *Options, swapped bool, ctl *stats.Control, res *Result) (sink Sink, finish func()) {
+	var base Sink
+	var collect *stats.CollectSink
+	switch {
+	case o.Sink != nil && swapped:
+		base = stats.FuncSink(func(x, y geom.ID) { o.Sink.Emit(y, x) })
+	case o.Sink != nil:
+		base = o.Sink
+	case o.NoPairs:
+		base = &stats.CountSink{}
+	case swapped:
+		collect = &stats.CollectSink{}
+		base = stats.FuncSink(func(x, y geom.ID) {
+			collect.Pairs = append(collect.Pairs, Pair{A: y, B: x})
+		})
+	default:
+		collect = &stats.CollectSink{}
+		base = collect
+	}
+	sink = base
+	var lim *limitSink
+	if o.Limit > 0 {
+		lim = &limitSink{inner: base, ctl: ctl, left: o.Limit}
+		sink = lim
+	}
+	finish = func() {
+		if collect != nil {
+			res.Pairs = collect.Pairs
+		}
+		if lim != nil {
+			// The engine's own Results counter may include pairs emitted
+			// after the cap; what was delivered is the result.
+			res.Stats.Results = lim.delivered
+		}
+	}
+	return sink, finish
+}
+
 // SpatialJoin finds every pair of objects (a ∈ A, b ∈ B) whose boxes
 // intersect, using the selected algorithm. All algorithms produce the
 // identical, duplicate-free result set; they differ in the comparisons,
-// memory and time recorded in Result.Stats.
+// memory and time recorded in Result.Stats. It is SpatialJoinCtx with a
+// background context — uncancellable, and free of any cancellation
+// bookkeeping unless Options.Limit is set.
 func SpatialJoin(alg Algorithm, a, b Dataset, opt *Options) (*Result, error) {
+	return SpatialJoinCtx(context.Background(), alg, a, b, opt)
+}
+
+// SpatialJoinCtx is SpatialJoin under a context: cancelling ctx (or its
+// deadline expiring) aborts the join cooperatively — every worker
+// checkpoints at least once per CheckEvery comparisons — and returns
+// ctx's error wrapped in ErrJoinCanceled. A join stopped by
+// Options.Limit is not an error; it returns the truncated result.
+func SpatialJoinCtx(ctx context.Context, alg Algorithm, a, b Dataset, opt *Options) (*Result, error) {
 	o := opt.normalized()
-
-	swapped := false
-	if !o.KeepOrder && len(b) < len(a) {
-		// §5.2.3: the smaller dataset builds the tree/index — it is
-		// likely sparser, enabling more filtering, and cheaper to index.
-		a, b = b, a
-		swapped = true
-	}
-
-	res := &Result{}
-	var sink Sink
-	switch {
-	case o.Sink != nil && swapped:
-		sink = stats.FuncSink(func(x, y geom.ID) { o.Sink.Emit(y, x) })
-	case o.Sink != nil:
-		sink = o.Sink
-	case o.NoPairs:
-		sink = &stats.CountSink{}
-	case swapped:
-		sink = stats.FuncSink(func(x, y geom.ID) {
-			res.Pairs = append(res.Pairs, Pair{A: y, B: x})
-		})
-	default:
-		collect := &stats.CollectSink{}
-		sink = collect
-		defer func() { res.Pairs = collect.Pairs }()
-	}
-
 	join, err := bind(alg, &o)
 	if err != nil {
 		return nil, err
 	}
-	if o.Workers > 1 && alg != AlgTOUCH {
-		parallel.Join(a, b, o.Workers, join, &res.Stats, sink)
-	} else {
-		join(a, b, &res.Stats, sink)
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
 	}
+
+	a, b, swapped := o.orderDatasets(a, b)
+
+	ctl := control(ctx, &o)
+	res := &Result{}
+	sink, finish := joinSink(&o, swapped, ctl, res)
+
+	dispatch(alg, join, &o, a, b, ctl, &res.Stats, sink)
+	if err := canceledErr(ctx, ctl); err != nil {
+		return nil, err
+	}
+	finish()
 	return res, nil
+}
+
+// dispatch runs a bound join on its execution engine: AlgTOUCH
+// parallelizes internally (bind routed Options.Workers into its
+// config), every other algorithm runs under the slab driver when
+// Workers > 1. One implementation shared by the materializing and
+// streaming one-shot paths, so the engine choice cannot drift between
+// them.
+func dispatch(alg Algorithm, join parallel.JoinFunc, o *Options, a, b Dataset, ctl *stats.Control, c *Stats, sink Sink) {
+	if o.Workers > 1 && alg != AlgTOUCH {
+		parallel.Join(a, b, o.Workers, join, ctl, c, sink)
+	} else {
+		join(a, b, ctl, c, sink)
+	}
 }
 
 // DistanceJoin finds every pair of objects within distance eps of each
@@ -245,10 +397,16 @@ func SpatialJoin(alg Algorithm, a, b Dataset, opt *Options) (*Result, error) {
 // intersection join. Enlarging either dataset yields the same pair set,
 // so the join-order heuristic of SpatialJoin applies unchanged.
 func DistanceJoin(alg Algorithm, a, b Dataset, eps float64, opt *Options) (*Result, error) {
+	return DistanceJoinCtx(context.Background(), alg, a, b, eps, opt)
+}
+
+// DistanceJoinCtx is DistanceJoin under a context, with the cancellation
+// and limit semantics of SpatialJoinCtx.
+func DistanceJoinCtx(ctx context.Context, alg Algorithm, a, b Dataset, eps float64, opt *Options) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
-	return SpatialJoin(alg, a.Expand(eps), b, opt)
+	return SpatialJoinCtx(ctx, alg, a.Expand(eps), b, opt)
 }
 
 // bind resolves an algorithm name and its options to a JoinFunc.
@@ -261,34 +419,34 @@ func bind(alg Algorithm, o *Options) (parallel.JoinFunc, error) {
 			// slab driver: no replication, no boundary-ownership filter.
 			cfg.Workers = o.Workers
 		}
-		return func(a, b Dataset, c *Stats, s Sink) { core.Join(a, b, cfg, c, s) }, nil
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) { core.Join(a, b, cfg, ctl, c, s) }, nil
 	case AlgNL:
 		return nl.Join, nil
 	case AlgPS:
 		return sweep.Join, nil
 	case AlgPBSM500:
-		return func(a, b Dataset, c *Stats, s Sink) {
-			pbsm.Join(a, b, pbsm.Config{Resolution: pbsm.Resolution500}, c, s)
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) {
+			pbsm.Join(a, b, pbsm.Config{Resolution: pbsm.Resolution500}, ctl, c, s)
 		}, nil
 	case AlgPBSM100:
-		return func(a, b Dataset, c *Stats, s Sink) {
-			pbsm.Join(a, b, pbsm.Config{Resolution: pbsm.Resolution100}, c, s)
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) {
+			pbsm.Join(a, b, pbsm.Config{Resolution: pbsm.Resolution100}, ctl, c, s)
 		}, nil
 	case AlgPBSM:
 		cfg := o.PBSM
-		return func(a, b Dataset, c *Stats, s Sink) { pbsm.Join(a, b, cfg, c, s) }, nil
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) { pbsm.Join(a, b, cfg, ctl, c, s) }, nil
 	case AlgS3:
 		cfg := o.S3
-		return func(a, b Dataset, c *Stats, s Sink) { s3.Join(a, b, cfg, c, s) }, nil
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) { s3.Join(a, b, cfg, ctl, c, s) }, nil
 	case AlgINL:
 		cfg := o.RTree
-		return func(a, b Dataset, c *Stats, s Sink) { rtree.INLJoin(a, b, cfg, c, s) }, nil
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) { rtree.INLJoin(a, b, cfg, ctl, c, s) }, nil
 	case AlgRTree:
 		cfg := o.RTree
-		return func(a, b Dataset, c *Stats, s Sink) { rtree.SyncJoin(a, b, cfg, c, s) }, nil
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) { rtree.SyncJoin(a, b, cfg, ctl, c, s) }, nil
 	case AlgSeeded:
 		cfg := o.RTree
-		return func(a, b Dataset, c *Stats, s Sink) { rtree.SeededJoin(a, b, cfg, c, s) }, nil
+		return func(a, b Dataset, ctl *stats.Control, c *Stats, s Sink) { rtree.SeededJoin(a, b, cfg, ctl, c, s) }, nil
 	default:
 		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, alg)
 	}
