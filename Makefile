@@ -28,7 +28,7 @@ vet:
 # cancellable-execution points: stream-join (whole-dataset join consumed
 # off the JoinSeq iterator, pairs/sec) and cancel-latency (time from
 # context cancellation to engine quiescence).
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

@@ -10,6 +10,7 @@ import (
 	"net/http"
 
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -294,6 +295,90 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			}
 			report.Points = append(report.Points, pt)
 		}
+	}
+
+	// Persistence: what a durable catalog costs and saves. For each size,
+	// cold-start-N is the full index rebuild a restart would pay without
+	// snapshots, snapshot-save-N the encode+write+fsync on the build
+	// path, and snapshot-load-N the read+decode+verify path a restart
+	// actually takes — the load/cold-start ratio is the restart speedup.
+	// Sizes are fixed (8K/64K objects) rather than scaled so reports are
+	// comparable across -scale values; MemoryBytes carries the snapshot
+	// file size.
+	if err := func() error {
+		dir, err := os.MkdirTemp("", "touchbench-snap")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		for _, n := range []int{8192, 65536} {
+			label := fmt.Sprintf("%dk", n/1024)
+			ds := touch.GenerateUniform(n, seed+3)
+
+			var ix *touch.Index
+			var coldBest int64
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				ix = touch.BuildIndex(ds, touch.TOUCHConfig{})
+				if ns := time.Since(start).Nanoseconds(); rep == 0 || ns < coldBest {
+					coldBest = ns
+				}
+			}
+			report.Points = append(report.Points, benchPoint{
+				Name: "cold-start-" + label, Algorithm: string(touch.AlgTOUCH),
+				NsPerOp: coldBest, BuildNs: coldBest,
+			})
+
+			info := touch.SnapshotInfo{Name: "bench", Version: 1, BuiltAt: time.Now()}
+			path := filepath.Join(dir, "bench-"+label+".snap")
+			var saveBest, size int64
+			for rep := 0; rep < 3; rep++ {
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				if size, err = touch.WriteSnapshot(f, info, ds, ix); err == nil {
+					err = f.Sync()
+				}
+				ns := time.Since(start).Nanoseconds()
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return fmt.Errorf("snapshot-save-%s: %w", label, err)
+				}
+				if rep == 0 || ns < saveBest {
+					saveBest = ns
+				}
+			}
+			report.Points = append(report.Points, benchPoint{
+				Name: "snapshot-save-" + label, Algorithm: string(touch.AlgTOUCH),
+				NsPerOp: saveBest, MemoryBytes: size,
+			})
+
+			var loadBest int64
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				data, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				if _, _, _, err := touch.DecodeSnapshot(data); err != nil {
+					return fmt.Errorf("snapshot-load-%s: %w", label, err)
+				}
+				if ns := time.Since(start).Nanoseconds(); rep == 0 || ns < loadBest {
+					loadBest = ns
+				}
+			}
+			report.Points = append(report.Points, benchPoint{
+				Name: "snapshot-load-" + label, Algorithm: string(touch.AlgTOUCH),
+				NsPerOp: loadBest, MemoryBytes: size,
+			})
+		}
+		return nil
+	}(); err != nil {
+		return err
 	}
 
 	// Network-path serving: the same query index behind the touchserved

@@ -170,6 +170,10 @@ type Tree struct {
 // with (Probe.SetWorkers overrides it per query).
 func (t *Tree) Workers() int { return t.cfg.Workers }
 
+// Config returns the configuration the tree was built with (defaults
+// filled in), so a snapshot can reproduce the exact tree on reload.
+func (t *Tree) Config() Config { return t.cfg }
+
 // subtreeA returns the A objects of the node's descendant leaves as a
 // zero-copy view into the arena.
 func (t *Tree) subtreeA(n *Node) []geom.Object {

@@ -101,9 +101,12 @@ func (b Box) Expand(eps float64) Box {
 
 // Union returns the smallest box enclosing both b and o.
 func (b Box) Union(o Box) Box {
+	// The builtin min/max share math.Min/Max's IEEE semantics (NaN
+	// propagation, -0 < +0) but inline to branch-free code — Union is the
+	// inner loop of both tree construction and snapshot verification.
 	for d := 0; d < Dims; d++ {
-		b.Min[d] = math.Min(b.Min[d], o.Min[d])
-		b.Max[d] = math.Max(b.Max[d], o.Max[d])
+		b.Min[d] = min(b.Min[d], o.Min[d])
+		b.Max[d] = max(b.Max[d], o.Max[d])
 	}
 	return b
 }

@@ -25,6 +25,13 @@ type snapshot struct {
 	idx     *touch.Index
 	stats   touch.IndexStats
 	builtAt time.Time
+	// persisted marks a version whose snapshot file is durably on disk
+	// (written before this snapshot became visible, or restored from
+	// disk at startup); snapBytes is that file's size. A false persisted
+	// on a server with a data dir means the dataset is ephemeral — a
+	// restart loses it.
+	persisted bool
+	snapBytes int64
 }
 
 // entry is one named dataset of the catalog.
@@ -50,6 +57,9 @@ type entry struct {
 // the entry (the swap is guarded by a version comparison).
 type catalog struct {
 	build buildFunc
+	// persist, when non-nil, mirrors builds and drops to disk. Set once
+	// at construction, before any load can run.
+	persist *persister
 
 	// pending counts builds accepted but not yet finished (or skipped),
 	// catalog-wide; the server's load path uses it to bound the build
@@ -134,6 +144,21 @@ func (c *catalog) load(name string, ds touch.Dataset, cfg touch.TOUCHConfig, wai
 		}
 		idx := c.build(ds, cfg)
 		snap := &snapshot{version: v, ds: ds, idx: idx, stats: idx.Stats(), builtAt: time.Now()}
+		if p := c.persist; p != nil {
+			// Write-ahead of visibility: the snapshot must be durably on
+			// disk before the hot swap can publish it, so a crash right
+			// after a 200-visible version still restarts with that
+			// version. A persistence failure degrades gracefully — the
+			// swap below still happens, the version just serves as
+			// ephemeral (flagged in the listing, counted in metrics).
+			size, wrote, err := p.save(e.name, v, ds, idx, snap.builtAt)
+			switch {
+			case err != nil:
+				p.logf("snapshot: persisting %s v%d failed, dataset is ephemeral: %v", e.name, v, err)
+			case wrote:
+				snap.persisted, snap.snapBytes = true, size
+			}
+		}
 		e.mu.Lock()
 		if cur := e.ready.Load(); cur == nil || cur.version < v {
 			e.ready.Store(snap)
@@ -169,13 +194,15 @@ const maxRetired = 4096
 // drop removes a name from the catalog, remembering its version counter
 // so a later re-POST of the same name continues the sequence. In-flight
 // requests holding the entry's snapshot finish unharmed — snapshots are
-// immutable.
-func (c *catalog) drop(name string) bool {
+// immutable. The retired counter is returned so the caller can
+// tombstone the on-disk snapshot with it — drop itself must not touch
+// the persister (lock order is persister.mu → catalog.mu).
+func (c *catalog) drop(name string) (retired int64, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[name]
-	if !ok {
-		return false
+	e, exists := c.entries[name]
+	if !exists {
+		return 0, false
 	}
 	for len(c.retired) >= maxRetired {
 		for k := range c.retired {
@@ -184,10 +211,82 @@ func (c *catalog) drop(name string) bool {
 		}
 	}
 	e.mu.Lock()
-	c.retired[name] = e.accepted
+	retired = e.accepted
 	e.mu.Unlock()
+	c.retired[name] = retired
 	delete(c.entries, name)
-	return true
+	return retired, true
+}
+
+// counters returns every known per-name version counter: live entries'
+// accepted versions plus the retired memory of dropped names — the map
+// the persister writes next to the snapshots so version monotonicity
+// survives restarts.
+func (c *catalog) counters() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := make(map[string]int64, len(c.entries)+len(c.retired))
+	for name, v := range c.retired {
+		m[name] = v
+	}
+	for name, e := range c.entries {
+		e.mu.Lock()
+		m[name] = e.accepted
+		e.mu.Unlock()
+	}
+	return m
+}
+
+// restore installs a snapshot recovered from disk, merging with
+// whatever the live catalog already holds under the same version guards
+// as builds: the accepted counter never regresses and a newer serving
+// version is never replaced by an older file — so a re-POST racing
+// startup recovery converges to the newest version, whichever side wins
+// the race.
+func (c *catalog) restore(name string, version int64, ds touch.Dataset, idx *touch.Index, builtAt time.Time, size int64) {
+	snap := &snapshot{
+		version: version, ds: ds, idx: idx, stats: idx.Stats(),
+		builtAt: builtAt, persisted: true, snapBytes: size,
+	}
+	c.mu.Lock()
+	e := c.entries[name]
+	if e == nil {
+		e = &entry{name: name, accepted: c.retired[name]}
+		delete(c.retired, name)
+		c.entries[name] = e
+	}
+	c.mu.Unlock()
+	e.mu.Lock()
+	if e.accepted < version {
+		e.accepted = version
+	}
+	if cur := e.ready.Load(); cur == nil || cur.version < version {
+		e.ready.Store(snap)
+	}
+	e.mu.Unlock()
+}
+
+// restoreCounters folds the persisted version counters back in after a
+// restart: a name with a live entry has its accepted counter raised to
+// the persisted value; a name without one (deleted, or ephemeral and
+// lost) goes to the retired memory, so its next POST continues the
+// sequence instead of reissuing version 1.
+func (c *catalog) restoreCounters(versions map[string]int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, v := range versions {
+		if e := c.entries[name]; e != nil {
+			e.mu.Lock()
+			if e.accepted < v {
+				e.accepted = v
+			}
+			e.mu.Unlock()
+			continue
+		}
+		if c.retired[name] < v && len(c.retired) < maxRetired {
+			c.retired[name] = v
+		}
+	}
 }
 
 // datasetInfo is one row of the catalog listing (GET /v1/datasets).
@@ -202,6 +301,12 @@ type datasetInfo struct {
 	Nodes       int    `json:"nodes"`
 	Height      int    `json:"height"`
 	BuiltAt     string `json:"built_at,omitempty"`
+	// Persisted reports whether the serving version's snapshot is
+	// durably on disk; false on a server with a data dir means the
+	// dataset is ephemeral and a restart loses it. SnapshotBytes is the
+	// snapshot file size when persisted.
+	Persisted     bool  `json:"persisted"`
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
 }
 
 func (e *entry) info() datasetInfo {
@@ -217,14 +322,16 @@ func (e *entry) info() datasetInfo {
 		status = "rebuilding"
 	}
 	return datasetInfo{
-		Name:        e.name,
-		Version:     snap.version,
-		Status:      status,
-		Objects:     snap.stats.Objects,
-		StaticBytes: snap.stats.StaticBytes,
-		Nodes:       snap.stats.Nodes,
-		Height:      snap.stats.Height,
-		BuiltAt:     snap.builtAt.UTC().Format(time.RFC3339Nano),
+		Name:          e.name,
+		Version:       snap.version,
+		Status:        status,
+		Objects:       snap.stats.Objects,
+		StaticBytes:   snap.stats.StaticBytes,
+		Nodes:         snap.stats.Nodes,
+		Height:        snap.stats.Height,
+		BuiltAt:       snap.builtAt.UTC().Format(time.RFC3339Nano),
+		Persisted:     snap.persisted,
+		SnapshotBytes: snap.snapBytes,
 	}
 }
 

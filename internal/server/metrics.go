@@ -164,9 +164,10 @@ func (m *metrics) qps(now time.Time) float64 {
 	return float64(inWindow) / qpsWindow.Seconds()
 }
 
-// render writes the Prometheus text exposition. datasets and staticBytes
-// describe the catalog at scrape time.
-func (m *metrics) render(w io.Writer, datasets []datasetInfo) {
+// render writes the Prometheus text exposition. datasets describes the
+// catalog at scrape time; snapshotErrors is the cumulative persistence
+// failure count.
+func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors int64) {
 	uptime := time.Since(m.start).Seconds()
 
 	fmt.Fprintf(w, "# TYPE touchserved_uptime_seconds gauge\n")
@@ -220,5 +221,25 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo) {
 	fmt.Fprintf(w, "# TYPE touchserved_dataset_objects gauge\n")
 	for _, d := range datasets {
 		fmt.Fprintf(w, "touchserved_dataset_objects{dataset=%q} %d\n", d.Name, d.Objects)
+	}
+
+	// Snapshot health: failed persistence operations, and which datasets
+	// are durably on disk — a persisted=0 dataset on a server with a
+	// data dir is ephemeral and a restart loses it.
+	fmt.Fprintf(w, "# TYPE touchserved_snapshot_errors_total counter\n")
+	fmt.Fprintf(w, "touchserved_snapshot_errors_total %d\n", snapshotErrors)
+	fmt.Fprintf(w, "# TYPE touchserved_dataset_persisted gauge\n")
+	for _, d := range datasets {
+		persisted := 0
+		if d.Persisted {
+			persisted = 1
+		}
+		fmt.Fprintf(w, "touchserved_dataset_persisted{dataset=%q} %d\n", d.Name, persisted)
+	}
+	fmt.Fprintf(w, "# TYPE touchserved_snapshot_bytes gauge\n")
+	for _, d := range datasets {
+		if d.Persisted {
+			fmt.Fprintf(w, "touchserved_snapshot_bytes{dataset=%q} %d\n", d.Name, d.SnapshotBytes)
+		}
 	}
 }

@@ -76,6 +76,7 @@ import (
 	"time"
 
 	"touch"
+	snapstore "touch/internal/snapshot"
 )
 
 // Config tunes the serving subsystem; the zero value is production-safe.
@@ -109,9 +110,21 @@ type Config struct {
 	// streaming joins are exempt (the first carries no pairs, the second
 	// never buffers them). Default 1<<20.
 	MaxJoinPairs int
+	// DataDir, when set, makes the catalog durable: every successful
+	// build persists a checksummed snapshot there before it becomes
+	// visible, DELETE removes the file, and Server.Recover restores the
+	// catalog from the directory at startup — no rebuilds. Empty
+	// disables persistence (the pre-existing in-memory behavior).
+	DataDir string
+	// Logf receives operational log lines (snapshot persistence
+	// failures, recovery progress). Default discards them.
+	Logf func(format string, args ...any)
 
 	// build replaces touch.BuildIndex in tests (slow/observable builds).
 	build buildFunc
+	// snapFS replaces the real filesystem under DataDir in fault-injection
+	// tests.
+	snapFS snapstore.FS
 }
 
 func (c *Config) fillDefaults() {
@@ -129,6 +142,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxJoinPairs <= 0 {
 		c.MaxJoinPairs = 1 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
 	}
 }
 
@@ -161,21 +177,47 @@ type Server struct {
 	slots    chan struct{}
 	draining atomic.Bool
 
+	// persist mirrors the catalog to Config.DataDir; nil when no data
+	// dir is configured or the directory could not be opened (the error
+	// is kept for Recover to report).
+	persist    *persister
+	persistErr error
+
 	// testHookWorker, when set, runs inside query and join handlers
 	// before the engine call, under the request context — tests block it
 	// to hold requests in flight or to park them past their deadline.
 	testHookWorker func(context.Context)
 }
 
-// New returns a Server ready to serve; it owns no listener.
+// New returns a Server ready to serve; it owns no listener. With
+// Config.DataDir set, call Recover before serving traffic to restore
+// the catalog from disk — builds persist from the first load either
+// way. A data dir that cannot be opened does not fail construction (New
+// has no error return and the server can still serve in-memory); the
+// error surfaces from Recover, which deployments run at startup.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		cat:   newCatalog(cfg.build),
 		met:   newMetrics(),
 		slots: make(chan struct{}, cfg.MaxInFlight),
 	}
+	if cfg.DataDir != "" {
+		fsys := cfg.snapFS
+		if fsys == nil {
+			fsys = snapstore.OSFS{}
+		}
+		store, err := snapstore.NewStore(cfg.DataDir, fsys)
+		if err != nil {
+			s.persistErr = err
+			cfg.Logf("snapshot: opening data dir %s failed, serving without persistence: %v", cfg.DataDir, err)
+		} else {
+			s.persist = &persister{store: store, cat: s.cat, logf: cfg.Logf, written: make(map[string]int64)}
+			s.cat.persist = s.persist
+		}
+	}
+	return s
 }
 
 // Load registers a dataset and builds its index synchronously — the
@@ -424,7 +466,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.cat.list())
+	s.met.render(w, s.cat.list(), s.SnapshotErrors())
 }
 
 // --- catalog ------------------------------------------------------------
@@ -436,9 +478,13 @@ func (s *Server) handleList(ctx context.Context, w http.ResponseWriter, r *http.
 }
 
 func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
-	if !s.cat.drop(name) {
+	retired, ok := s.cat.drop(name)
+	if !ok {
 		writeError(w, http.StatusNotFound, codeUnknownDataset, "dataset %q not loaded", name)
 		return
+	}
+	if s.persist != nil {
+		s.persist.delete(name, retired)
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Name    string `json:"name"`

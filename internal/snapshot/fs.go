@@ -1,0 +1,211 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the filesystem seam the store writes through. Production code
+// uses OSFS; fault-injection tests wrap it with FaultFS to fail any
+// single operation — a short write, a failed sync, a crash between
+// write and rename — and assert the store degrades safely.
+type FS interface {
+	MkdirAll(dir string) error
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	ReadDir(dir string) ([]os.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	// SyncDir fsyncs a directory so a preceding rename or remove is
+	// durable — the step that makes the atomic-replace protocol survive
+	// power loss, not just process death.
+	SyncDir(dir string) error
+}
+
+// File is the writable handle CreateTemp returns.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldPath, newPath string) error      { return os.Rename(oldPath, newPath) }
+func (OSFS) Remove(path string) error                  { return os.Remove(path) }
+func (OSFS) ReadDir(dir string) ([]os.DirEntry, error) { return os.ReadDir(dir) }
+func (OSFS) ReadFile(path string) ([]byte, error)      { return os.ReadFile(path) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some platforms; a sync error after
+	// a successful rename still leaves a consistent (if possibly
+	// un-persisted) directory, which the caller reports but survives.
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Op names one filesystem operation for fault injection and ordering
+// assertions.
+type Op string
+
+const (
+	OpMkdirAll Op = "mkdirall"
+	OpCreate   Op = "create"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpReadDir  Op = "readdir"
+	OpReadFile Op = "readfile"
+	OpSyncDir  Op = "syncdir"
+)
+
+// FaultFS wraps an FS with programmable failures: before every
+// operation it consults Fail, and a non-nil error is returned without
+// invoking the real operation (for OpWrite, optionally after writing a
+// torn prefix). It also logs every operation with its path, so tests
+// can assert the durability protocol's ordering (write → sync → rename
+// → syncdir).
+type FaultFS struct {
+	Inner FS
+
+	// Fail, when non-nil, is consulted before every operation; returning
+	// a non-nil error injects the failure. Called under the FaultFS
+	// mutex — keep it fast and reentrancy-free.
+	Fail func(op Op, path string) error
+
+	// TornBytes > 0 makes an injected OpWrite failure first write that
+	// many bytes of the buffer for real — a torn write, not a clean
+	// failure — so the bytes genuinely land in the file the crash test
+	// later scans.
+	TornBytes int
+
+	mu  sync.Mutex
+	ops []string
+}
+
+// Ops returns the operation log as "op path" lines.
+func (f *FaultFS) Ops() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ops...)
+}
+
+func (f *FaultFS) record(op Op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = append(f.ops, fmt.Sprintf("%s %s", op, filepath.Base(path)))
+	if f.Fail != nil {
+		return f.Fail(op, path)
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.record(OpMkdirAll, dir); err != nil {
+		return err
+	}
+	return f.Inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.record(OpCreate, dir); err != nil {
+		return nil, err
+	}
+	file, err := f.Inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if err := f.record(OpRename, newPath); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.record(OpRemove, path); err != nil {
+		return err
+	}
+	return f.Inner.Remove(path)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error) {
+	if err := f.record(OpReadDir, dir); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadDir(dir)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.record(OpReadFile, path); err != nil {
+		return nil, err
+	}
+	return f.Inner.ReadFile(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.record(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.record(OpWrite, f.inner.Name()); err != nil {
+		n := 0
+		if torn := f.fs.TornBytes; torn > 0 {
+			n, _ = f.inner.Write(p[:min(torn, len(p))])
+		}
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.record(OpSync, f.inner.Name()); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if err := f.fs.record(OpClose, f.inner.Name()); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}

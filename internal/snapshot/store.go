@@ -1,0 +1,222 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	snapSuffix   = ".snap"
+	tmpSuffix    = ".tmp"
+	versionsFile = "versions.json"
+	// CorruptDir is the subdirectory Scan quarantines undecodable files
+	// into, named so operators can inspect what was rejected and why the
+	// log says so.
+	CorruptDir = "corrupt"
+)
+
+// Store is the on-disk snapshot directory: one <name>.snap per dataset
+// plus a versions.json carrying the per-name version counters, all
+// replaced atomically. Store serializes nothing itself — callers hand
+// it encoded bytes — and performs no locking; the serving layer already
+// serializes writers per store.
+type Store struct {
+	dir string
+	fs  FS
+}
+
+// NewStore opens (creating if needed) a snapshot directory on the given
+// filesystem. Pass OSFS{} outside of tests.
+func NewStore(dir string, fsys FS) (*Store, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("snapshot: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir, fs: fsys}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the snapshot file path for a dataset name.
+func (s *Store) Path(name string) string {
+	return filepath.Join(s.dir, name+snapSuffix)
+}
+
+// validStoreName rejects names that would escape the directory or
+// collide with the store's own files. The serving layer's name rule is
+// strictly narrower; this guards other producers.
+func validStoreName(name string) error {
+	if name == "" || len(name) > maxNameLen {
+		return fmt.Errorf("snapshot: name length %d outside [1,%d]", len(name), maxNameLen)
+	}
+	if strings.ContainsAny(name, "/\\") || name != filepath.Base(name) {
+		return fmt.Errorf("snapshot: name %q is not a plain file name", name)
+	}
+	return nil
+}
+
+// writeAtomic lands data at path via temp file → write → fsync → atomic
+// rename → directory fsync. On any failure the temp file is removed
+// (best effort) and the previous file at path, if any, is untouched — a
+// crash at any byte offset leaves either the old content or the new,
+// never a torn hybrid.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	f, err := s.fs.CreateTemp(s.dir, filepath.Base(path)+".*"+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("snapshot: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	fail := func(step string, err error) error {
+		f.Close()
+		s.fs.Remove(tmp)
+		return fmt.Errorf("snapshot: %s %s: %w", step, path, err)
+	}
+	n, err := f.Write(data)
+	if err == nil && n < len(data) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("snapshot: close %s: %w", path, err)
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("snapshot: rename %s: %w", path, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		// The rename already happened; the new file serves this boot but
+		// may not survive power loss. Report it so the caller can flag
+		// the dataset ephemeral.
+		return fmt.Errorf("snapshot: sync dir after %s: %w", path, err)
+	}
+	return nil
+}
+
+// Put durably replaces the snapshot for name with data.
+func (s *Store) Put(name string, data []byte) error {
+	if err := validStoreName(name); err != nil {
+		return err
+	}
+	return s.writeAtomic(s.Path(name), data)
+}
+
+// Delete removes the snapshot for name and syncs the directory. A
+// missing file is not an error — DELETE of an ephemeral dataset.
+func (s *Store) Delete(name string) error {
+	if err := validStoreName(name); err != nil {
+		return err
+	}
+	if err := s.fs.Remove(s.Path(name)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("snapshot: delete %s: %w", name, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("snapshot: sync dir after delete %s: %w", name, err)
+	}
+	return nil
+}
+
+// SaveVersions durably replaces the per-name version counter file. The
+// counters outlive their snapshots — a deleted or ephemeral dataset's
+// name must not reuse version numbers after a restart.
+func (s *Store) SaveVersions(versions map[string]int64) error {
+	data, err := json.MarshalIndent(versions, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: encode versions: %w", err)
+	}
+	return s.writeAtomic(filepath.Join(s.dir, versionsFile), append(data, '\n'))
+}
+
+// ScanResult is what a startup scan found.
+type ScanResult struct {
+	// Versions is the persisted per-name version counter map (empty if
+	// no versions.json existed).
+	Versions map[string]int64
+	// Loaded counts snapshots the callback accepted; Quarantined counts
+	// files moved to corrupt/.
+	Loaded      int
+	Quarantined int
+}
+
+// Scan reads every snapshot in the directory, handing (name, size,
+// bytes) to load for each. A file that load rejects — undecodable,
+// failed validation, name mismatch — is moved to corrupt/ with the
+// reason logged, never deleted and never fatal: recovery serves what is
+// provable and quarantines the rest. Leftover temp files from crashed
+// writes are removed. logf may be nil.
+func (s *Store) Scan(load func(name string, size int64, data []byte) error, logf func(format string, args ...any)) (ScanResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := ScanResult{Versions: map[string]int64{}}
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return res, fmt.Errorf("snapshot: scan %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		path := filepath.Join(s.dir, name)
+		switch {
+		case e.IsDir():
+			continue
+		case strings.HasSuffix(name, tmpSuffix):
+			// A crash between write and rename leaves the temp file; the
+			// real snapshot, old or absent, is untouched.
+			logf("snapshot: removing leftover temp file %s", name)
+			s.fs.Remove(path)
+		case name == versionsFile:
+			data, err := s.fs.ReadFile(path)
+			if err != nil {
+				return res, fmt.Errorf("snapshot: read %s: %w", name, err)
+			}
+			if err := json.Unmarshal(data, &res.Versions); err != nil {
+				logf("snapshot: quarantining %s: %v", name, err)
+				s.quarantine(path, &res)
+				res.Versions = map[string]int64{}
+			}
+		case strings.HasSuffix(name, snapSuffix):
+			dsName := strings.TrimSuffix(name, snapSuffix)
+			data, err := s.fs.ReadFile(path)
+			if err != nil {
+				return res, fmt.Errorf("snapshot: read %s: %w", name, err)
+			}
+			if err := load(dsName, int64(len(data)), data); err != nil {
+				logf("snapshot: quarantining %s: %v", name, err)
+				s.quarantine(path, &res)
+			} else {
+				res.Loaded++
+			}
+		default:
+			logf("snapshot: ignoring unrecognized file %s", name)
+		}
+	}
+	return res, nil
+}
+
+// quarantine moves a rejected file into corrupt/ so operators can
+// inspect it; if the move itself fails the file is left in place and
+// the next restart will quarantine it again.
+func (s *Store) quarantine(path string, res *ScanResult) {
+	dir := filepath.Join(s.dir, CorruptDir)
+	if err := s.fs.MkdirAll(dir); err != nil {
+		return
+	}
+	if err := s.fs.Rename(path, filepath.Join(dir, filepath.Base(path))); err != nil {
+		return
+	}
+	s.fs.SyncDir(s.dir)
+	res.Quarantined++
+}

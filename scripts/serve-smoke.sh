@@ -2,7 +2,11 @@
 # serve-smoke: boot touchserved on a random port, exercise healthz, one
 # query per shape (range/point/knn), a join, the catalog listing, the
 # metrics endpoint and one error mapping over real HTTP, then assert a
-# clean graceful shutdown on SIGTERM. CI runs this via `make serve-smoke`.
+# clean graceful shutdown on SIGTERM. A second phase checks crash
+# recovery: two datasets in a durable catalog, kill -9, restart, and the
+# catalog must come back identical — same versions, same answers, no
+# rebuilds — with corrupt snapshot files quarantined, not fatal.
+# CI runs this via `make serve-smoke`.
 set -eu
 
 WORK=$(mktemp -d)
@@ -31,18 +35,23 @@ printf '0 0 0 10 10 10\n5 5 5 15 15 15\n20 20 20 30 30 30\n' > "$DATA"
 "$BIN" -addr 127.0.0.1:0 -load smoke="$DATA" > "$LOG" 2>&1 &
 PID=$!
 
-# The startup line carries the randomly chosen port.
-ADDR=
-i=0
-while [ $i -lt 100 ]; do
-    ADDR=$(sed -n 's/.*touchserved listening on //p' "$LOG" | head -n 1)
-    [ -n "$ADDR" ] && break
-    kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
-    i=$((i + 1))
-    sleep 0.1
-done
-[ -n "$ADDR" ] || fail "server never printed its listen address"
-BASE="http://$ADDR"
+# wait_addr: block until the startup line carries the randomly chosen
+# port, setting BASE. Reads the log named in $LOG.
+wait_addr() {
+    ADDR=
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's/.*touchserved listening on //p' "$LOG" | head -n 1)
+        [ -n "$ADDR" ] && break
+        kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+        i=$((i + 1))
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || fail "server never printed its listen address"
+    BASE="http://$ADDR"
+}
+
+wait_addr
 echo "serve-smoke: server on $BASE"
 
 post() { curl -sf -X POST "$BASE$1" -H 'Content-Type: application/json' -d "$2"; }
@@ -80,6 +89,65 @@ STATUS=0
 wait "$PID" || STATUS=$?
 [ "$STATUS" = "0" ] || fail "server exited with status $STATUS"
 grep -q 'drained, bye' "$LOG" || fail "no clean-drain log line"
+PID=
+
+# --- crash recovery -----------------------------------------------------
+# Two datasets in a durable catalog, kill -9 mid-serve, restart over the
+# same directory: both must answer identically (same versions, same
+# results) without a single rebuild.
+
+SNAPDIR="$WORK/snapshots"
+DATA2="$WORK/smoke2.txt"
+printf '0 0 0 2 2 2\n8 8 8 12 12 12\n' > "$DATA2"
+
+LOG="$WORK/crash-before.log"
+"$BIN" -addr 127.0.0.1:0 -data-dir "$SNAPDIR" -load smoke="$DATA" -load other="$DATA2" > "$LOG" 2>&1 &
+PID=$!
+wait_addr
+echo "serve-smoke: durable server on $BASE"
+
+LIST_BEFORE=$(curl -sf "$BASE/v1/datasets")
+echo "$LIST_BEFORE" | grep -q '"persisted":true' || fail "datasets not persisted"
+RANGE_BEFORE=$(post /v1/datasets/smoke/query '{"type":"range","box":[0,0,0,50,50,50]}')
+# Join stats carry wall-clock timings; strip them before comparing.
+strip_stats() { sed 's/,"stats":{[^}]*}//'; }
+JOIN_BEFORE=$(post /v1/datasets/other/join '{"boxes":[[1,1,1,9,9,9]]}' | strip_stats)
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+
+# A junk snapshot dropped into the directory must be quarantined on
+# restart, never served and never fatal.
+printf 'not a snapshot' > "$SNAPDIR/bogus.snap"
+
+LOG="$WORK/crash-after.log"
+"$BIN" -addr 127.0.0.1:0 -data-dir "$SNAPDIR" > "$LOG" 2>&1 &
+PID=$!
+wait_addr
+echo "serve-smoke: recovered server on $BASE"
+
+grep -q 'recovered 2 dataset(s)' "$LOG" || fail "recovery log line"
+grep -q '(1 quarantined)' "$LOG" || fail "quarantine count in recovery log"
+[ -f "$SNAPDIR/corrupt/bogus.snap" ] || fail "junk snapshot not moved to corrupt/"
+# No rebuilds: the only index-build log line comes from -load preloads.
+grep -q 'built in' "$LOG" && fail "recovery rebuilt an index"
+
+LIST_AFTER=$(curl -sf "$BASE/v1/datasets")
+[ "$LIST_AFTER" = "$LIST_BEFORE" ] || fail "catalog listing changed across crash:
+before: $LIST_BEFORE
+after:  $LIST_AFTER"
+RANGE_AFTER=$(post /v1/datasets/smoke/query '{"type":"range","box":[0,0,0,50,50,50]}')
+[ "$RANGE_AFTER" = "$RANGE_BEFORE" ] || fail "range answer changed across crash"
+JOIN_AFTER=$(post /v1/datasets/other/join '{"boxes":[[1,1,1,9,9,9]]}' | strip_stats)
+[ "$JOIN_AFTER" = "$JOIN_BEFORE" ] || fail "join answer changed across crash"
+curl -sf "$BASE/metrics" | grep -q 'touchserved_snapshot_errors_total 0' \
+    || fail "snapshot errors after clean recovery"
+
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+[ "$STATUS" = "0" ] || fail "recovered server exited with status $STATUS"
 PID=
 
 echo "serve-smoke: OK"
