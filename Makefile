@@ -27,8 +27,11 @@ vet:
 # on loopback, next to the in-process numbers. BENCH_5 adds the
 # cancellable-execution points: stream-join (whole-dataset join consumed
 # off the JoinSeq iterator, pairs/sec) and cancel-latency (time from
-# context cancellation to engine quiescence).
-BENCH_OUT ?= BENCH_6.json
+# context cancellation to engine quiescence). BENCH_7 adds the binary
+# wire-protocol points: bin-range-cN / bin-knn-cN (one request per round
+# trip, like HTTP) and bin-*-pipelined-cN (64 requests in flight per
+# connection) through the touchserved binary listener on loopback.
+BENCH_OUT ?= BENCH_7.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

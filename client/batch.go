@@ -1,0 +1,177 @@
+package client
+
+import (
+	"context"
+
+	"touch"
+	"touch/internal/wire"
+)
+
+// Batch queues requests for one pipelined send: every queued request is
+// encoded into a shared buffer, and Send writes them all with a single
+// flush. Each queue call returns a future; Get blocks until that
+// request's response arrives (so futures may be harvested in any
+// order, though responses arrive in queue order). A Batch is not safe
+// for concurrent use; futures are.
+//
+// Queue, Send, harvest, then reuse the Batch for the next round —
+// the encode buffer is retained, so steady-state batches allocate only
+// the per-request bookkeeping.
+type Batch struct {
+	c    *Conn
+	buf  []byte
+	reqs []batchReq
+	err  error
+}
+
+type batchReq struct {
+	op       byte
+	tag      uint32
+	off, end int
+}
+
+// Batch returns an empty batch on this connection.
+func (c *Conn) Batch() *Batch { return &Batch{c: c} }
+
+// Len reports how many requests are queued and unsent.
+func (b *Batch) Len() int { return len(b.reqs) }
+
+func (b *Batch) add(op byte, encode func([]byte) []byte) future {
+	if b.err != nil {
+		return future{err: b.err}
+	}
+	tag, cl, err := b.c.register()
+	if err != nil {
+		b.err = err
+		return future{err: err}
+	}
+	off := len(b.buf)
+	b.buf = encode(b.buf)
+	b.reqs = append(b.reqs, batchReq{op: op, tag: tag, off: off, end: len(b.buf)})
+	return future{c: b.c, tag: tag, call: cl}
+}
+
+// Range queues a range query.
+func (b *Batch) Range(dataset string, box touch.Box) IDsFuture {
+	return IDsFuture{b.add(wire.OpRange, func(dst []byte) []byte {
+		return wire.AppendRangeReq(dst, dataset, box)
+	})}
+}
+
+// Point queues a point query.
+func (b *Batch) Point(dataset string, pt touch.Point) IDsFuture {
+	return IDsFuture{b.add(wire.OpPoint, func(dst []byte) []byte {
+		return wire.AppendPointReq(dst, dataset, pt)
+	})}
+}
+
+// KNN queues a k-nearest-neighbors query.
+func (b *Batch) KNN(dataset string, pt touch.Point, k int) NeighborsFuture {
+	return NeighborsFuture{b.add(wire.OpKNN, func(dst []byte) []byte {
+		return wire.AppendKNNReq(dst, dataset, pt, k)
+	})}
+}
+
+// JoinCount queues a count-only join.
+func (b *Batch) JoinCount(dataset string, spec JoinSpec) CountFuture {
+	return CountFuture{b.add(wire.OpJoin, func(dst []byte) []byte {
+		return wire.AppendJoinReq(dst, dataset, spec.Eps, spec.Workers, true, spec.Probe, spec.Boxes)
+	})}
+}
+
+// Join queues a pair-materializing join.
+func (b *Batch) Join(dataset string, spec JoinSpec) JoinFuture {
+	return JoinFuture{b.add(wire.OpJoin, func(dst []byte) []byte {
+		return wire.AppendJoinReq(dst, dataset, spec.Eps, spec.Workers, false, spec.Probe, spec.Boxes)
+	})}
+}
+
+// Send writes every queued request in one burst with one flush, then
+// resets the batch for reuse. It does not wait for responses — harvest
+// the futures. On a write error the connection is poisoned and every
+// queued future fails.
+func (b *Batch) Send() error {
+	if b.err != nil {
+		err := b.err
+		b.reqs, b.buf, b.err = b.reqs[:0], b.buf[:0], nil
+		return err
+	}
+	c := b.c
+	c.wmu.Lock()
+	var err error
+	for _, r := range b.reqs {
+		if err = c.w.WriteFrame(r.op, r.tag, b.buf[r.off:r.end]); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	b.reqs, b.buf = b.reqs[:0], b.buf[:0]
+	if err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// future is the shared blocking half of the typed futures below.
+type future struct {
+	c    *Conn
+	tag  uint32
+	call *call
+	err  error // queue-time failure: Get reports it without blocking
+}
+
+func (f *future) wait(ctx context.Context) (*call, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.c.wait(ctx, f.tag, f.call)
+}
+
+// IDsFuture resolves to a range or point query's answer.
+type IDsFuture struct{ f future }
+
+func (f IDsFuture) Get(ctx context.Context) (version int64, ids []touch.ID, err error) {
+	cl, err := f.f.wait(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeIDs(cl)
+}
+
+// NeighborsFuture resolves to a kNN query's answer.
+type NeighborsFuture struct{ f future }
+
+func (f NeighborsFuture) Get(ctx context.Context) (version int64, nbrs []touch.Neighbor, err error) {
+	cl, err := f.f.wait(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeNeighbors(cl)
+}
+
+// CountFuture resolves to a count-only join's answer.
+type CountFuture struct{ f future }
+
+func (f CountFuture) Get(ctx context.Context) (version, count int64, err error) {
+	cl, err := f.f.wait(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return decodeCount(cl)
+}
+
+// JoinFuture resolves to a materialized join's answer, pairs sorted
+// canonically.
+type JoinFuture struct{ f future }
+
+func (f JoinFuture) Get(ctx context.Context) (version int64, pairs []touch.Pair, count int64, err error) {
+	cl, err := f.f.wait(ctx)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return decodeJoin(cl)
+}

@@ -1,0 +1,118 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"touch"
+	"touch/client"
+	"touch/internal/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{})
+	srv.Load("d", touch.GenerateUniform(200, 1), touch.TOUCHConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeWire(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.ShutdownWire(ctx)
+	})
+	return ln.Addr().String()
+}
+
+// TestPool: at most size connections, shared round-robin, dead ones
+// replaced on the next checkout.
+func TestPool(t *testing.T) {
+	addr := startServer(t)
+	p := client.NewPool(addr, 2)
+	defer p.Close()
+	ctx := context.Background()
+
+	box := touch.Box{Max: touch.Point{500, 500, 500}}
+	seen := map[*client.Conn]bool{}
+	for i := 0; i < 6; i++ {
+		c, err := p.Conn(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[c] = true
+		if _, _, err := c.Range(ctx, "d", box); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("pool used %d connections, want 2", len(seen))
+	}
+
+	var dead *client.Conn
+	for c := range seen {
+		dead = c
+		break
+	}
+	dead.Close()
+	replaced := false
+	for i := 0; i < 4; i++ {
+		c, err := p.Conn(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == dead {
+			t.Fatal("pool handed out a closed connection")
+		}
+		if !seen[c] {
+			replaced = true
+		}
+		if _, _, err := c.Range(ctx, "d", box); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !replaced {
+		t.Fatal("pool never replaced the dead connection")
+	}
+}
+
+// TestConnSharedPipelining: many goroutines multiplexing one connection
+// each get their own correct answer.
+func TestConnSharedPipelining(t *testing.T) {
+	addr := startServer(t)
+	ctx := context.Background()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, want, err := c.Range(ctx, "d", touch.Box{Max: touch.Point{500, 500, 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				_, ids, err := c.Range(ctx, "d", touch.Box{Max: touch.Point{500, 500, 500}})
+				if err == nil && len(ids) != len(want) {
+					err = context.DeadlineExceeded // any sentinel: wrong answer
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package client
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool hands out up to size multiplexed connections round-robin.
+// Because a Conn pipelines concurrent requests, connections are shared,
+// not checked out exclusively — Conn(ctx) just picks one, dialing
+// lazily and replacing any that have failed. There is no Put.
+type Pool struct {
+	addr string
+	size int
+
+	mu     sync.Mutex
+	conns  []*Conn
+	next   int
+	closed bool
+}
+
+// NewPool returns a pool of at most size connections to addr. Nothing
+// is dialed until the first Conn call.
+func NewPool(addr string, size int) *Pool {
+	if size <= 0 {
+		size = 1
+	}
+	return &Pool{addr: addr, size: size}
+}
+
+// Conn returns a healthy pooled connection, dialing if the pool is not
+// yet full or a pooled connection has failed.
+func (p *Pool) Conn(ctx context.Context) (*Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	live := p.conns[:0]
+	for _, c := range p.conns {
+		if c.Err() == nil {
+			live = append(live, c)
+		} else {
+			c.Close()
+		}
+	}
+	p.conns = live
+	if len(p.conns) < p.size {
+		c, err := Dial(ctx, p.addr)
+		if err != nil {
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+		return c, nil
+	}
+	p.next++
+	return p.conns[p.next%len(p.conns)], nil
+}
+
+// Close closes every pooled connection; outstanding requests on them
+// fail with ErrClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+	return nil
+}

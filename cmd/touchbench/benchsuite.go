@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"touch"
+	"touch/client"
 	"touch/internal/server"
 	"touch/internal/testutil"
 )
@@ -441,6 +442,141 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			if err != nil {
 				return err
 			}
+			report.Points = append(report.Points, pt)
+		}
+	}
+
+	// Binary wire serving: the same query index behind the pipelined
+	// binary protocol on loopback. The unary modes (bin-range-cN,
+	// bin-knn-cN) issue one request per round trip, like the HTTP modes;
+	// the pipelined modes keep pipelineDepth requests in flight per
+	// connection via Batch, which is where the protocol earns its keep —
+	// read bin-range-pipelined-cN next to http-range-cN for the network
+	// gap the wire protocol closes.
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.ServeWire(wln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.ShutdownWire(ctx)
+	}()
+	wireAddr := wln.Addr().String()
+	bctx := context.Background()
+	dialWire := func(n int) ([]*client.Conn, error) {
+		conns := make([]*client.Conn, n)
+		for i := range conns {
+			c, err := client.Dial(bctx, wireAddr)
+			if err != nil {
+				return nil, err
+			}
+			conns[i] = c
+		}
+		return conns, nil
+	}
+	closeAll := func(conns []*client.Conn) {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+
+	const binQueriesPerClient = 4096
+	binUnary := []struct {
+		name    string
+		clients []int
+		call    func(c *client.Conn, i int) error
+	}{
+		{"bin-range", []int{1, 8}, func(c *client.Conn, i int) error {
+			_, _, err := c.Range(bctx, "bench", boxes[i%queryShapes])
+			return err
+		}},
+		{"bin-knn", []int{1}, func(c *client.Conn, i int) error {
+			_, _, err := c.KNN(bctx, "bench", points[i%queryShapes], 10)
+			return err
+		}},
+	}
+	for _, mode := range binUnary {
+		for _, clients := range mode.clients {
+			conns, err := dialWire(clients)
+			if err != nil {
+				return fmt.Errorf("%s: %w", mode.name, err)
+			}
+			if err := mode.call(conns[0], 0); err != nil { // warm the probe pool
+				closeAll(conns)
+				return fmt.Errorf("%s: %w", mode.name, err)
+			}
+			pt, err := measureClients(fmt.Sprintf("%s-c%d", mode.name, clients),
+				clients, binQueriesPerClient, false,
+				func(i int) error { return mode.call(conns[i/binQueriesPerClient], i) })
+			closeAll(conns)
+			if err != nil {
+				return err
+			}
+			report.Points = append(report.Points, pt)
+		}
+	}
+
+	// Pipelined: each client keeps pipelineDepth requests in flight on
+	// one connection and harvests a whole batch per measured op; the
+	// recorded point is normalized back to per-query latency and qps.
+	const pipelineDepth = 64
+	const binBatchesPerClient = 4 * binQueriesPerClient / pipelineDepth
+	binPipe := []struct {
+		name    string
+		clients []int
+		queue   func(b *client.Batch, i int) func() error
+	}{
+		{"bin-range-pipelined", []int{1, 8}, func(b *client.Batch, i int) func() error {
+			f := b.Range("bench", boxes[i%queryShapes])
+			return func() error { _, _, err := f.Get(bctx); return err }
+		}},
+		{"bin-knn-pipelined", []int{1}, func(b *client.Batch, i int) func() error {
+			f := b.KNN("bench", points[i%queryShapes], 10)
+			return func() error { _, _, err := f.Get(bctx); return err }
+		}},
+	}
+	for _, mode := range binPipe {
+		for _, clients := range mode.clients {
+			conns, err := dialWire(clients)
+			if err != nil {
+				return fmt.Errorf("%s: %w", mode.name, err)
+			}
+			batches := make([]*client.Batch, clients)
+			gets := make([][]func() error, clients)
+			for cl := range batches {
+				batches[cl] = conns[cl].Batch()
+				gets[cl] = make([]func() error, 0, pipelineDepth)
+			}
+			runBatch := func(i int) error {
+				cl := i / binBatchesPerClient
+				b, g := batches[cl], gets[cl][:0]
+				for q := 0; q < pipelineDepth; q++ {
+					g = append(g, mode.queue(b, i*pipelineDepth+q))
+				}
+				if err := b.Send(); err != nil {
+					return err
+				}
+				for _, get := range g {
+					if err := get(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := runBatch(0); err != nil { // warm connections & probe pool
+				closeAll(conns)
+				return fmt.Errorf("%s: %w", mode.name, err)
+			}
+			pt, err := measureClients(fmt.Sprintf("%s-c%d", mode.name, clients),
+				clients, binBatchesPerClient, false, runBatch)
+			closeAll(conns)
+			if err != nil {
+				return err
+			}
+			pt.NsPerOp /= pipelineDepth
+			pt.QueriesPerS *= pipelineDepth
 			report.Points = append(report.Points, pt)
 		}
 	}

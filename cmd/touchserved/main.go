@@ -46,6 +46,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+		binAddr     = flag.String("bin-addr", "", "binary wire-protocol listen address (empty = HTTP only)")
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrently admitted requests; more get 429")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request processing budget; expiry cancels the running computation")
 		maxBody     = flag.Int64("max-body", 8<<20, "request body cap in bytes")
@@ -125,6 +126,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	// The binary protocol is a second front door onto the same catalog,
+	// admission slots and metrics — see internal/wire for the framing
+	// and the client package for the pipelining dialer.
+	wireServing := false
+	if *binAddr != "" {
+		bln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			log.Fatalf("touchserved: listen -bin-addr: %v", err)
+		}
+		log.Printf("touchserved wire listening on %s", bln.Addr())
+		wireServing = true
+		go func() {
+			if err := srv.ServeWire(bln); err != nil {
+				errc <- err
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -137,6 +156,11 @@ func main() {
 	srv.BeginShutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
+	if wireServing {
+		if err := srv.ShutdownWire(shutdownCtx); err != nil {
+			log.Fatalf("touchserved: wire shutdown: %v", err)
+		}
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("touchserved: shutdown: %v", err)
 	}

@@ -1,0 +1,201 @@
+// Command touchwire probes a touchserved binary listener: it pipelines
+// every query given on the command line over one connection in a single
+// batch, then prints one JSON answer per line, in request order, in
+// exactly the shape the HTTP API uses (modulo join stats, which carry
+// wall-clock timings and are never printed). That makes differential
+// smoke tests one-line diffs: the same query over HTTP and over the
+// wire must print the same bytes.
+//
+// Usage:
+//
+//	touchwire -addr HOST:PORT [-dataset NAME] [-eps E] SPEC...
+//
+// where each SPEC is one of
+//
+//	range:minx,miny,minz,maxx,maxy,maxz
+//	point:x,y,z
+//	knn:x,y,z,k
+//	join:minx,miny,minz,maxx,maxy,maxz[;more boxes...]
+//	joincount:minx,...,maxz[;...]
+//
+// Answers go to stdout; any error (transport or server-side) is fatal
+// with a nonzero exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"touch"
+	"touch/client"
+)
+
+// queryJSON and joinJSON mirror the HTTP API's response shapes
+// (internal/server queryResponse / joinResponse) so encoding/json
+// produces identical bytes.
+type queryJSON struct {
+	Dataset   string         `json:"dataset"`
+	Version   int64          `json:"version"`
+	Type      string         `json:"type"`
+	Count     int            `json:"count"`
+	IDs       []touch.ID     `json:"ids,omitempty"`
+	Neighbors []neighborJSON `json:"neighbors,omitempty"`
+}
+
+type neighborJSON struct {
+	ID       touch.ID `json:"id"`
+	Distance float64  `json:"distance"`
+}
+
+type joinJSON struct {
+	Dataset      string        `json:"dataset"`
+	Version      int64         `json:"version"`
+	ProbeObjects int           `json:"probe_objects"`
+	Count        int64         `json:"count"`
+	Pairs        [][2]touch.ID `json:"pairs,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("touchwire: ")
+	var (
+		addr    = flag.String("addr", "", "binary listener address (required)")
+		dataset = flag.String("dataset", "default", "dataset every query targets")
+		eps     = flag.Float64("eps", 0, "join ε distance")
+		timeout = flag.Duration("timeout", 30*time.Second, "overall deadline")
+	)
+	flag.Parse()
+	if *addr == "" || flag.NArg() == 0 {
+		log.Fatalf("usage: touchwire -addr HOST:PORT [-dataset NAME] SPEC...")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c, err := client.Dial(ctx, *addr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer c.Close()
+
+	// One batch, one write burst: every spec is in flight before the
+	// first answer is read back.
+	b := c.Batch()
+	gets := make([]func() error, 0, flag.NArg())
+	enc := json.NewEncoder(os.Stdout)
+	for _, spec := range flag.Args() {
+		kind, arg, ok := strings.Cut(spec, ":")
+		if !ok {
+			log.Fatalf("bad spec %q: want kind:args", spec)
+		}
+		switch kind {
+		case "range":
+			f := floats(spec, arg, 6)
+			box := touch.Box{Min: touch.Point{f[0], f[1], f[2]}, Max: touch.Point{f[3], f[4], f[5]}}
+			fut := b.Range(*dataset, box)
+			gets = append(gets, func() error {
+				v, ids, err := fut.Get(ctx)
+				if err != nil {
+					return err
+				}
+				return enc.Encode(queryJSON{Dataset: *dataset, Version: v, Type: "range", Count: len(ids), IDs: ids})
+			})
+		case "point":
+			f := floats(spec, arg, 3)
+			fut := b.Point(*dataset, touch.Point{f[0], f[1], f[2]})
+			gets = append(gets, func() error {
+				v, ids, err := fut.Get(ctx)
+				if err != nil {
+					return err
+				}
+				return enc.Encode(queryJSON{Dataset: *dataset, Version: v, Type: "point", Count: len(ids), IDs: ids})
+			})
+		case "knn":
+			f := floats(spec, arg, 4)
+			k := int(f[3])
+			fut := b.KNN(*dataset, touch.Point{f[0], f[1], f[2]}, k)
+			gets = append(gets, func() error {
+				v, nbrs, err := fut.Get(ctx)
+				if err != nil {
+					return err
+				}
+				out := queryJSON{Dataset: *dataset, Version: v, Type: "knn", Count: len(nbrs)}
+				for _, n := range nbrs {
+					out.Neighbors = append(out.Neighbors, neighborJSON{ID: n.ID, Distance: n.Distance})
+				}
+				return enc.Encode(out)
+			})
+		case "join", "joincount":
+			boxes := joinBoxes(spec, arg)
+			spec := client.JoinSpec{Boxes: boxes, Eps: *eps}
+			if kind == "joincount" {
+				fut := b.JoinCount(*dataset, spec)
+				gets = append(gets, func() error {
+					v, n, err := fut.Get(ctx)
+					if err != nil {
+						return err
+					}
+					return enc.Encode(joinJSON{Dataset: *dataset, Version: v, ProbeObjects: len(boxes), Count: n})
+				})
+			} else {
+				fut := b.Join(*dataset, spec)
+				gets = append(gets, func() error {
+					v, pairs, n, err := fut.Get(ctx)
+					if err != nil {
+						return err
+					}
+					out := joinJSON{Dataset: *dataset, Version: v, ProbeObjects: len(boxes), Count: n}
+					for _, p := range pairs {
+						out.Pairs = append(out.Pairs, [2]touch.ID{p.A, p.B})
+					}
+					return enc.Encode(out)
+				})
+			}
+		default:
+			log.Fatalf("bad spec %q: unknown kind %q", spec, kind)
+		}
+	}
+	if err := b.Send(); err != nil {
+		log.Fatalf("send batch: %v", err)
+	}
+	for _, get := range gets {
+		if err := get(); err != nil {
+			log.Fatalf("%v", err)
+		}
+	}
+}
+
+// floats parses arg as exactly n comma-separated numbers.
+func floats(spec, arg string, n int) []float64 {
+	parts := strings.Split(arg, ",")
+	if len(parts) != n {
+		log.Fatalf("bad spec %q: want %d comma-separated numbers, got %d", spec, n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad spec %q: %v", spec, err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// joinBoxes parses semicolon-separated 6-number probe boxes.
+func joinBoxes(spec, arg string) []touch.Box {
+	var boxes []touch.Box
+	for _, part := range strings.Split(arg, ";") {
+		f := floats(spec, part, 6)
+		boxes = append(boxes, touch.Box{Min: touch.Point{f[0], f[1], f[2]}, Max: touch.Point{f[3], f[4], f[5]}})
+	}
+	if len(boxes) == 0 {
+		log.Fatalf("bad spec %q: no boxes", spec)
+	}
+	return boxes
+}

@@ -1,0 +1,206 @@
+// Binary serving: the pipelined wire protocol end to end, verified
+// against the in-process engine.
+//
+// The program loads two datasets into a serving catalog, opens the
+// binary listener on a loopback port, then acts as its own client
+// through the touch/client package: unary queries first, then a single
+// pipelined batch — every request written in one burst, every answer
+// harvested in order — and an ε-distance join streamed back in pair
+// batches. Each decoded answer is checked against a direct touch.Index
+// oracle built on the same data; a canceled context shows the cancel
+// frame tearing down a server-side join mid-flight. Run with:
+//
+//	go run ./examples/binserving
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"touch"
+	"touch/client"
+	"touch/internal/server"
+)
+
+func main() {
+	// Serve on a free loopback port; no flags needed. Load is
+	// synchronous, so both datasets are ready before the listener opens.
+	srv := server.New(server.Config{MaxInFlight: 32})
+	cells := touch.GenerateClustered(3_000, 1)
+	grid := touch.GenerateUniform(2_000, 2)
+	srv.Load("cells", cells, touch.TOUCHConfig{})
+	srv.Load("grid", grid, touch.TOUCHConfig{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.ServeWire(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.ShutdownWire(ctx)
+	}()
+	fmt.Printf("binary listener on %s\n\n", ln.Addr())
+
+	ctx := context.Background()
+	c, err := client.Dial(ctx, ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Oracle: the same indexes built in-process.
+	oracleCells := touch.BuildIndex(cells, touch.TOUCHConfig{})
+	oracleGrid := touch.BuildIndex(grid, touch.TOUCHConfig{})
+	checks := 0
+
+	fmt.Println("unary queries over the wire, verified against the oracle:")
+	box := touch.NewBox(touch.Point{200, 200, 200}, touch.Point{420, 420, 420})
+	_, ids, err := c.Range(ctx, "cells", box)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wantIDs, _ := oracleCells.RangeQuery(box)
+	mustEqualIDs("range(cells)", ids, wantIDs)
+	fmt.Printf("  range  cells  %5d ids   ✓ matches oracle\n", len(ids))
+	checks++
+
+	_, ids, err = c.Point(ctx, "grid", touch.Point{500, 500, 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wantIDs, _ = oracleGrid.PointQuery(500, 500, 500)
+	mustEqualIDs("point(grid)", ids, wantIDs)
+	fmt.Printf("  point  grid   %5d ids   ✓ matches oracle\n", len(ids))
+	checks++
+
+	q := touch.Point{333, 666, 111}
+	_, nbrs, err := c.KNN(ctx, "cells", q, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wantNN, _ := oracleCells.KNN(q, 12)
+	if len(nbrs) != len(wantNN) {
+		log.Fatalf("knn: %d neighbors over the wire, oracle %d", len(nbrs), len(wantNN))
+	}
+	for i, n := range wantNN {
+		if nbrs[i] != n {
+			log.Fatalf("knn neighbor %d: (%d,%g) vs oracle (%d,%g)",
+				i, nbrs[i].ID, nbrs[i].Distance, n.ID, n.Distance)
+		}
+	}
+	fmt.Printf("  knn    cells  %5d nbrs  ✓ matches oracle\n", len(nbrs))
+	checks++
+
+	// One pipelined batch: 16 range + 16 kNN requests leave in a single
+	// write burst; the answers come back tagged, in request order, while
+	// later requests are still being computed. This is the mode that
+	// closes the network gap — compare bin-range-pipelined-cN to
+	// http-range-cN in BENCH_7.json.
+	fmt.Println("\none pipelined batch of 32 queries:")
+	b := c.Batch()
+	var rfuts []client.IDsFuture
+	var nfuts []client.NeighborsFuture
+	for i := 0; i < 16; i++ {
+		lo := touch.Point{float64(i * 60), float64(i * 40), float64(i * 20)}
+		hi := touch.Point{lo[0] + 150, lo[1] + 150, lo[2] + 150}
+		rfuts = append(rfuts, b.Range("cells", touch.NewBox(lo, hi)))
+		nfuts = append(nfuts, b.KNN("grid", touch.Point{lo[0], lo[1], lo[2]}, 5))
+	}
+	if err := b.Send(); err != nil {
+		log.Fatal(err)
+	}
+	for i, f := range rfuts {
+		_, ids, err := f.Get(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo := touch.Point{float64(i * 60), float64(i * 40), float64(i * 20)}
+		hi := touch.Point{lo[0] + 150, lo[1] + 150, lo[2] + 150}
+		want, _ := oracleCells.RangeQuery(touch.NewBox(lo, hi))
+		mustEqualIDs(fmt.Sprintf("batch range %d", i), ids, want)
+		checks++
+	}
+	for i, f := range nfuts {
+		_, nbrs, err := f.Get(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, _ := oracleGrid.KNN(touch.Point{float64(i * 60), float64(i * 40), float64(i * 20)}, 5)
+		if len(nbrs) != len(want) {
+			log.Fatalf("batch knn %d: %d neighbors, oracle %d", i, len(nbrs), len(want))
+		}
+		for j := range want {
+			if nbrs[j] != want[j] {
+				log.Fatalf("batch knn %d neighbor %d differs", i, j)
+			}
+		}
+		checks++
+	}
+	fmt.Printf("  32 answers ✓ all match the oracle\n")
+
+	// ε-distance join, streamed back in pair batches and re-sorted into
+	// the canonical order the HTTP path serves.
+	_, pairs, count, err := c.Join(ctx, "cells", client.JoinSpec{Probe: "grid", Eps: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := oracleCells.DistanceJoin(grid, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.SortPairs()
+	if int64(len(pairs)) != count || len(pairs) != len(res.Pairs) {
+		log.Fatalf("join: %d pairs over the wire, oracle %d", len(pairs), len(res.Pairs))
+	}
+	for i, p := range res.Pairs {
+		if pairs[i] != p {
+			log.Fatalf("join pair %d differs", i)
+		}
+	}
+	fmt.Printf("\n  join   cells⋈grid ε=5: %d pairs ✓ matches oracle\n", count)
+	checks++
+
+	// Cancellation: a canceled context sends a cancel frame; the server
+	// tears down the running join, frees its admission slot, and still
+	// answers the tag (with client_closed), so the connection stays
+	// usable for the next request.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, _, err := c.Join(cctx, "cells", client.JoinSpec{Probe: "grid", Eps: 5}); !errors.Is(err, context.Canceled) {
+		log.Fatalf("canceled join returned %v, want context.Canceled", err)
+	}
+	_, ids, err = c.Range(ctx, "cells", box)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustEqualIDs("range after cancel", ids, wantIDsOf(oracleCells, box))
+	fmt.Printf("  canceled join → context.Canceled, connection still serving ✓\n")
+	checks++
+
+	fmt.Printf("\nall %d wire answers identical to direct Index calls ✓\n", checks)
+}
+
+func wantIDsOf(ix *touch.Index, b touch.Box) []touch.ID {
+	ids, err := ix.RangeQuery(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ids
+}
+
+func mustEqualIDs(label string, got, want []touch.ID) {
+	if len(got) != len(want) {
+		log.Fatalf("%s: %d ids over the wire, oracle %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			log.Fatalf("%s: id %d differs: %d vs %d", label, i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,602 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"touch"
+	"touch/client"
+	"touch/internal/testutil"
+	"touch/internal/wire"
+)
+
+// startWire opens a binary-protocol listener on the test server and
+// returns its address. The listener drains at cleanup.
+func (ts *testServer) startWire() string {
+	ts.t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	go ts.srv.ServeWire(ln)
+	ts.t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ts.srv.ShutdownWire(ctx)
+	})
+	return ln.Addr().String()
+}
+
+func (ts *testServer) dialWire(addr string) *client.Conn {
+	ts.t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	ts.t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestWireDifferentialVsHTTP proves the binary and HTTP paths answer
+// identically — same IDs, neighbors, pairs, counts and catalog version
+// — for range, point, knn and join against the same serving snapshot.
+func TestWireDifferentialVsHTTP(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ds := touch.GenerateUniform(800, 42)
+	ts.srv.Load("cells", ds, touch.TOUCHConfig{})
+	addr := ts.startWire()
+	c := ts.dialWire(addr)
+	ctx := context.Background()
+
+	boxes, points, ks := testutil.QueryWorkload(7, 48)
+
+	httpQuery := func(body queryRequest) queryResponse {
+		t.Helper()
+		status, raw := ts.postJSON("/v1/datasets/cells/query", body)
+		if status != http.StatusOK {
+			t.Fatalf("http query: status %d: %s", status, raw)
+		}
+		var resp queryResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	for i := range boxes {
+		b := boxes[i]
+		href := httpQuery(queryRequest{Type: "range", Box: []float64{b.Min[0], b.Min[1], b.Min[2], b.Max[0], b.Max[1], b.Max[2]}})
+		wv, wids, err := c.Range(ctx, "cells", b)
+		if err != nil {
+			t.Fatalf("wire range %d: %v", i, err)
+		}
+		if wv != href.Version {
+			t.Fatalf("range %d: version %d vs http %d", i, wv, href.Version)
+		}
+		if len(wids) != len(href.IDs) {
+			t.Fatalf("range %d: %d ids vs http %d", i, len(wids), len(href.IDs))
+		}
+		for j := range wids {
+			if wids[j] != href.IDs[j] {
+				t.Fatalf("range %d id %d: %d vs http %d", i, j, wids[j], href.IDs[j])
+			}
+		}
+
+		p := points[i]
+		href = httpQuery(queryRequest{Type: "point", Point: []float64{p[0], p[1], p[2]}})
+		_, wids, err = c.Point(ctx, "cells", p)
+		if err != nil {
+			t.Fatalf("wire point %d: %v", i, err)
+		}
+		if len(wids) != len(href.IDs) {
+			t.Fatalf("point %d: %d ids vs http %d", i, len(wids), len(href.IDs))
+		}
+		for j := range wids {
+			if wids[j] != href.IDs[j] {
+				t.Fatalf("point %d id %d: %d vs http %d", i, j, wids[j], href.IDs[j])
+			}
+		}
+
+		href = httpQuery(queryRequest{Type: "knn", Point: []float64{p[0], p[1], p[2]}, K: ks[i]})
+		_, nbrs, err := c.KNN(ctx, "cells", p, ks[i])
+		if err != nil {
+			t.Fatalf("wire knn %d: %v", i, err)
+		}
+		if len(nbrs) != len(href.Neighbors) {
+			t.Fatalf("knn %d: %d neighbors vs http %d", i, len(nbrs), len(href.Neighbors))
+		}
+		for j, n := range nbrs {
+			if n.ID != href.Neighbors[j].ID || n.Distance != href.Neighbors[j].Distance {
+				t.Fatalf("knn %d neighbor %d: %v vs http %v", i, j, n, href.Neighbors[j])
+			}
+		}
+	}
+
+	// Joins: inline probe boxes, pairs and counts, both count_only and
+	// materialized, plus a named-probe join.
+	probe := touch.GenerateUniform(120, 99).Expand(10)
+	rows := boxRows(probe)
+	probeBoxes := make([]touch.Box, len(probe))
+	for i, o := range probe {
+		probeBoxes[i] = o.Box
+	}
+
+	status, raw := ts.postJSON("/v1/datasets/cells/join", joinRequest{Boxes: rows, Eps: 3})
+	if status != http.StatusOK {
+		t.Fatalf("http join: status %d: %s", status, raw)
+	}
+	var hj joinResponse
+	if err := json.Unmarshal(raw, &hj); err != nil {
+		t.Fatal(err)
+	}
+	wv, pairs, count, err := c.Join(ctx, "cells", client.JoinSpec{Boxes: probeBoxes, Eps: 3})
+	if err != nil {
+		t.Fatalf("wire join: %v", err)
+	}
+	if wv != hj.Version || count != hj.Count {
+		t.Fatalf("join: version %d count %d vs http version %d count %d", wv, count, hj.Version, hj.Count)
+	}
+	if len(pairs) != len(hj.Pairs) {
+		t.Fatalf("join: %d pairs vs http %d", len(pairs), len(hj.Pairs))
+	}
+	for i, p := range pairs {
+		if p.A != hj.Pairs[i][0] || p.B != hj.Pairs[i][1] {
+			t.Fatalf("join pair %d: %v vs http %v", i, p, hj.Pairs[i])
+		}
+	}
+	_, wcount, err := c.JoinCount(ctx, "cells", client.JoinSpec{Boxes: probeBoxes, Eps: 3})
+	if err != nil || wcount != hj.Count {
+		t.Fatalf("wire join count: %d, %v (http %d)", wcount, err, hj.Count)
+	}
+
+	ts.srv.Load("probe", probe, touch.TOUCHConfig{})
+	status, raw = ts.postJSON("/v1/datasets/cells/join", joinRequest{Probe: "probe", CountOnly: true})
+	if status != http.StatusOK {
+		t.Fatalf("http named join: status %d: %s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &hj); err != nil {
+		t.Fatal(err)
+	}
+	_, wcount, err = c.JoinCount(ctx, "cells", client.JoinSpec{Probe: "probe"})
+	if err != nil || wcount != hj.Count {
+		t.Fatalf("wire named join count: %d, %v (http %d)", wcount, err, hj.Count)
+	}
+}
+
+// TestWirePipelinedBatch sends a deep mixed batch in one flush and
+// harvests the futures out of order; every answer must match its unary
+// twin.
+func TestWirePipelinedBatch(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ts.srv.Load("cells", touch.GenerateUniform(500, 3), touch.TOUCHConfig{})
+	c := ts.dialWire(ts.startWire())
+	ctx := context.Background()
+
+	boxes, points, ks := testutil.QueryWorkload(11, 64)
+	b := c.Batch()
+	var rfut []client.IDsFuture
+	var kfut []client.NeighborsFuture
+	for i := range boxes {
+		rfut = append(rfut, b.Range("cells", boxes[i]))
+		kfut = append(kfut, b.KNN("cells", points[i], ks[i]))
+	}
+	if b.Len() != 2*len(boxes) {
+		t.Fatalf("batch len %d", b.Len())
+	}
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	// Harvest in reverse: tag matching, not arrival order, resolves them.
+	for i := len(boxes) - 1; i >= 0; i-- {
+		_, nbrs, err := kfut[i].Get(ctx)
+		if err != nil {
+			t.Fatalf("knn %d: %v", i, err)
+		}
+		_, want, err := c.KNN(ctx, "cells", points[i], ks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nbrs) != len(want) {
+			t.Fatalf("knn %d: %d vs %d neighbors", i, len(nbrs), len(want))
+		}
+		_, ids, err := rfut[i].Get(ctx)
+		if err != nil {
+			t.Fatalf("range %d: %v", i, err)
+		}
+		_, wids, err := c.Range(ctx, "cells", boxes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != len(wids) {
+			t.Fatalf("range %d: %d vs %d ids", i, len(ids), len(wids))
+		}
+		for j := range ids {
+			if ids[j] != wids[j] {
+				t.Fatalf("range %d id %d: %d vs %d", i, j, ids[j], wids[j])
+			}
+		}
+	}
+}
+
+// TestWireErrorFrames covers the request-level error paths: unknown
+// dataset, bad k, draining — all as structured ServerErrors on a
+// connection that stays usable.
+func TestWireErrorFrames(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ts.srv.Load("cells", touch.GenerateUniform(50, 1), touch.TOUCHConfig{})
+	c := ts.dialWire(ts.startWire())
+	ctx := context.Background()
+
+	_, _, err := c.Range(ctx, "nope", touch.Box{Max: touch.Point{1, 1, 1}})
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != codeUnknownDataset {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	_, _, err = c.KNN(ctx, "cells", touch.Point{1, 2, 3}, -5)
+	if !errors.As(err, &se) || se.Code != codeInvalidK {
+		t.Fatalf("bad k: %v", err)
+	}
+	// The connection survived both error frames.
+	if _, _, err := c.Range(ctx, "cells", touch.Box{Max: touch.Point{500, 500, 500}}); err != nil {
+		t.Fatalf("after errors: %v", err)
+	}
+
+	ts.srv.BeginShutdown()
+	_, _, err = c.Range(ctx, "cells", touch.Box{Max: touch.Point{1, 1, 1}})
+	if !errors.As(err, &se) || se.Code != codeDraining {
+		t.Fatalf("draining: %v", err)
+	}
+}
+
+// TestWireCancelInFlight cancels a join mid-execution via its context:
+// the cancel frame aborts the engine, the admission slot frees, and the
+// connection keeps serving.
+func TestWireCancelInFlight(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInFlight: 1})
+	ts.srv.Load("cells", touch.GenerateUniform(100, 5), touch.TOUCHConfig{})
+	entered := make(chan struct{}, 1)
+	var block atomic.Bool
+	ts.srv.testHookWorker = func(ctx context.Context) {
+		if block.Load() {
+			entered <- struct{}{}
+			<-ctx.Done()
+		}
+	}
+	c := ts.dialWire(ts.startWire())
+
+	block.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Join(ctx, "cells", client.JoinSpec{Boxes: []touch.Box{{Max: touch.Point{1000, 1000, 1000}}}})
+		done <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled join: %v", err)
+	}
+	block.Store(false)
+
+	// The slot freed (MaxInFlight is 1) and the connection still works.
+	if _, _, err := c.Range(context.Background(), "cells", touch.Box{Max: touch.Point{500, 500, 500}}); err != nil {
+		t.Fatalf("after cancel: %v", err)
+	}
+	if got := ts.srv.met.rejectCanceled.Load(); got == 0 {
+		t.Fatal("cancel not recorded in reject metrics")
+	}
+}
+
+// TestWireCancelQueued cancels a request still waiting in the pipeline
+// behind a blocked join: it must be answered client_closed without ever
+// executing, and the requests behind it still run. Raw frames make the
+// ordering deterministic — the reader processes the cancel after
+// enqueuing the ranges but while the worker is still parked in the
+// join, so the cancel provably hits a queued request.
+func TestWireCancelQueued(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ts.srv.Load("cells", touch.GenerateUniform(100, 5), touch.TOUCHConfig{})
+	entered := make(chan struct{}, 1)
+	var block atomic.Bool
+	ts.srv.testHookWorker = func(ctx context.Context) {
+		if block.Load() {
+			entered <- struct{}{}
+			<-ctx.Done()
+		}
+	}
+	addr := ts.startWire()
+	nc, r := rawWireConn(t, addr)
+	w := wire.NewWriter(nc)
+
+	block.Store(true)
+	w.WriteFrame(wire.OpJoin, 1, wire.AppendJoinReq(nil, "cells", 0, 0, true, "", []touch.Box{{Max: touch.Point{1, 1, 1}}}))
+	w.Flush()
+	<-entered
+	block.Store(false)
+
+	// Two ranges pile up behind the parked join; cancel the first of
+	// them, then the join itself.
+	box := touch.Box{Max: touch.Point{500, 500, 500}}
+	w.WriteFrame(wire.OpRange, 2, wire.AppendRangeReq(nil, "cells", box))
+	w.WriteFrame(wire.OpRange, 3, wire.AppendRangeReq(nil, "cells", box))
+	w.WriteFrame(wire.OpCancel, 2, nil)
+	w.WriteFrame(wire.OpCancel, 1, nil)
+	w.Flush()
+
+	expect := []struct {
+		tag  uint32
+		op   byte
+		code string
+	}{
+		{1, wire.OpError, codeClientClosed},
+		{2, wire.OpError, codeClientClosed},
+		{3, wire.OpIDs, ""},
+	}
+	for _, want := range expect {
+		op, tag, payload, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("tag %d: %v", want.tag, err)
+		}
+		if op != want.op || tag != want.tag {
+			t.Fatalf("got op=%#02x tag=%d, want op=%#02x tag=%d", op, tag, want.op, want.tag)
+		}
+		if want.code != "" {
+			if code, _, _ := wire.DecodeErrorResp(payload); code != want.code {
+				t.Fatalf("tag %d: code %q, want %q", tag, code, want.code)
+			}
+		}
+	}
+	if got := ts.srv.met.rejectCanceled.Load(); got < 2 {
+		t.Fatalf("rejectCanceled = %d, want >= 2", got)
+	}
+}
+
+// TestWireTimeout parks a join past its budget: the server answers a
+// structured timeout error and records the reject.
+func TestWireTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond})
+	ts.srv.Load("cells", touch.GenerateUniform(50, 5), touch.TOUCHConfig{})
+	ts.srv.testHookWorker = func(ctx context.Context) { <-ctx.Done() }
+	c := ts.dialWire(ts.startWire())
+
+	_, _, _, err := c.Join(context.Background(), "cells", client.JoinSpec{Boxes: []touch.Box{{Max: touch.Point{1, 1, 1}}}})
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.Code != codeTimeout {
+		t.Fatalf("timeout join: %v", err)
+	}
+	if ts.srv.met.rejectTimeout.Load() == 0 {
+		t.Fatal("timeout not recorded in reject metrics")
+	}
+}
+
+// TestWireShutdownDrain proves ShutdownWire terminates in-flight
+// pipelined requests, frees their admission slots and refuses new
+// connections.
+func TestWireShutdownDrain(t *testing.T) {
+	ts := newTestServer(t, Config{MaxInFlight: 2})
+	ts.srv.Load("cells", touch.GenerateUniform(100, 5), touch.TOUCHConfig{})
+	entered := make(chan struct{}, 4)
+	var block atomic.Bool
+	ts.srv.testHookWorker = func(ctx context.Context) {
+		if block.Load() {
+			entered <- struct{}{}
+			<-ctx.Done()
+		}
+	}
+	addr := ts.startWire()
+	c := ts.dialWire(addr)
+
+	block.Store(true)
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Join(context.Background(), "cells", client.JoinSpec{Boxes: []touch.Box{{Max: touch.Point{1, 1, 1}}}})
+		done <- err
+	}()
+	<-entered
+
+	// A short drain budget forces the in-flight join to be aborted by
+	// the force-close.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := ts.srv.ShutdownWire(ctx)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if since := time.Since(start); since > 3*time.Second {
+		t.Fatalf("shutdown took %v", since)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("in-flight join survived shutdown")
+	}
+	// Every admission slot came back.
+	select {
+	case ts.srv.slots <- struct{}{}:
+		<-ts.srv.slots
+	default:
+		t.Fatal("admission slot leaked through shutdown")
+	}
+	// New connections are refused.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Second)
+	defer dcancel()
+	if cc, err := client.Dial(dctx, addr); err == nil {
+		cc.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestWireGracefulDrain: with no requests in flight, ShutdownWire
+// returns promptly even while idle pipelined connections stay open.
+func TestWireGracefulDrain(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ts.srv.Load("cells", touch.GenerateUniform(50, 5), touch.TOUCHConfig{})
+	addr := ts.startWire()
+	c := ts.dialWire(addr)
+	if _, _, err := c.Range(context.Background(), "cells", touch.Box{Max: touch.Point{500, 500, 500}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ts.srv.ShutdownWire(ctx); err != nil {
+		t.Fatalf("graceful shutdown with idle connection: %v", err)
+	}
+}
+
+// rawWireConn dials and handshakes without the client package, for
+// sending hostile bytes.
+func rawWireConn(t *testing.T, addr string) (net.Conn, *wire.Reader) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := wire.WriteHello(nc); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(nc, 0)
+	if v, err := r.ReadHello(); err != nil || v != wire.Version {
+		t.Fatalf("handshake: v=%d err=%v", v, err)
+	}
+	return nc, r
+}
+
+// TestWireMalformedFrames drives framing-level attacks at a live
+// server: each must earn a final error frame and a closed connection —
+// no panic, no hang, no unbounded allocation.
+func TestWireMalformedFrames(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ts.srv.Load("cells", touch.GenerateUniform(50, 1), touch.TOUCHConfig{})
+	addr := ts.startWire()
+
+	expectErrorThenClose := func(t *testing.T, nc net.Conn, r *wire.Reader, wantCode string) {
+		t.Helper()
+		op, _, payload, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("want error frame before close, got %v", err)
+		}
+		if op != wire.OpError {
+			t.Fatalf("opcode %#02x, want OpError", op)
+		}
+		code, _, err := wire.DecodeErrorResp(payload)
+		if err != nil || code != wantCode {
+			t.Fatalf("error frame code %q err %v, want %q", code, err, wantCode)
+		}
+		if _, _, _, err := r.ReadFrame(); err == nil {
+			t.Fatal("connection stayed open after protocol error")
+		}
+	}
+
+	t.Run("oversized-length", func(t *testing.T) {
+		nc, r := rawWireConn(t, addr)
+		nc.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+		expectErrorThenClose(t, nc, r, codeBadRequest)
+	})
+	t.Run("undersized-length", func(t *testing.T) {
+		nc, r := rawWireConn(t, addr)
+		nc.Write([]byte{0x01, 0x00, 0x00, 0x00})
+		expectErrorThenClose(t, nc, r, codeBadRequest)
+	})
+	t.Run("unknown-opcode", func(t *testing.T) {
+		nc, r := rawWireConn(t, addr)
+		w := wire.NewWriter(nc)
+		w.WriteFrame(0x7F, 9, nil)
+		w.Flush()
+		expectErrorThenClose(t, nc, r, codeBadRequest)
+	})
+	t.Run("torn-frame", func(t *testing.T) {
+		nc, r := rawWireConn(t, addr)
+		// Header promises 100 payload bytes; send 3 and hang up.
+		nc.Write([]byte{105, 0, 0, 0, byte(wire.OpRange), 1, 0, 0, 0, 'a', 'b', 'c'})
+		nc.(*net.TCPConn).CloseWrite()
+		if _, _, _, err := r.ReadFrame(); err == nil {
+			t.Fatal("torn frame answered")
+		}
+	})
+	t.Run("malformed-payload-keeps-conn", func(t *testing.T) {
+		// A well-framed but undecodable payload is a request error, not
+		// a connection error: error frame, connection stays usable.
+		nc, r := rawWireConn(t, addr)
+		w := wire.NewWriter(nc)
+		w.WriteFrame(wire.OpRange, 5, []byte{0xFF})
+		w.Flush()
+		op, tag, payload, err := r.ReadFrame()
+		if err != nil || op != wire.OpError || tag != 5 {
+			t.Fatalf("op=%#02x tag=%d err=%v", op, tag, err)
+		}
+		if code, _, _ := wire.DecodeErrorResp(payload); code != codeBadRequest {
+			t.Fatalf("code %q", code)
+		}
+		w.WriteFrame(wire.OpRange, 6, wire.AppendRangeReq(nil, "cells", touch.Box{Max: touch.Point{1, 1, 1}}))
+		w.Flush()
+		if op, tag, _, err = r.ReadFrame(); err != nil || op != wire.OpIDs || tag != 6 {
+			t.Fatalf("follow-up request: op=%#02x tag=%d err=%v", op, tag, err)
+		}
+	})
+}
+
+// TestWireMetrics checks the binary path shows up under its own classes
+// plus the connection gauge and pipeline-depth histogram.
+func TestWireMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ts.srv.Load("cells", touch.GenerateUniform(50, 1), touch.TOUCHConfig{})
+	c := ts.dialWire(ts.startWire())
+	ctx := context.Background()
+	if _, _, err := c.Range(ctx, "cells", touch.Box{Max: touch.Point{500, 500, 500}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.JoinCount(ctx, "cells", client.JoinSpec{Boxes: []touch.Box{{Max: touch.Point{10, 10, 10}}}}); err != nil {
+		t.Fatal(err)
+	}
+	status, body := ts.do(http.MethodGet, "/metrics", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	for _, want := range []string{
+		`touchserved_requests_total{class="wire_query"} 1`,
+		`touchserved_requests_total{class="wire_join"} 1`,
+		`touchserved_responses_total{class="wire_query",code="200"} 1`,
+		"touchserved_wire_connections 1",
+		"touchserved_wire_pipeline_depth_count 2",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestWireHelloMismatch: a client speaking a future protocol version
+// learns the server's version from the reply hello and the connection
+// closes.
+func TestWireHelloMismatch(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	addr := ts.startWire()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	hello := append([]byte(wire.Magic), 0xFE, 0, 0, 0) // version 254
+	if _, err := nc.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	v, err := wire.ReadHello(nc)
+	if err != nil || v != wire.Version {
+		t.Fatalf("reply hello: v=%d err=%v", v, err)
+	}
+	if _, err := io.ReadAll(nc); err != nil {
+		t.Fatalf("expected clean close, got %v", err)
+	}
+}

@@ -184,6 +184,20 @@ func (c *catalog) snapshot(name string) (snap *snapshot, exists bool) {
 	return e.ready.Load(), true
 }
 
+// snapshotBytes is snapshot for a name that is still a byte slice off
+// the wire: the map lookup's string conversion does not copy (the
+// compiler recognizes the m[string(b)] form), keeping the binary
+// protocol's per-request path allocation-free.
+func (c *catalog) snapshotBytes(name []byte) (snap *snapshot, exists bool) {
+	c.mu.RLock()
+	e := c.entries[string(name)]
+	c.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	return e.ready.Load(), true
+}
+
 // maxRetired caps the dropped-name version memory: beyond it, arbitrary
 // entries are evicted (an evicted name re-POSTed later restarts at
 // version 1 — the monotonicity loss is confined to names deleted beyond

@@ -47,19 +47,22 @@ type errorBody struct {
 	Error apiError `json:"error"`
 }
 
-// response is a status + body pair, the unit the error helpers below
-// build before writing.
+// response is an error answer before it is bound to a transport: the
+// HTTP status (which doubles as the metrics classification for the
+// binary path) plus the machine-readable code and message. HTTP writes
+// it as the JSON error body; the wire path as an error frame.
 type response struct {
-	status int
-	body   any
+	status  int
+	code    string
+	message string
 }
 
 func errResponse(status int, code, format string, args ...any) response {
-	return response{status: status, body: errorBody{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}}}
+	return response{status: status, code: code, message: fmt.Sprintf(format, args...)}
 }
 
 func (resp response) write(w http.ResponseWriter) {
-	writeJSON(w, resp.status, resp.body)
+	writeJSON(w, resp.status, errorBody{Error: apiError{Code: resp.code, Message: resp.message}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -17,10 +17,14 @@ const (
 	classLoad
 	classCatalog
 	classOther // answered at the routing layer: bad route/method/name
+	// The binary protocol's traffic is accounted apart from HTTP so the
+	// two serving paths are distinguishable on one dashboard.
+	classWireQuery
+	classWireJoin
 	nClasses
 )
 
-var classNames = [nClasses]string{"query", "join", "load", "catalog", "other"}
+var classNames = [nClasses]string{"query", "join", "load", "catalog", "other", "wire_query", "wire_join"}
 
 // trackedCodes are the response codes the server emits; anything else
 // lands in the trailing "other" bucket.
@@ -107,6 +111,31 @@ type metrics struct {
 	// blowouts from client behavior and from oversized result sets.
 	rejectCanceled atomic.Int64
 	rejectLimited  atomic.Int64
+
+	// wireConns is the gauge of live binary-protocol connections
+	// (handshake complete, not yet torn down).
+	wireConns atomic.Int64
+	// wireDepth histograms the pipeline depth observed as each binary
+	// request starts executing (requests queued on the connection,
+	// itself included): all-ones means the client is doing synchronous
+	// round trips and paying a full RTT per query; deep buckets mean
+	// pipelining is actually happening. One counter per bucket plus the
+	// +Inf overflow, with the usual cumulative histogram rendering.
+	wireDepth    [len(wireDepthBuckets) + 1]atomic.Int64
+	wireDepthSum atomic.Int64
+}
+
+// wireDepthBuckets are the upper bounds of the pipeline-depth histogram
+// buckets (a +Inf bucket follows implicitly).
+var wireDepthBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64}
+
+func (m *metrics) observeWireDepth(depth int) {
+	i := 0
+	for i < len(wireDepthBuckets) && int64(depth) > wireDepthBuckets[i] {
+		i++
+	}
+	m.wireDepth[i].Add(1)
+	m.wireDepthSum.Add(int64(depth))
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -117,7 +146,7 @@ func newMetrics() *metrics { return &metrics{start: time.Now()} }
 func (m *metrics) observe(class, status int, d time.Duration, admitted bool) {
 	m.responses[class][codeIndex(status)].Add(1)
 	m.times.observe(time.Duration(time.Now().UnixNano()))
-	if admitted && (class == classQuery || class == classJoin) {
+	if admitted && (class == classQuery || class == classJoin || class == classWireQuery || class == classWireJoin) {
 		m.latency[class].observe(d)
 	}
 }
@@ -203,7 +232,7 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors int
 	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"limited\"} %d\n", m.rejectLimited.Load())
 
 	fmt.Fprintf(w, "# TYPE touchserved_latency_seconds gauge\n")
-	for _, class := range []int{classQuery, classJoin} {
+	for _, class := range []int{classQuery, classJoin, classWireQuery, classWireJoin} {
 		if p50, p99, ok := m.latency[class].quantiles(); ok {
 			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.5\"} %g\n",
 				classNames[class], p50.Seconds())
@@ -211,6 +240,19 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors int
 				classNames[class], p99.Seconds())
 		}
 	}
+
+	fmt.Fprintf(w, "# TYPE touchserved_wire_connections gauge\n")
+	fmt.Fprintf(w, "touchserved_wire_connections %d\n", m.wireConns.Load())
+	fmt.Fprintf(w, "# TYPE touchserved_wire_pipeline_depth histogram\n")
+	cum := int64(0)
+	for i, le := range wireDepthBuckets {
+		cum += m.wireDepth[i].Load()
+		fmt.Fprintf(w, "touchserved_wire_pipeline_depth_bucket{le=\"%d\"} %d\n", le, cum)
+	}
+	cum += m.wireDepth[len(wireDepthBuckets)].Load()
+	fmt.Fprintf(w, "touchserved_wire_pipeline_depth_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "touchserved_wire_pipeline_depth_sum %d\n", m.wireDepthSum.Load())
+	fmt.Fprintf(w, "touchserved_wire_pipeline_depth_count %d\n", cum)
 
 	fmt.Fprintf(w, "# TYPE touchserved_datasets gauge\n")
 	fmt.Fprintf(w, "touchserved_datasets %d\n", len(datasets))

@@ -67,6 +67,7 @@ import (
 	"errors"
 	"fmt"
 	"mime"
+	"net"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -183,6 +184,10 @@ type Server struct {
 	persist    *persister
 	persistErr error
 
+	// wire tracks the binary-protocol listeners and connections; see
+	// bin.go for the serving loop and ShutdownWire for the drain.
+	wire wireState
+
 	// testHookWorker, when set, runs inside query and join handlers
 	// before the engine call, under the request context — tests block it
 	// to hold requests in flight or to park them past their deadline.
@@ -203,6 +208,8 @@ func New(cfg Config) *Server {
 		met:   newMetrics(),
 		slots: make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.wire.lns = make(map[net.Listener]struct{})
+	s.wire.conns = make(map[net.Conn]context.CancelFunc)
 	if cfg.DataDir != "" {
 		fsys := cfg.snapFS
 		if fsys == nil {

@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"touch/internal/geom"
+)
+
+func box(minX, minY, minZ, maxX, maxY, maxZ float64) geom.Box {
+	return geom.Box{Min: geom.Point{minX, minY, minZ}, Max: geom.Point{maxX, maxY, maxZ}}
+}
+
+func TestHelloRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Version {
+		t.Fatalf("hello version %d, want %d", v, Version)
+	}
+	if _, err := ReadHello(bytes.NewReader([]byte("NOTWIRE0\x01\x00\x00\x00"))); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("bad magic: got %v, want ErrMalformed", err)
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 10_000)}
+	for i, p := range payloads {
+		if err := w.WriteFrame(byte(i+1), uint32(100+i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf, 0)
+	for i, want := range payloads {
+		op, tag, payload, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != byte(i+1) || tag != uint32(100+i) || !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: op=%d tag=%d len=%d", i, op, tag, len(payload))
+		}
+	}
+	if _, _, _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// Oversized self-declared length: rejected before any payload
+	// allocation, wrapped in ErrMalformed.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // length ~4 GiB
+	r := NewReader(&buf, 1024)
+	if _, _, _, err := r.ReadFrame(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized length: %v, want ErrMalformed", err)
+	}
+
+	// Length below the opcode+tag minimum.
+	buf.Reset()
+	buf.Write([]byte{0x01, 0x00, 0x00, 0x00})
+	r = NewReader(&buf, 1024)
+	if _, _, _, err := r.ReadFrame(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("undersized length: %v, want ErrMalformed", err)
+	}
+
+	// Torn frame: header promises more payload than arrives.
+	buf.Reset()
+	w := NewWriter(&buf)
+	w.WriteFrame(OpRange, 1, []byte("full payload"))
+	w.Flush()
+	torn := buf.Bytes()[:buf.Len()-4]
+	r = NewReader(bytes.NewReader(torn), 0)
+	if _, _, _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestRangeReqRoundtrip(t *testing.T) {
+	b := box(1, 2, 3, 4, 5, 6)
+	p := AppendRangeReq(nil, "cells", b)
+	name, got, err := DecodeRangeReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(name) != "cells" || got != b {
+		t.Fatalf("decoded %q %v", name, got)
+	}
+	// Exact-size validation: one stray byte is malformed.
+	if _, _, err := DecodeRangeReq(append(p, 0)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+	if _, _, err := DecodeRangeReq(p[:len(p)-1]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestPointAndKNNReqRoundtrip(t *testing.T) {
+	pt := geom.Point{7, -8, 9.5}
+	p := AppendPointReq(nil, "grid", pt)
+	name, got, err := DecodePointReq(p)
+	if err != nil || string(name) != "grid" || got != pt {
+		t.Fatalf("point: %q %v %v", name, got, err)
+	}
+
+	p = AppendKNNReq(nil, "grid", pt, 12)
+	name, got, k, err := DecodeKNNReq(p)
+	if err != nil || string(name) != "grid" || got != pt || k != 12 {
+		t.Fatalf("knn: %q %v k=%d %v", name, got, k, err)
+	}
+	// Negative k survives the unsigned wire word as negative, so the
+	// engine's validation fires instead of a giant allocation.
+	p = AppendKNNReq(nil, "grid", pt, -3)
+	if _, _, k, err = DecodeKNNReq(p); err != nil || k != -3 {
+		t.Fatalf("negative k: k=%d %v", k, err)
+	}
+}
+
+func TestJoinReqRoundtrip(t *testing.T) {
+	boxes := []geom.Box{box(0, 0, 0, 1, 1, 1), box(2, 2, 2, 3, 3, 3)}
+	p := AppendJoinReq(nil, "cells", 2.5, 4, true, "", boxes)
+	req, err := DecodeJoinReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Name) != "cells" || req.Eps != 2.5 || req.Workers != 4 || !req.CountOnly {
+		t.Fatalf("join header: %+v", req)
+	}
+	if req.ProbeName != nil || len(req.Boxes) != 2 || req.Boxes[0] != boxes[0] || req.Boxes[1] != boxes[1] {
+		t.Fatalf("join probe: %+v", req)
+	}
+
+	p = AppendJoinReq(nil, "cells", 0, 0, false, "grid", nil)
+	req, err = DecodeJoinReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.ProbeName) != "grid" || req.Boxes != nil || req.CountOnly {
+		t.Fatalf("named probe: %+v", req)
+	}
+}
+
+func TestJoinReqHostileCount(t *testing.T) {
+	// A count field claiming far more boxes than the payload carries must
+	// be rejected before the allocation, not after.
+	p := AppendJoinReq(nil, "a", 0, 0, false, "", []geom.Box{box(0, 0, 0, 1, 1, 1)})
+	// The count u32 sits right after name(3) + eps(8) + workers(4) + flags(1).
+	countOff := 2 + 1 + 8 + 4 + 1
+	p[countOff] = 0xFF
+	p[countOff+1] = 0xFF
+	p[countOff+2] = 0xFF
+	p[countOff+3] = 0x7F
+	if _, err := DecodeJoinReq(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("hostile count: %v, want ErrMalformed", err)
+	}
+	// Unknown flag bits are a protocol error, not silently ignored.
+	p2 := AppendJoinReq(nil, "a", 0, 0, false, "", nil)
+	p2[2+1+8+4] |= 0x80
+	if _, err := DecodeJoinReq(p2); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown flags: %v, want ErrMalformed", err)
+	}
+}
+
+func TestResponseRoundtrips(t *testing.T) {
+	ids := []geom.ID{1, 5, 9, -2}
+	p := AppendIDsResp(nil, 7, ids)
+	v, got, err := DecodeIDsResp(p)
+	if err != nil || v != 7 || len(got) != 4 {
+		t.Fatalf("ids: v=%d %v %v", v, got, err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("id %d: %d vs %d", i, got[i], ids[i])
+		}
+	}
+	if _, _, err := DecodeIDsResp(p[:len(p)-2]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated ids: %v", err)
+	}
+
+	nbrs := []geom.Neighbor{{ID: 3, Distance: 1.25}, {ID: 8, Distance: math.Sqrt(2)}}
+	p = AppendNeighborsResp(nil, 2, nbrs)
+	v, gn, err := DecodeNeighborsResp(p)
+	if err != nil || v != 2 || len(gn) != 2 || gn[0] != nbrs[0] || gn[1] != nbrs[1] {
+		t.Fatalf("neighbors: v=%d %v %v", v, gn, err)
+	}
+
+	p = AppendCountResp(nil, 3, 1234567)
+	v, n, err := DecodeCountResp(p)
+	if err != nil || v != 3 || n != 1234567 {
+		t.Fatalf("count: %d %d %v", v, n, err)
+	}
+
+	pairs := []geom.Pair{{A: 1, B: 2}, {A: 3, B: 4}}
+	p = AppendPairsResp(nil, pairs)
+	gp, err := DecodePairsResp(p, nil)
+	if err != nil || len(gp) != 2 || gp[0] != pairs[0] || gp[1] != pairs[1] {
+		t.Fatalf("pairs: %v %v", gp, err)
+	}
+	// Append semantics accumulate across batches.
+	gp, err = DecodePairsResp(p, gp)
+	if err != nil || len(gp) != 4 {
+		t.Fatalf("pairs append: %v %v", gp, err)
+	}
+
+	p = AppendErrorResp(nil, "unknown_dataset", "dataset \"x\" not loaded")
+	code, msg, err := DecodeErrorResp(p)
+	if err != nil || code != "unknown_dataset" || msg != `dataset "x" not loaded` {
+		t.Fatalf("error: %q %q %v", code, msg, err)
+	}
+}
+
+// TestReaderSteadyStateAllocs pins the zero-allocation contract of the
+// frame reader: after the buffer has grown to the workload's frame size,
+// reading frames allocates nothing.
+func TestReaderSteadyStateAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payload := AppendRangeReq(nil, "cells", box(0, 0, 0, 1, 1, 1))
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		w.WriteFrame(OpRange, uint32(i), payload)
+	}
+	w.Flush()
+	wire := buf.Bytes()
+
+	r := NewReader(bytes.NewReader(wire), 0)
+	r.ReadFrame() // warm the payload buffer
+	allocs := testing.AllocsPerRun(10, func() {
+		rd := bytes.NewReader(wire)
+		r.br.Reset(rd)
+		for {
+			_, _, p, err := r.ReadFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := DecodeRangeReq(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// One bytes.Reader per run is the harness's own allocation.
+	if allocs > 2 {
+		t.Fatalf("steady-state reads allocate %.1f/run, want <= 2", allocs)
+	}
+}

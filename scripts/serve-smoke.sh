@@ -1,12 +1,14 @@
 #!/bin/sh
 # serve-smoke: boot touchserved on a random port, exercise healthz, one
 # query per shape (range/point/knn), a join, the catalog listing, the
-# metrics endpoint and one error mapping over real HTTP, then assert a
-# clean graceful shutdown on SIGTERM. A second phase checks crash
-# recovery: two datasets in a durable catalog, kill -9, restart, and the
-# catalog must come back identical — same versions, same answers, no
-# rebuilds — with corrupt snapshot files quarantined, not fatal.
-# CI runs this via `make serve-smoke`.
+# metrics endpoint and one error mapping over real HTTP; then replay the
+# same queries over the binary wire listener as one pipelined touchwire
+# batch and require byte-identical answers, before asserting a clean
+# graceful shutdown of both listeners on SIGTERM. A second phase checks
+# crash recovery: two datasets in a durable catalog, kill -9, restart,
+# and the catalog must come back identical — same versions, same
+# answers, no rebuilds — with corrupt snapshot files quarantined, not
+# fatal. CI runs this via `make serve-smoke`.
 set -eu
 
 WORK=$(mktemp -d)
@@ -28,11 +30,13 @@ fail() {
 }
 
 go build -o "$BIN" ./cmd/touchserved
+WIREBIN="$WORK/touchwire"
+go build -o "$WIREBIN" ./cmd/touchwire
 
 # Three known boxes so every query has a predictable answer.
 printf '0 0 0 10 10 10\n5 5 5 15 15 15\n20 20 20 30 30 30\n' > "$DATA"
 
-"$BIN" -addr 127.0.0.1:0 -load smoke="$DATA" > "$LOG" 2>&1 &
+"$BIN" -addr 127.0.0.1:0 -bin-addr 127.0.0.1:0 -load smoke="$DATA" > "$LOG" 2>&1 &
 PID=$!
 
 # wait_addr: block until the startup line carries the randomly chosen
@@ -83,7 +87,46 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/datasets/ghost/q
     -H 'Content-Type: application/json' -d '{"type":"point","point":[0,0,0]}')
 [ "$CODE" = "404" ] || fail "unknown dataset returned $CODE, want 404"
 
-# Graceful shutdown: SIGTERM must drain and exit 0.
+# --- binary wire protocol ----------------------------------------------
+# The same four answers over the binary listener, pipelined in a single
+# touchwire batch, must be byte-identical to the HTTP ones (join stats
+# stripped on the HTTP side — they carry wall-clock timings the wire
+# protocol doesn't transmit).
+
+WADDR=$(sed -n 's/.*touchserved wire listening on //p' "$LOG" | head -n 1)
+[ -n "$WADDR" ] || fail "server never printed its wire listen address"
+echo "serve-smoke: wire listener on $WADDR"
+
+strip_stats() { sed 's/,"stats":{[^}]*}//'; }
+HTTP_ANSWERS=$(
+    post /v1/datasets/smoke/query '{"type":"range","box":[0,0,0,50,50,50]}'
+    post /v1/datasets/smoke/query '{"type":"point","point":[6,6,6]}'
+    post /v1/datasets/smoke/query '{"type":"knn","point":[1,1,1],"k":2}'
+    post /v1/datasets/smoke/join '{"boxes":[[4,4,4,6,6,6]]}' | strip_stats
+)
+WIRE_ANSWERS=$("$WIREBIN" -addr "$WADDR" -dataset smoke \
+    'range:0,0,0,50,50,50' 'point:6,6,6' 'knn:1,1,1,2' 'join:4,4,4,6,6,6') \
+    || fail "touchwire probe"
+[ "$WIRE_ANSWERS" = "$HTTP_ANSWERS" ] || fail "binary answers differ from HTTP:
+http: $HTTP_ANSWERS
+wire: $WIRE_ANSWERS"
+
+# The binary path reports under its own metric classes and connection
+# gauge. The gauge drops when the server notices touchwire hung up, so
+# give it a moment.
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q 'touchserved_requests_total{class="wire_query"} 3' \
+    || fail "wire_query metrics"
+echo "$METRICS" | grep -q 'touchserved_requests_total{class="wire_join"} 1' \
+    || fail "wire_join metrics"
+i=0
+while ! curl -sf "$BASE/metrics" | grep -q 'touchserved_wire_connections 0'; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || fail "wire connection gauge never returned to 0"
+    sleep 0.1
+done
+
+# Graceful shutdown: SIGTERM must drain both listeners and exit 0.
 kill -TERM "$PID"
 STATUS=0
 wait "$PID" || STATUS=$?
@@ -109,8 +152,8 @@ echo "serve-smoke: durable server on $BASE"
 LIST_BEFORE=$(curl -sf "$BASE/v1/datasets")
 echo "$LIST_BEFORE" | grep -q '"persisted":true' || fail "datasets not persisted"
 RANGE_BEFORE=$(post /v1/datasets/smoke/query '{"type":"range","box":[0,0,0,50,50,50]}')
-# Join stats carry wall-clock timings; strip them before comparing.
-strip_stats() { sed 's/,"stats":{[^}]*}//'; }
+# Join stats carry wall-clock timings; strip_stats (defined above)
+# removes them before comparing.
 JOIN_BEFORE=$(post /v1/datasets/other/join '{"boxes":[[1,1,1,9,9,9]]}' | strip_stats)
 
 kill -9 "$PID"
