@@ -31,7 +31,11 @@ vet:
 # wire-protocol points: bin-range-cN / bin-knn-cN (one request per round
 # trip, like HTTP) and bin-*-pipelined-cN (64 requests in flight per
 # connection) through the touchserved binary listener on loopback.
-BENCH_OUT ?= BENCH_7.json
+# BENCH_8 adds the incremental-update points: update-throughput
+# (PATCH-applied insert/delete batches per second against a Mutable) and
+# query-under-mutation (range qps while a writer mutates and compactions
+# fold in the background).
+BENCH_OUT ?= BENCH_8.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

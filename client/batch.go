@@ -86,6 +86,15 @@ func (b *Batch) Join(dataset string, spec JoinSpec) JoinFuture {
 	})}
 }
 
+// Update queues an incremental-update batch. Updates execute in queue
+// order on the server, so a query queued after an update in the same
+// batch observes it.
+func (b *Batch) Update(dataset string, spec UpdateSpec) UpdateFuture {
+	return UpdateFuture{b.add(wire.OpUpdate, func(dst []byte) []byte {
+		return wire.AppendUpdateReq(dst, dataset, spec.Delete, spec.Insert)
+	})}
+}
+
 // Send writes every queued request in one burst with one flush, then
 // resets the batch for reuse. It does not wait for responses — harvest
 // the futures. On a write error the connection is poisoned and every
@@ -162,6 +171,17 @@ func (f CountFuture) Get(ctx context.Context) (version, count int64, err error) 
 		return 0, 0, err
 	}
 	return decodeCount(cl)
+}
+
+// UpdateFuture resolves to an update batch's result.
+type UpdateFuture struct{ f future }
+
+func (f UpdateFuture) Get(ctx context.Context) (UpdateResult, error) {
+	cl, err := f.f.wait(ctx)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return decodeUpdate(cl)
 }
 
 // JoinFuture resolves to a materialized join's answer, pairs sorted

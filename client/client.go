@@ -310,6 +310,30 @@ func decodeJoin(cl *call) (version int64, pairs []touch.Pair, count int64, err e
 	return version, pairs, count, nil
 }
 
+func decodeUpdate(cl *call) (UpdateResult, error) {
+	if err := respError(cl); err != nil {
+		return UpdateResult{}, err
+	}
+	if cl.op != wire.OpUpdateDone {
+		return UpdateResult{}, fmt.Errorf("client: unexpected response opcode %#02x", cl.op)
+	}
+	r, err := wire.DecodeUpdateResp(cl.payload)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	res := UpdateResult{
+		Version: r.Version, Deleted: r.Deleted,
+		DeltaInserts: r.DeltaInserts, DeltaTombstones: r.DeltaTombstones,
+	}
+	if r.FirstID >= 0 {
+		res.InsertedIDs = make([]touch.ID, r.Inserted)
+		for i := range res.InsertedIDs {
+			res.InsertedIDs[i] = touch.ID(r.FirstID) + touch.ID(i)
+		}
+	}
+	return res, nil
+}
+
 // --- unary API ------------------------------------------------------------
 
 // Range returns the IDs of indexed objects intersecting the box, and
@@ -357,6 +381,41 @@ func (c *Conn) JoinCount(ctx context.Context, dataset string, spec JoinSpec) (ve
 		return 0, 0, err
 	}
 	return decodeCount(cl)
+}
+
+// UpdateSpec is one incremental-update batch against a loaded dataset.
+// Deletes apply before inserts, so a batch can replace objects without
+// tombstoning its own inserts; unknown or already-deleted IDs are
+// skipped silently.
+type UpdateSpec struct {
+	Insert []touch.Box
+	Delete []touch.ID
+}
+
+// UpdateResult describes an applied update batch.
+type UpdateResult struct {
+	// Version is the base version the update was applied against.
+	Version int64
+	// InsertedIDs are the server-assigned IDs of the inserted objects,
+	// consecutive and ascending; empty when the batch inserted nothing.
+	InsertedIDs []touch.ID
+	// Deleted counts live objects actually tombstoned.
+	Deleted int
+	// DeltaInserts and DeltaTombstones report the dataset's pending
+	// (not yet compacted) update counts after this batch.
+	DeltaInserts    int
+	DeltaTombstones int
+}
+
+// Update applies one batch of incremental inserts and deletes — the
+// wire twin of PATCH /v1/datasets/{name}. The update is visible to
+// every later query, on any connection, before Update returns.
+func (c *Conn) Update(ctx context.Context, dataset string, spec UpdateSpec) (UpdateResult, error) {
+	cl, err := c.roundTrip(ctx, wire.OpUpdate, wire.AppendUpdateReq(nil, dataset, spec.Delete, spec.Insert))
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return decodeUpdate(cl)
 }
 
 // Join runs a join and materializes its pairs, sorted canonically.

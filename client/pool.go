@@ -29,11 +29,16 @@ func NewPool(addr string, size int) *Pool {
 }
 
 // Conn returns a healthy pooled connection, dialing if the pool is not
-// yet full or a pooled connection has failed.
+// yet full or a pooled connection has failed. The dial happens outside
+// the pool lock — a slow or hanging dial must not block other callers
+// from using the healthy connections already pooled — and when it fails
+// but a live connection exists, that connection is returned instead of
+// the dial error: the pool just serves below capacity until the next
+// call retries the dial.
 func (p *Pool) Conn(ctx context.Context) (*Conn, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, ErrClosed
 	}
 	live := p.conns[:0]
@@ -45,16 +50,44 @@ func (p *Pool) Conn(ctx context.Context) (*Conn, error) {
 		}
 	}
 	p.conns = live
-	if len(p.conns) < p.size {
-		c, err := Dial(ctx, p.addr)
-		if err != nil {
-			return nil, err
-		}
-		p.conns = append(p.conns, c)
+	if len(p.conns) >= p.size {
+		p.next++
+		c := p.conns[p.next%len(p.conns)]
+		p.mu.Unlock()
 		return c, nil
 	}
-	p.next++
-	return p.conns[p.next%len(p.conns)], nil
+	// Snapshot a round-robin fallback before unlocking: if the dial
+	// fails, a healthy connection still answers this call.
+	var fallback *Conn
+	if len(p.conns) > 0 {
+		p.next++
+		fallback = p.conns[p.next%len(p.conns)]
+	}
+	p.mu.Unlock()
+
+	c, err := Dial(ctx, p.addr)
+	if err != nil {
+		if fallback != nil {
+			return fallback, nil
+		}
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	// Concurrent callers may have filled the pool while we dialed; a
+	// connection the pool doesn't retain would leak, so prefer a pooled
+	// one and close the extra dial.
+	if len(p.conns) >= p.size {
+		c.Close()
+		p.next++
+		return p.conns[p.next%len(p.conns)], nil
+	}
+	p.conns = append(p.conns, c)
+	return c, nil
 }
 
 // Close closes every pooled connection; outstanding requests on them

@@ -1,0 +1,131 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"touch/client"
+	"touch/internal/wire"
+)
+
+// silentAfterFirst is the regression rig for the Pool.Conn lock bug: its
+// first accepted connection completes the wire handshake and then idles
+// (a healthy pooled conn), while every later connection is accepted but
+// never answered — the shape of a server that stops responding mid-dial.
+type silentAfterFirst struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+	n     int
+}
+
+func newSilentAfterFirst(t *testing.T) *silentAfterFirst {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &silentAfterFirst{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			first := s.n == 0
+			s.n++
+			s.mu.Unlock()
+			if first {
+				go func() {
+					// Complete the handshake, then idle: the client
+					// side stays healthy (Err() == nil) indefinitely.
+					buf := make([]byte, 12)
+					io := c
+					if _, err := io.Read(buf); err == nil {
+						wire.WriteHello(io)
+					}
+				}()
+			}
+			// Later conns: accepted, never replied to. Dial blocks in
+			// ReadHello until its context deadline fires.
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		s.hangUpSilent()
+	})
+	return s
+}
+
+// hangUpSilent closes every never-answered connection, failing any dial
+// still parked in its handshake.
+func (s *silentAfterFirst) hangUpSilent() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.conns {
+		if i > 0 {
+			c.Close()
+		}
+	}
+}
+
+// TestPoolConnDialOutsideLock pins the fix for Pool.Conn dialing while
+// holding p.mu: a dial that hangs on the handshake must neither block
+// concurrent Conn calls nor surface as an error while a healthy pooled
+// connection exists.
+func TestPoolConnDialOutsideLock(t *testing.T) {
+	s := newSilentAfterFirst(t)
+	p := client.NewPool(s.ln.Addr().String(), 2)
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c1, err := p.Conn(ctx)
+	if err != nil {
+		t.Fatalf("first Conn: %v", err)
+	}
+
+	// Park a second Conn call in the hanging dial. Before the fix this
+	// held p.mu for its whole 3-second handshake wait.
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		pctx, pcancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer pcancel()
+		c, err := p.Conn(pctx)
+		// Whatever happens to the dial, the call must resolve to the
+		// healthy conn, not an error: dial failure falls back to c1.
+		if err != nil || c != c1 {
+			t.Errorf("parked Conn: got %p err %v, want fallback %p", c, err, c1)
+		}
+	}()
+
+	// Give the parked call time to enter the dial, then demand service.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	qctx, qcancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer qcancel()
+	c2, err := p.Conn(qctx)
+	if err != nil {
+		t.Fatalf("Conn during hanging dial: %v", err)
+	}
+	if c2 != c1 {
+		t.Fatalf("Conn during hanging dial returned %p, want pooled %p", c2, c1)
+	}
+	// The pre-fix behavior waits out the parked dial's 3s context; the
+	// fixed path only waits its own 250ms dial attempt at worst.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Conn blocked %v behind a hanging dial", elapsed)
+	}
+
+	// Hang up on the parked dial: it must fail over to c1 immediately
+	// rather than surfacing the dial error.
+	s.hangUpSilent()
+	<-parked
+}

@@ -581,6 +581,90 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 		}
 	}
 
+	// Incremental updates: what the delta layer costs. update-throughput
+	// applies insert/delete batches to a Mutable with background
+	// compaction live at the default threshold, so the folding cost is
+	// amortized into the number (NsPerOp is per batch, Results the total
+	// objects applied). query-under-mutation-cN then measures range qps
+	// from N concurrent readers while a writer keeps mutating and
+	// compactions keep publishing — read next to range-cN above for the
+	// price of querying through the delta overlay instead of a frozen
+	// index.
+	if err := func() error {
+		base := touch.GenerateUniform(sizeA, seed+4)
+		m, err := touch.NewMutable(base, touch.TOUCHConfig{})
+		if err != nil {
+			return err
+		}
+		const updBatch = 16
+		var lastIDs []touch.ID
+		ins := make([]touch.Box, updBatch)
+		mutate := func(i int) error {
+			for j := range ins {
+				ins[j] = boxes[(i*updBatch+j)%queryShapes]
+			}
+			if len(lastIDs) > updBatch/2 {
+				m.Delete(lastIDs[:updBatch/2])
+			}
+			lastIDs, err = m.Insert(ins)
+			return err
+		}
+
+		const updOpsPerClient = 2048
+		pt, err := measureClients("update-throughput", 1, updOpsPerClient, true, mutate)
+		if err != nil {
+			return err
+		}
+		pt.Results = int64(updOpsPerClient) * updBatch
+		report.Points = append(report.Points, pt)
+
+		// Keep mutating from one writer while the readers run.
+		stop := make(chan struct{})
+		errc := make(chan error, 1)
+		var wwg sync.WaitGroup
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := mutate(i); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		if _, err := m.RangeQuery(boxes[0]); err != nil {
+			return err
+		}
+		for _, clients := range []int{1, 4} {
+			pt, err := measureClients(fmt.Sprintf("query-under-mutation-c%d", clients),
+				clients, queriesPerQueryClient, true, func(i int) error {
+					_, err := m.RangeQuery(boxes[i%queryShapes])
+					return err
+				})
+			if err != nil {
+				close(stop)
+				wwg.Wait()
+				return err
+			}
+			report.Points = append(report.Points, pt)
+		}
+		close(stop)
+		wwg.Wait()
+		select {
+		case err := <-errc:
+			return fmt.Errorf("query-under-mutation writer: %w", err)
+		default:
+		}
+		return nil
+	}(); err != nil {
+		return err
+	}
+
 	var out io.Writer = os.Stdout
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)

@@ -13,6 +13,7 @@
 //	touchjoin -a axons.txt -query range -box 0,0,0,100,100,100
 //	touchjoin -a axons.txt -query point -point 50,50,50
 //	touchjoin -a axons.txt -query knn -point 50,50,50 -k 10
+//	touchjoin -a axons.txt -b dendrites.txt -insert new.txt -delete 3,17 -eps 5
 //
 // With -eps 0 the join reports intersecting pairs; with -eps > 0 it
 // reports pairs within that distance. The output lists one "i j" pair of
@@ -52,6 +53,13 @@
 // A non-zero -eps expands the indexed boxes, turning the predicates
 // into "within ε of the box / point". The join-mode flags -count,
 // -stats and -workers have no effect on queries.
+//
+// -insert and -delete exercise the incremental write path (TOUCH only,
+// in -b join and -query modes): the index is built on dataset A as
+// usual, then -delete tombstones the listed 0-based A line numbers and
+// -insert appends the boxes of another file — IDs continue where A
+// left off — and the join or query answers over the merged state,
+// bit-identical to rebuilding from the edited dataset.
 package main
 
 import (
@@ -83,6 +91,8 @@ func main() {
 		k       = flag.Int("k", 1, "neighbor count for -query knn")
 		timeout = flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline); a canceled join exits 1")
 		limit   = flag.Int64("limit", 0, "stop each join after exactly this many pairs (0 = all); the engine aborts early instead of discarding the excess")
+		insFile = flag.String("insert", "", "file of boxes inserted after the index is built on A (incremental write path; TOUCH only)")
+		delArg  = flag.String("delete", "", "comma-separated 0-based A line numbers deleted after the index is built on A (TOUCH only)")
 	)
 	flag.Parse()
 	if *fileA == "" || (*fileB == "" && *probes == "" && *query == "") {
@@ -106,6 +116,21 @@ func main() {
 		fatal(err)
 	}
 
+	updIns, updDel, err := readUpdates(*insFile, *delArg)
+	if err != nil {
+		fatal(err)
+	}
+	hasUpd := len(updIns) > 0 || len(updDel) > 0
+	if hasUpd {
+		if *probes != "" {
+			fatal(fmt.Errorf("-insert/-delete are not supported with -probes"))
+		}
+		if alg := touch.Algorithm(*algName); alg != touch.AlgTOUCH {
+			fatal(fmt.Errorf("-insert/-delete go through the incremental TOUCH index; -alg %q is not supported (%s)",
+				*algName, algHint()))
+		}
+	}
+
 	opt := &touch.Options{NoPairs: *quiet, Workers: *workers, Limit: *limit}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -119,7 +144,7 @@ func main() {
 			fatal(fmt.Errorf("-query answers through a prebuilt TOUCH index; -alg %q is not supported (%s)",
 				*algName, algHint()))
 		}
-		if err := runQuery(ctx, a, *query, *boxArg, *ptArg, *k, *eps, *out); err != nil {
+		if err := runQuery(ctx, a, *query, *boxArg, *ptArg, *k, *eps, *out, updIns, updDel); err != nil {
 			fatal(err)
 		}
 		return
@@ -169,7 +194,28 @@ func main() {
 		pw = &pairWriter{path: *out, cancel: cancel}
 		opt.Sink = pw
 	}
-	res, err := touch.DistanceJoinCtx(joinCtx, alg, a, b, *eps, opt)
+	var res *touch.Result
+	if hasUpd {
+		// The incremental path: index A, tombstone the -delete IDs, append
+		// the -insert boxes (IDs continue after A's last line), and join
+		// over the merged state — bit-identical to joining the edited file.
+		cfg := opt.TOUCH
+		if opt.Workers > 1 && cfg.Workers <= 1 {
+			cfg.Workers = opt.Workers
+		}
+		var m *touch.Mutable
+		if m, err = touch.NewMutable(a, cfg); err != nil {
+			fatal(err)
+		}
+		m.SetCompactThreshold(-1) // one-shot process; folding buys nothing
+		m.Delete(updDel)
+		if _, err = m.Insert(boxesOf(updIns)); err != nil {
+			fatal(err)
+		}
+		res, err = m.DistanceJoinCtx(joinCtx, b, *eps, opt)
+	} else {
+		res, err = touch.DistanceJoinCtx(joinCtx, alg, a, b, *eps, opt)
+	}
 	if err != nil {
 		if pw != nil {
 			// Keep every pair already streamed: without the flush, the
@@ -371,7 +417,7 @@ func parseFloats(arg, flagName string, n int) ([]float64, error) {
 // file. Single-probe queries run in microseconds, so the -timeout ctx
 // is only honored at the phase boundaries (before the index build and
 // before the query), not inside them.
-func runQuery(ctx context.Context, a touch.Dataset, mode, boxArg, ptArg string, k int, eps float64, outPath string) error {
+func runQuery(ctx context.Context, a touch.Dataset, mode, boxArg, ptArg string, k int, eps float64, outPath string, updIns touch.Dataset, updDel []touch.ID) error {
 	if eps < 0 {
 		return fmt.Errorf("%w %g", touch.ErrNegativeDistance, eps)
 	}
@@ -406,7 +452,28 @@ func runQuery(ctx context.Context, a touch.Dataset, mode, boxArg, ptArg string, 
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("query canceled: %w", err)
 	}
-	ix := touch.BuildIndex(a.Expand(eps), touch.TOUCHConfig{})
+	// With -insert/-delete the query answers over the incrementally
+	// edited state: index A, apply the updates (inserted boxes get the
+	// same ε-expansion the indexed side carries), query the merge.
+	var ix interface {
+		RangeQuery(touch.Box) ([]touch.ID, error)
+		PointQuery(x, y, z float64) ([]touch.ID, error)
+		KNN(touch.Point, int) ([]touch.Neighbor, error)
+	}
+	if len(updIns) > 0 || len(updDel) > 0 {
+		m, err := touch.NewMutable(a.Expand(eps), touch.TOUCHConfig{})
+		if err != nil {
+			return err
+		}
+		m.SetCompactThreshold(-1) // one-shot process; folding buys nothing
+		m.Delete(updDel)
+		if _, err := m.Insert(boxesOf(updIns.Expand(eps))); err != nil {
+			return err
+		}
+		ix = m
+	} else {
+		ix = touch.BuildIndex(a.Expand(eps), touch.TOUCHConfig{})
+	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("query canceled: %w", err)
 	}
@@ -486,6 +553,39 @@ func openOut(path string) (*bufio.Writer, func()) {
 			fatal(err)
 		}
 	}
+}
+
+// readUpdates parses the incremental-update flags: the -insert box file
+// and the comma-separated -delete ID list.
+func readUpdates(insFile, delArg string) (touch.Dataset, []touch.ID, error) {
+	var ins touch.Dataset
+	if insFile != "" {
+		var err error
+		if ins, err = readFile(insFile); err != nil {
+			return nil, nil, err
+		}
+	}
+	var dels []touch.ID
+	if delArg != "" {
+		for _, f := range strings.Split(delArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, nil, fmt.Errorf("-delete: %v", err)
+			}
+			dels = append(dels, touch.ID(v))
+		}
+	}
+	return ins, dels, nil
+}
+
+// boxesOf strips a dataset down to its boxes — Mutable.Insert assigns
+// the IDs itself.
+func boxesOf(ds touch.Dataset) []touch.Box {
+	boxes := make([]touch.Box, len(ds))
+	for i, o := range ds {
+		boxes[i] = o.Box
+	}
+	return boxes
 }
 
 func readFile(path string) (touch.Dataset, error) {

@@ -1,0 +1,250 @@
+// Package delta implements the write side of the incremental-update
+// path: a small per-dataset buffer of inserted objects and tombstones
+// that sits next to an immutable base index, in the spirit of an LSM
+// memtable over a packed run. A Delta is an immutable value — every
+// mutation returns a new *Delta sharing structure with its parent — so
+// the owning layer can publish it through an atomic pointer and readers
+// never take a lock. Writers must be serialized externally (the touch
+// package's Mutable and the server catalog both hold a mutex across
+// mutations), which lets inserts share one append-only backing array
+// across generations.
+//
+// The contract that everything downstream leans on: a base dataset is
+// ID-ascending, every insert receives a fresh ID strictly greater than
+// any ID the base has ever held (NextID is monotone, IDs are never
+// reused), and deletes are recorded as tombstones rather than applied
+// in place. Merged reads are then a disjoint union — base answers minus
+// tombstoned IDs, plus a brute-force pass over the live inserts — and
+// folding the delta into a new base (Merged) preserves every surviving
+// ID, so answers over base+delta are bit-identical to answers over an
+// index rebuilt from the merged dataset.
+package delta
+
+import (
+	"maps"
+
+	"touch/internal/geom"
+)
+
+// Delta is one immutable generation of pending updates against a base
+// dataset. The zero of the type is not used; start from NewForBase. A
+// nil *Delta is a valid empty delta for every read accessor.
+type Delta struct {
+	// inserts holds every inserted object of this base generation in ID
+	// order, including ones later tombstoned — the slice is append-only
+	// so descendant deltas can share its backing array.
+	inserts geom.Dataset
+	// tombs marks deleted IDs, of base objects and inserts alike. The
+	// map is never mutated after the Delta is published; Delete clones.
+	tombs map[geom.ID]struct{}
+	// nextID is the ID the next insert will receive. It only grows,
+	// across compactions included, so IDs are never reused.
+	nextID geom.ID
+}
+
+// NewForBase returns an empty delta whose first insert will receive an
+// ID greater than every ID in base. base need not be sorted here (the
+// max is scanned), though merged reads elsewhere require it ascending.
+func NewForBase(base geom.Dataset) *Delta {
+	next := geom.ID(0)
+	for i := range base {
+		if id := base[i].ID; id >= next {
+			next = id + 1
+		}
+	}
+	return &Delta{nextID: next}
+}
+
+// NextID returns the ID the next insert will be assigned.
+func (d *Delta) NextID() geom.ID {
+	if d == nil {
+		return 0
+	}
+	return d.nextID
+}
+
+// Empty reports whether the delta holds no pending updates.
+func (d *Delta) Empty() bool {
+	return d == nil || (len(d.inserts) == 0 && len(d.tombs) == 0)
+}
+
+// Inserts returns the number of buffered inserts, tombstoned ones
+// included.
+func (d *Delta) Inserts() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.inserts)
+}
+
+// Tombstones returns the number of tombstoned IDs.
+func (d *Delta) Tombstones() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.tombs)
+}
+
+// Size is the total number of buffered updates — the quantity
+// compaction thresholds are compared against.
+func (d *Delta) Size() int { return d.Inserts() + d.Tombstones() }
+
+// Tombstoned reports whether id has been deleted in this delta.
+func (d *Delta) Tombstoned(id geom.ID) bool {
+	if d == nil {
+		return false
+	}
+	_, dead := d.tombs[id]
+	return dead
+}
+
+// TombIDs returns the tombstoned IDs as a fresh slice, in no particular
+// order.
+func (d *Delta) TombIDs() []geom.ID {
+	if d == nil || len(d.tombs) == 0 {
+		return nil
+	}
+	ids := make([]geom.ID, 0, len(d.tombs))
+	for id := range d.tombs {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Live returns the buffered inserts that have not been tombstoned, in
+// ID order, as a fresh slice safe to retain.
+func (d *Delta) Live() geom.Dataset {
+	if d == nil || len(d.inserts) == 0 {
+		return nil
+	}
+	live := make(geom.Dataset, 0, len(d.inserts))
+	for _, o := range d.inserts {
+		if _, dead := d.tombs[o.ID]; !dead {
+			live = append(live, o)
+		}
+	}
+	return live
+}
+
+// containsInsert reports whether id is one of this delta's inserts.
+// inserts are ID-ascending, so a binary search suffices.
+func (d *Delta) containsInsert(id geom.ID) bool {
+	lo, hi := 0, len(d.inserts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.inserts[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(d.inserts) && d.inserts[lo].ID == id
+}
+
+// CanInsert reports whether n more inserts fit before the int32 ID
+// space is exhausted.
+func (d *Delta) CanInsert(n int) bool {
+	return int64(d.NextID())+int64(n) <= int64(maxID)+1
+}
+
+const maxID = geom.ID(1<<31 - 1)
+
+// Insert returns a delta extended with one object per box, assigning
+// the IDs first, first+1, … in order. Boxes must already be validated
+// by the caller. The receiver must be non-nil and the caller must hold
+// the writer lock — the underlying array is shared with the parent.
+func (d *Delta) Insert(boxes []geom.Box) (nd *Delta, first geom.ID) {
+	first = d.nextID
+	if len(boxes) == 0 {
+		return d, first
+	}
+	inserts := d.inserts
+	for i, b := range boxes {
+		inserts = append(inserts, geom.Object{ID: first + geom.ID(i), Box: b})
+	}
+	return &Delta{inserts: inserts, tombs: d.tombs, nextID: first + geom.ID(len(boxes))}, first
+}
+
+// Delete returns a delta with a tombstone added for every id that is
+// currently live — present in the base (as reported by inBase) or among
+// this delta's inserts, and not already tombstoned. Unknown and
+// already-deleted IDs are skipped; deleted reports how many tombstones
+// were actually added. The receiver must be non-nil.
+func (d *Delta) Delete(ids []geom.ID, inBase func(geom.ID) bool) (nd *Delta, deleted int) {
+	nd = d
+	var tombs map[geom.ID]struct{}
+	for _, id := range ids {
+		if _, dead := nd.tombs[id]; dead {
+			continue
+		}
+		if tombs != nil {
+			if _, dead := tombs[id]; dead {
+				continue
+			}
+		}
+		if !nd.containsInsert(id) && !inBase(id) {
+			continue
+		}
+		if tombs == nil {
+			tombs = maps.Clone(nd.tombs)
+			if tombs == nil {
+				tombs = make(map[geom.ID]struct{})
+			}
+		}
+		tombs[id] = struct{}{}
+		deleted++
+	}
+	if deleted == 0 {
+		return d, 0
+	}
+	return &Delta{inserts: d.inserts, tombs: tombs, nextID: d.nextID}, deleted
+}
+
+// Since returns the updates of d not yet contained in its ancestor d0:
+// the inserts appended after d0 and the tombstones added after d0. It
+// is the delta that remains pending once a compaction built from
+// (base, d0) publishes — tombstones of d0's own inserts drop out with
+// it (those objects were folded in dead or not at all), while later
+// tombstones survive verbatim, whether they point at old base IDs, at
+// folded inserts (now base IDs of the new generation) or at inserts
+// newer than the fold. d must descend from d0 by Insert/Delete steps.
+func (d *Delta) Since(d0 *Delta) *Delta {
+	nd := &Delta{nextID: d.nextID}
+	if n := len(d0.inserts); n < len(d.inserts) {
+		nd.inserts = d.inserts[n:]
+	}
+	for id := range d.tombs {
+		if _, folded := d0.tombs[id]; folded {
+			continue
+		}
+		if nd.tombs == nil {
+			nd.tombs = make(map[geom.ID]struct{})
+		}
+		nd.tombs[id] = struct{}{}
+	}
+	return nd
+}
+
+// Merged materializes the dataset this delta describes over base: the
+// base objects that survive the tombstones followed by the live
+// inserts. With base ID-ascending the result is ID-ascending too, ready
+// to build the next-generation index from — and, by the ID-stability
+// contract, an index built from it answers every query and join exactly
+// as the (base index + delta) pair does.
+func (d *Delta) Merged(base geom.Dataset) geom.Dataset {
+	if d.Empty() {
+		return base
+	}
+	merged := make(geom.Dataset, 0, len(base)+len(d.inserts)-len(d.tombs))
+	for _, o := range base {
+		if _, dead := d.tombs[o.ID]; !dead {
+			merged = append(merged, o)
+		}
+	}
+	for _, o := range d.inserts {
+		if _, dead := d.tombs[o.ID]; !dead {
+			merged = append(merged, o)
+		}
+	}
+	return merged
+}

@@ -1,0 +1,138 @@
+package delta
+
+import (
+	"slices"
+	"testing"
+
+	"touch/internal/geom"
+)
+
+func box(i float64) geom.Box {
+	return geom.Box{Min: geom.Point{i, i, i}, Max: geom.Point{i + 1, i + 1, i + 1}}
+}
+
+func base(n int) geom.Dataset {
+	ds := make(geom.Dataset, n)
+	for i := range ds {
+		ds[i] = geom.Object{ID: geom.ID(i), Box: box(float64(i))}
+	}
+	return ds
+}
+
+func inBase(ds geom.Dataset) func(geom.ID) bool {
+	return func(id geom.ID) bool {
+		return int(id) < len(ds)
+	}
+}
+
+func TestNilDeltaReads(t *testing.T) {
+	var d *Delta
+	if !d.Empty() || d.Size() != 0 || d.Inserts() != 0 || d.Tombstones() != 0 {
+		t.Fatal("nil delta is not empty")
+	}
+	if d.Tombstoned(3) || d.Live() != nil || d.TombIDs() != nil {
+		t.Fatal("nil delta read accessors")
+	}
+	if d.NextID() != 0 {
+		t.Fatal("nil delta NextID")
+	}
+}
+
+func TestInsertDeleteMerged(t *testing.T) {
+	bs := base(4)
+	d := NewForBase(bs)
+	if d.NextID() != 4 {
+		t.Fatalf("NextID = %d, want 4", d.NextID())
+	}
+
+	d, first := d.Insert([]geom.Box{box(10), box(11)})
+	if first != 4 || d.Inserts() != 2 || d.NextID() != 6 {
+		t.Fatalf("after insert: first=%d inserts=%d next=%d", first, d.Inserts(), d.NextID())
+	}
+
+	// Delete one base object, one insert, one unknown and one duplicate.
+	d, n := d.Delete([]geom.ID{1, 5, 99, 1}, inBase(bs))
+	if n != 2 {
+		t.Fatalf("deleted = %d, want 2", n)
+	}
+	if !d.Tombstoned(1) || !d.Tombstoned(5) || d.Tombstoned(0) {
+		t.Fatal("tombstone membership")
+	}
+	if live := d.Live(); len(live) != 1 || live[0].ID != 4 {
+		t.Fatalf("Live = %v", live)
+	}
+
+	merged := d.Merged(bs)
+	var ids []geom.ID
+	for _, o := range merged {
+		ids = append(ids, o.ID)
+	}
+	want := []geom.ID{0, 2, 3, 4}
+	if !slices.Equal(ids, want) {
+		t.Fatalf("Merged IDs = %v, want %v", ids, want)
+	}
+	if !slices.IsSortedFunc(merged, func(a, b geom.Object) int { return int(a.ID - b.ID) }) {
+		t.Fatal("merged dataset not ID-ascending")
+	}
+}
+
+func TestDeleteAlreadyDeadAndUnknownKeepsValue(t *testing.T) {
+	bs := base(2)
+	d := NewForBase(bs)
+	d1, n := d.Delete([]geom.ID{7}, inBase(bs))
+	if n != 0 || d1 != d {
+		t.Fatal("no-op delete must return the receiver")
+	}
+	d2, _ := d.Delete([]geom.ID{0}, inBase(bs))
+	if d.Tombstoned(0) {
+		t.Fatal("Delete mutated the parent delta")
+	}
+	if !d2.Tombstoned(0) {
+		t.Fatal("child delta missing tombstone")
+	}
+}
+
+func TestSince(t *testing.T) {
+	bs := base(3)
+	d0 := NewForBase(bs)
+	d0, _ = d0.Insert([]geom.Box{box(20)}) // id 3
+	d0, _ = d0.Delete([]geom.ID{0}, inBase(bs))
+
+	// Updates after the d0 snapshot: one more insert, delete of a base
+	// object, delete of a folded insert, delete of the new insert.
+	d1, _ := d0.Insert([]geom.Box{box(21)}) // id 4
+	d1, _ = d1.Delete([]geom.ID{1, 3, 4}, inBase(bs))
+
+	nd := d1.Since(d0)
+	if nd.Inserts() != 1 || nd.inserts[0].ID != 4 {
+		t.Fatalf("Since inserts = %v", nd.inserts)
+	}
+	got := nd.TombIDs()
+	slices.Sort(got)
+	if !slices.Equal(got, []geom.ID{1, 3, 4}) {
+		t.Fatalf("Since tombs = %v, want [1 3 4]", got)
+	}
+	if nd.Tombstoned(0) {
+		t.Fatal("folded tombstone survived Since")
+	}
+	if nd.NextID() != 5 {
+		t.Fatalf("Since NextID = %d, want 5", nd.NextID())
+	}
+
+	// Folding d0 then applying Since must equal folding d1 directly.
+	viaFold := nd.Merged(d0.Merged(bs))
+	direct := d1.Merged(bs)
+	if !slices.Equal(viaFold, direct) {
+		t.Fatalf("fold+since = %v, direct = %v", viaFold, direct)
+	}
+}
+
+func TestCanInsert(t *testing.T) {
+	d := &Delta{nextID: maxID - 1}
+	if !d.CanInsert(2) {
+		t.Fatal("two IDs left, CanInsert(2) = false")
+	}
+	if d.CanInsert(3) {
+		t.Fatal("CanInsert past the int32 ID space")
+	}
+}

@@ -272,7 +272,7 @@ func (c *binConn) readLoop() {
 		switch op {
 		case wire.OpCancel:
 			c.cancelTag(tag)
-		case wire.OpRange, wire.OpPoint, wire.OpKNN, wire.OpJoin:
+		case wire.OpRange, wire.OpPoint, wire.OpKNN, wire.OpJoin, wire.OpUpdate:
 			req := c.getReq()
 			req.op, req.tag, req.enq = op, tag, time.Now()
 			req.buf = append(req.buf[:0], payload...)
@@ -410,8 +410,11 @@ func (c *binConn) serving(tag uint32, name []byte) (*snapshot, int) {
 func (c *binConn) handle(req *wireReq) {
 	s := c.s
 	class := classWireQuery
-	if req.op == wire.OpJoin {
+	switch req.op {
+	case wire.OpJoin:
 		class = classWireJoin
+	case wire.OpUpdate:
+		class = classWireUpdate
 	}
 	s.met.requests[class].Add(1)
 	s.met.observeWireDepth(len(c.queue) + 1)
@@ -474,6 +477,8 @@ func (c *binConn) handle(req *wireReq) {
 		status = c.handleKNN(req)
 	case wire.OpJoin:
 		status = c.handleJoin(req)
+	case wire.OpUpdate:
+		status = c.handleUpdate(req)
 	}
 }
 
@@ -503,7 +508,7 @@ func (c *binConn) handleRange(req *wireReq) int {
 	if !c.checkAlive() {
 		return statusClientClosed
 	}
-	ids, err := snap.idx.RangeQuery(box)
+	ids, err := snap.engine().RangeQuery(box)
 	if err != nil {
 		return c.respondEngineError(req.tag, err)
 	}
@@ -527,7 +532,7 @@ func (c *binConn) handlePoint(req *wireReq) int {
 	if !c.checkAlive() {
 		return statusClientClosed
 	}
-	ids, err := snap.idx.PointQuery(pt[0], pt[1], pt[2])
+	ids, err := snap.engine().PointQuery(pt[0], pt[1], pt[2])
 	if err != nil {
 		return c.respondEngineError(req.tag, err)
 	}
@@ -551,12 +556,53 @@ func (c *binConn) handleKNN(req *wireReq) int {
 	if !c.checkAlive() {
 		return statusClientClosed
 	}
-	nbrs, err := snap.idx.KNN(pt, k)
+	nbrs, err := snap.engine().KNN(pt, k)
 	if err != nil {
 		return c.respondEngineError(req.tag, err)
 	}
 	c.scratch = wire.AppendNeighborsResp(c.scratch[:0], snap.version, nbrs)
 	c.respond(wire.OpNeighbors, req.tag, c.scratch)
+	return http.StatusOK
+}
+
+// handleUpdate applies an OpUpdate frame — the wire twin of HTTP's
+// PATCH handler: deletes, then inserts, published atomically against
+// the serving snapshot, answered with one OpUpdateDone.
+func (c *binConn) handleUpdate(req *wireReq) int {
+	ur, err := wire.DecodeUpdateReq(req.buf)
+	if err != nil {
+		return c.badPayload(req.tag, err)
+	}
+	if len(ur.Inserts) == 0 && len(ur.Deletes) == 0 {
+		c.respondErrorf(req.tag, codeBadRequest, "update needs insert boxes or delete ids")
+		return http.StatusBadRequest
+	}
+	if _, err := touch.DatasetFromBoxes(ur.Inserts); err != nil {
+		c.respondErrorf(req.tag, codeInvalidBox, "%v", err)
+		return http.StatusBadRequest
+	}
+	if !c.checkAlive() {
+		return statusClientClosed
+	}
+	res, st := c.s.cat.applyUpdate(string(ur.Name), ur.Inserts, ur.Deletes)
+	switch st {
+	case updUnknown:
+		c.respondErrorf(req.tag, codeUnknownDataset, "dataset %q not loaded", ur.Name)
+		return http.StatusNotFound
+	case updBuilding:
+		c.respondErrorf(req.tag, codeBuilding, "dataset %q is still building its first index version", ur.Name)
+		return http.StatusServiceUnavailable
+	case updOverflow:
+		c.respondErrorf(req.tag, codeIDExhausted,
+			"inserting %d objects would exhaust the dataset's object ID space", len(ur.Inserts))
+		return http.StatusUnprocessableEntity
+	}
+	c.scratch = wire.AppendUpdateResp(c.scratch[:0], wire.UpdateResp{
+		Version: res.version, FirstID: res.firstID,
+		Inserted: res.inserted, Deleted: res.deleted,
+		DeltaInserts: res.deltaIns, DeltaTombstones: res.deltaTomb,
+	})
+	c.respond(wire.OpUpdateDone, req.tag, c.scratch)
 	return http.StatusOK
 }
 
@@ -584,7 +630,7 @@ func (c *binConn) handleJoin(req *wireReq) int {
 		if psnap == nil {
 			return st
 		}
-		probe = psnap.ds
+		probe = psnap.dataset()
 	} else {
 		probe, err = touch.DatasetFromBoxes(jr.Boxes)
 		if err != nil {
@@ -605,8 +651,12 @@ func (c *binConn) handleJoin(req *wireReq) int {
 		hook(ctx)
 	}
 
+	// ε = 0 takes the same fast path as HTTP's handleJoin: both routes
+	// go through DistanceJoinCtx/Seq, where Dataset.Expand(0) is the
+	// identity — no expansion copy on either protocol, so wire and HTTP
+	// answers stay byte-identical at eps = 0 by construction.
 	if jr.CountOnly {
-		res, err := snap.idx.DistanceJoinCtx(ctx, probe, jr.Eps, &touch.Options{Workers: workers, NoPairs: true})
+		res, err := snap.engine().DistanceJoinCtx(ctx, probe, jr.Eps, &touch.Options{Workers: workers, NoPairs: true})
 		switch {
 		case errors.Is(err, touch.ErrJoinCanceled):
 			return c.respondAborted(req.tag, ctx)
@@ -624,7 +674,7 @@ func (c *binConn) handleJoin(req *wireReq) int {
 	c.pairBuf = c.pairBuf[:0]
 	n := int64(0)
 	frames := 0
-	for p, err := range snap.idx.DistanceJoinSeq(ctx, probe, jr.Eps, &touch.Options{Workers: workers}) {
+	for p, err := range snap.engine().DistanceJoinSeq(ctx, probe, jr.Eps, &touch.Options{Workers: workers}) {
 		if err != nil {
 			if errors.Is(err, touch.ErrJoinCanceled) {
 				return c.respondAborted(req.tag, ctx)

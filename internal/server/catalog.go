@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
+	"iter"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"touch"
+	"touch/internal/delta"
 )
 
 // buildFunc constructs the index over one dataset version. Production
@@ -14,17 +17,24 @@ import (
 // building states deterministically.
 type buildFunc func(touch.Dataset, touch.TOUCHConfig) *touch.Index
 
-// snapshot is one immutable version of a named dataset: the decoded
-// objects, the index built over them and the index stats. A reader
-// obtains a snapshot with a single atomic load and uses its fields
-// together, so every query and join answers from one consistent version
-// even while a rebuild swaps the entry underneath it.
+// snapshot is one immutable serving state of a named dataset: the
+// decoded base objects, the index built over them, the index stats —
+// and, since the incremental-update path, the pending delta of inserts
+// and tombstones against that base together with the merged read engine
+// over it. A reader obtains a snapshot with a single atomic load and
+// uses its fields together, so every query and join answers from one
+// consistent (base, delta) pair even while a PATCH, a rebuild or a
+// compaction swaps the entry underneath it — an update is entirely
+// visible to a request or not at all, never half.
 type snapshot struct {
 	version int64
 	ds      touch.Dataset
 	idx     *touch.Index
 	stats   touch.IndexStats
 	builtAt time.Time
+	// cfg is the build configuration of this version; compaction reuses
+	// it so a folded index keeps the shape the POST asked for.
+	cfg touch.TOUCHConfig
 	// persisted marks a version whose snapshot file is durably on disk
 	// (written before this snapshot became visible, or restored from
 	// disk at startup); snapBytes is that file's size. A false persisted
@@ -32,6 +42,64 @@ type snapshot struct {
 	// restart loses it.
 	persisted bool
 	snapBytes int64
+
+	// d holds the updates applied since this base version was built
+	// (nil = none); ov is the merged read engine over (idx, d), non-nil
+	// exactly when d is non-empty. The delta is in-memory only — its
+	// updates become durable when a compaction folds them into the next
+	// persisted base version.
+	d  *delta.Delta
+	ov *touch.Overlay
+
+	// merged lazily materializes d.Merged(ds) for probe-side use of an
+	// updated dataset in joins; computed at most once per snapshot.
+	mergedOnce sync.Once
+	merged     touch.Dataset
+}
+
+// engine is the query/join surface shared by *touch.Index and
+// *touch.Overlay; handlers call through it so an updated dataset
+// transparently serves merged answers.
+type engine interface {
+	RangeQuery(touch.Box) ([]touch.ID, error)
+	PointQuery(x, y, z float64) ([]touch.ID, error)
+	KNN(touch.Point, int) ([]touch.Neighbor, error)
+	DistanceJoinCtx(context.Context, touch.Dataset, float64, *touch.Options) (*touch.Result, error)
+	DistanceJoinSeq(context.Context, touch.Dataset, float64, *touch.Options) iter.Seq2[touch.Pair, error]
+}
+
+// engine returns the read engine for this serving state: the merged
+// overlay when updates are pending, the bare index otherwise.
+func (s *snapshot) engine() engine {
+	if s.ov != nil {
+		return s.ov
+	}
+	return s.idx
+}
+
+// dataset returns the live objects of this serving state — the base
+// dataset when no updates are pending, the merged materialization
+// otherwise (computed once and cached on the snapshot).
+func (s *snapshot) dataset() touch.Dataset {
+	if s.ov == nil {
+		return s.ds
+	}
+	s.mergedOnce.Do(func() { s.merged = s.d.Merged(s.ds) })
+	return s.merged
+}
+
+// withDelta derives the serving state that publishes nd over the same
+// base as s.
+func (s *snapshot) withDelta(nd *delta.Delta) *snapshot {
+	ns := &snapshot{
+		version: s.version, ds: s.ds, idx: s.idx, stats: s.stats,
+		builtAt: s.builtAt, cfg: s.cfg, persisted: s.persisted, snapBytes: s.snapBytes,
+		d: nd,
+	}
+	if !nd.Empty() {
+		ns.ov = touch.NewOverlay(s.idx, nd.Live(), nd.TombIDs())
+	}
+	return ns
 }
 
 // entry is one named dataset of the catalog.
@@ -43,9 +111,12 @@ type entry struct {
 	// readers load, and the read path takes no locks.
 	ready atomic.Pointer[snapshot]
 
-	mu       sync.Mutex // guards the two version counters below
+	mu       sync.Mutex // guards the version counters and compacting below
 	accepted int64      // newest version accepted for building
 	building int        // builds in flight or queued
+	// compacting marks a background compaction in flight for this entry;
+	// at most one ever runs, and a new one is not scheduled while set.
+	compacting bool
 
 	buildMu sync.Mutex // serializes builds of this entry
 }
@@ -65,6 +136,15 @@ type catalog struct {
 	// catalog-wide; the server's load path uses it to bound the build
 	// backlog, which lives outside the request-slot admission layer.
 	pending atomic.Int64
+
+	// compactAt is the per-dataset delta size (inserts + tombstones) at
+	// which an update schedules a background compaction; <= 0 disables
+	// automatic compaction. Set once at construction.
+	compactAt int
+	// compactions counts published delta folds; compactionsSkipped counts
+	// compactions abandoned because a newer full version superseded them.
+	compactions        atomic.Int64
+	compactionsSkipped atomic.Int64
 
 	mu      sync.RWMutex
 	entries map[string]*entry
@@ -143,7 +223,7 @@ func (c *catalog) load(name string, ds touch.Dataset, cfg touch.TOUCHConfig, wai
 			return
 		}
 		idx := c.build(ds, cfg)
-		snap := &snapshot{version: v, ds: ds, idx: idx, stats: idx.Stats(), builtAt: time.Now()}
+		snap := &snapshot{version: v, ds: ds, idx: idx, stats: idx.Stats(), builtAt: time.Now(), cfg: cfg}
 		if p := c.persist; p != nil {
 			// Write-ahead of visibility: the snapshot must be durably on
 			// disk before the hot swap can publish it, so a crash right
@@ -171,6 +251,153 @@ func (c *catalog) load(name string, ds touch.Dataset, cfg touch.TOUCHConfig, wai
 		go run()
 	}
 	return v, true
+}
+
+// updStatus classifies the outcome of applyUpdate so the HTTP and wire
+// handlers can map failures to their own error vocabularies.
+type updStatus int
+
+const (
+	updOK       updStatus = iota
+	updUnknown            // name not in the catalog
+	updBuilding           // first version still building, nothing to update
+	updOverflow           // insert would exhaust the object ID space
+)
+
+// updResult describes one applied update batch.
+type updResult struct {
+	version   int64 // base version the update was applied against
+	firstID   int64 // first assigned insert ID, -1 when nothing inserted
+	inserted  int
+	deleted   int // live objects actually tombstoned (idempotent skip otherwise)
+	deltaIns  int // pending delta inserts after this update
+	deltaTomb int // pending delta tombstones after this update
+}
+
+// applyUpdate applies one batch of deletes and inserts to the named
+// dataset's pending delta and publishes the merged serving state
+// atomically — queries concurrent with the PATCH see either all of it or
+// none of it. Deletes apply first, so a batch can delete existing IDs
+// and insert replacements without tombstoning its own inserts; unknown
+// or already-deleted IDs are skipped silently. Inserted objects get
+// fresh consecutive IDs, never reused even across compactions. Boxes
+// must already be validated (DatasetFromBoxes rules).
+func (c *catalog) applyUpdate(name string, inserts []touch.Box, deletes []touch.ID) (updResult, updStatus) {
+	e := c.entryFor(name)
+	if e == nil {
+		return updResult{}, updUnknown
+	}
+	e.mu.Lock()
+	snap := e.ready.Load()
+	if snap == nil {
+		e.mu.Unlock()
+		return updResult{}, updBuilding
+	}
+	d := snap.d
+	if d == nil {
+		d = delta.NewForBase(snap.ds)
+	}
+	res := updResult{version: snap.version, firstID: -1}
+	if len(deletes) > 0 {
+		d, res.deleted = d.Delete(deletes, func(id touch.ID) bool {
+			_, ok := sort.Find(len(snap.ds), func(i int) int { return int(id) - int(snap.ds[i].ID) })
+			return ok
+		})
+	}
+	if len(inserts) > 0 {
+		if !d.CanInsert(len(inserts)) {
+			e.mu.Unlock()
+			return updResult{}, updOverflow
+		}
+		var first touch.ID
+		d, first = d.Insert(inserts)
+		res.firstID = int64(first)
+		res.inserted = len(inserts)
+	}
+	res.deltaIns, res.deltaTomb = d.Inserts(), d.Tombstones()
+	e.ready.Store(snap.withDelta(d))
+	size := d.Size()
+	e.mu.Unlock()
+	c.maybeCompact(e, size)
+	return res, updOK
+}
+
+// maybeCompact schedules a background compaction of e when its pending
+// delta has reached the configured threshold and no compaction or newer
+// full build is already in flight. Reserving the next version number
+// under e.mu means a re-POST racing the compaction is ordered: whichever
+// reserves later has the higher version and wins the publish guard.
+func (c *catalog) maybeCompact(e *entry, size int) {
+	if c.compactAt <= 0 || size < c.compactAt {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := e.ready.Load()
+	if snap == nil || snap.d.Empty() || e.compacting {
+		return
+	}
+	if e.accepted != snap.version {
+		// A newer full version is building; it replaces the base
+		// wholesale, so folding into the old base could never publish.
+		c.compactionsSkipped.Add(1)
+		return
+	}
+	e.accepted++
+	v := e.accepted
+	e.building++
+	e.compacting = true
+	c.pending.Add(1)
+	go c.runCompaction(e, snap, v)
+}
+
+// runCompaction folds from's delta into a fresh base index and publishes
+// it as version v with load's write-ahead persistence, unless a newer
+// full version superseded it meanwhile. Updates applied while the build
+// ran carry over into the new snapshot's delta, and the new delta always
+// inherits the ID high-water mark so compaction never causes ID reuse.
+func (c *catalog) runCompaction(e *entry, from *snapshot, v int64) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.building--
+		e.compacting = false
+		e.mu.Unlock()
+		c.pending.Add(-1)
+	}()
+	e.mu.Lock()
+	superseded := e.accepted > v
+	e.mu.Unlock()
+	if superseded {
+		c.compactionsSkipped.Add(1)
+		return
+	}
+	merged := from.d.Merged(from.ds)
+	idx := c.build(merged, from.cfg)
+	snap := &snapshot{version: v, ds: merged, idx: idx, stats: idx.Stats(), builtAt: time.Now(), cfg: from.cfg}
+	if p := c.persist; p != nil {
+		// Same write-ahead-of-visibility contract as load: the folded
+		// delta becomes durable here, before it can serve.
+		size, wrote, err := p.save(e.name, v, merged, idx, snap.builtAt)
+		switch {
+		case err != nil:
+			p.logf("snapshot: persisting %s v%d failed, dataset is ephemeral: %v", e.name, v, err)
+		case wrote:
+			snap.persisted, snap.snapBytes = true, size
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.ready.Load()
+	if cur == nil || cur.version != from.version {
+		// A newer full load published while we built; its dataset
+		// replaced ours wholesale and pending updates with it.
+		c.compactionsSkipped.Add(1)
+		return
+	}
+	e.ready.Store(snap.withDelta(cur.d.Since(from.d)))
+	c.compactions.Add(1)
 }
 
 // snapshot returns the serving snapshot for a name. exists reports
@@ -321,6 +548,11 @@ type datasetInfo struct {
 	// snapshot file size when persisted.
 	Persisted     bool  `json:"persisted"`
 	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// DeltaInserts and DeltaTombstones count the pending incremental
+	// updates (PATCH) not yet folded into the base version — Objects
+	// still counts the base index. Omitted when no updates are pending.
+	DeltaInserts    int `json:"delta_inserts,omitempty"`
+	DeltaTombstones int `json:"delta_tombstones,omitempty"`
 }
 
 func (e *entry) info() datasetInfo {
@@ -343,9 +575,11 @@ func (e *entry) info() datasetInfo {
 		StaticBytes:   snap.stats.StaticBytes,
 		Nodes:         snap.stats.Nodes,
 		Height:        snap.stats.Height,
-		BuiltAt:       snap.builtAt.UTC().Format(time.RFC3339Nano),
-		Persisted:     snap.persisted,
-		SnapshotBytes: snap.snapBytes,
+		BuiltAt:         snap.builtAt.UTC().Format(time.RFC3339Nano),
+		Persisted:       snap.persisted,
+		SnapshotBytes:   snap.snapBytes,
+		DeltaInserts:    snap.d.Inserts(),
+		DeltaTombstones: snap.d.Tombstones(),
 	}
 }
 

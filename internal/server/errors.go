@@ -30,6 +30,7 @@ const (
 	codeDraining       = "draining"         // graceful shutdown in progress
 	codeNotFound       = "not_found"        // unknown route
 	codeMethod         = "method_not_allowed"
+	codeIDExhausted    = "id_space_exhausted" // PATCH insert would overflow object IDs
 	codeInternal       = "internal"
 )
 

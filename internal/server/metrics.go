@@ -15,16 +15,18 @@ const (
 	classQuery = iota
 	classJoin
 	classLoad
+	classUpdate // PATCH /v1/datasets/{name}: incremental inserts/deletes
 	classCatalog
 	classOther // answered at the routing layer: bad route/method/name
 	// The binary protocol's traffic is accounted apart from HTTP so the
 	// two serving paths are distinguishable on one dashboard.
 	classWireQuery
 	classWireJoin
+	classWireUpdate
 	nClasses
 )
 
-var classNames = [nClasses]string{"query", "join", "load", "catalog", "other", "wire_query", "wire_join"}
+var classNames = [nClasses]string{"query", "join", "load", "update", "catalog", "other", "wire_query", "wire_join", "wire_update"}
 
 // trackedCodes are the response codes the server emits; anything else
 // lands in the trailing "other" bucket.
@@ -195,8 +197,9 @@ func (m *metrics) qps(now time.Time) float64 {
 
 // render writes the Prometheus text exposition. datasets describes the
 // catalog at scrape time; snapshotErrors is the cumulative persistence
-// failure count.
-func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors int64) {
+// failure count; compactions and compactionsSkipped count background
+// delta folds published and abandoned.
+func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors, compactions, compactionsSkipped int64) {
 	uptime := time.Since(m.start).Seconds()
 
 	fmt.Fprintf(w, "# TYPE touchserved_uptime_seconds gauge\n")
@@ -264,6 +267,25 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors int
 	for _, d := range datasets {
 		fmt.Fprintf(w, "touchserved_dataset_objects{dataset=%q} %d\n", d.Name, d.Objects)
 	}
+
+	// Incremental-update health: per-dataset pending delta sizes and the
+	// cumulative compaction outcomes. A delta that only ever grows means
+	// compaction is disabled or falling behind.
+	fmt.Fprintf(w, "# TYPE touchserved_delta_inserts gauge\n")
+	for _, d := range datasets {
+		if d.DeltaInserts > 0 {
+			fmt.Fprintf(w, "touchserved_delta_inserts{dataset=%q} %d\n", d.Name, d.DeltaInserts)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE touchserved_delta_tombstones gauge\n")
+	for _, d := range datasets {
+		if d.DeltaTombstones > 0 {
+			fmt.Fprintf(w, "touchserved_delta_tombstones{dataset=%q} %d\n", d.Name, d.DeltaTombstones)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE touchserved_compactions_total counter\n")
+	fmt.Fprintf(w, "touchserved_compactions_total{outcome=\"published\"} %d\n", compactions)
+	fmt.Fprintf(w, "touchserved_compactions_total{outcome=\"skipped\"} %d\n", compactionsSkipped)
 
 	// Snapshot health: failed persistence operations, and which datasets
 	// are durably on disk — a persisted=0 dataset on a server with a

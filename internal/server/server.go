@@ -111,6 +111,12 @@ type Config struct {
 	// streaming joins are exempt (the first carries no pairs, the second
 	// never buffers them). Default 1<<20.
 	MaxJoinPairs int
+	// CompactThreshold is the per-dataset pending-update count (inserts
+	// plus tombstones from PATCH /v1/datasets/{name}) at which a
+	// background compaction folds the delta into a fresh base index
+	// version. 0 means the 4096 default; negative disables automatic
+	// compaction (updates still serve, merged on every read).
+	CompactThreshold int
 	// DataDir, when set, makes the catalog durable: every successful
 	// build persists a checksummed snapshot there before it becomes
 	// visible, DELETE removes the file, and Server.Recover restores the
@@ -143,6 +149,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxJoinPairs <= 0 {
 		c.MaxJoinPairs = 1 << 20
+	}
+	if c.CompactThreshold == 0 {
+		c.CompactThreshold = touch.DefaultCompactThreshold
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -208,6 +217,7 @@ func New(cfg Config) *Server {
 		met:   newMetrics(),
 		slots: make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.cat.compactAt = cfg.CompactThreshold
 	s.wire.lns = make(map[net.Listener]struct{})
 	s.wire.conns = make(map[net.Conn]context.CancelFunc)
 	if cfg.DataDir != "" {
@@ -306,12 +316,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				s.admit(classLoad, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 					s.handleLoad(ctx, w, r, name)
 				})
+			case http.MethodPatch:
+				s.admit(classUpdate, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+					s.handleUpdate(ctx, w, r, name)
+				})
 			case http.MethodDelete:
 				s.admit(classCatalog, w, r, func(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 					s.handleDelete(ctx, w, r, name)
 				})
 			default:
-				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST or DELETE on /v1/datasets/{name}")
+				s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use POST, PATCH or DELETE on /v1/datasets/{name}")
 			}
 		case "query":
 			if r.Method != http.MethodPost {
@@ -473,7 +487,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.cat.list(), s.SnapshotErrors())
+	s.met.render(w, s.cat.list(), s.SnapshotErrors(),
+		s.cat.compactions.Load(), s.cat.compactionsSkipped.Load())
 }
 
 // --- catalog ------------------------------------------------------------
@@ -577,6 +592,79 @@ func (s *Server) handleLoad(ctx context.Context, w http.ResponseWriter, r *http.
 	}{Name: name, Version: version, Status: "building", Objects: len(ds)})
 }
 
+// updateRequest is the JSON body of PATCH /v1/datasets/{name}: a batch
+// of incremental updates against the serving version. Deletes apply
+// before inserts, so one batch can replace objects without tombstoning
+// its own inserts.
+type updateRequest struct {
+	// Insert holds one [minX minY minZ maxX maxY maxZ] row per new
+	// object; IDs are assigned by the server, consecutively.
+	Insert [][]float64 `json:"insert,omitempty"`
+	// Delete lists object IDs to tombstone. Unknown or already-deleted
+	// IDs are skipped silently (idempotent).
+	Delete []touch.ID `json:"delete,omitempty"`
+}
+
+func (s *Server) handleUpdate(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
+	var req updateRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Insert) == 0 && len(req.Delete) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "update needs insert rows or delete IDs")
+		return
+	}
+	// Validate through the same hardening as a load; the validated
+	// dataset is discarded — applyUpdate assigns the real IDs.
+	inserts := make([]touch.Box, len(req.Insert))
+	for i, row := range req.Insert {
+		if len(row) != 6 {
+			writeError(w, http.StatusBadRequest, codeInvalidBox,
+				"insert %d: want 6 numbers [minX minY minZ maxX maxY maxZ], got %d", i, len(row))
+			return
+		}
+		inserts[i] = touch.Box{
+			Min: touch.Point{row[0], row[1], row[2]},
+			Max: touch.Point{row[3], row[4], row[5]},
+		}
+	}
+	if _, err := touch.DatasetFromBoxes(inserts); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidBox, "%v", err)
+		return
+	}
+	res, st := s.cat.applyUpdate(name, inserts, req.Delete)
+	switch st {
+	case updUnknown:
+		writeError(w, http.StatusNotFound, codeUnknownDataset, "dataset %q not loaded", name)
+		return
+	case updBuilding:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, codeBuilding,
+			"dataset %q is still building its first index version", name)
+		return
+	case updOverflow:
+		writeError(w, http.StatusUnprocessableEntity, codeIDExhausted,
+			"inserting %d objects would exhaust the dataset's object ID space", len(inserts))
+		return
+	}
+	ids := make([]touch.ID, len(inserts))
+	for i := range ids {
+		ids[i] = touch.ID(res.firstID) + touch.ID(i)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Name            string     `json:"name"`
+		Version         int64      `json:"version"`
+		InsertedIDs     []touch.ID `json:"inserted_ids,omitempty"`
+		Deleted         int        `json:"deleted"`
+		DeltaInserts    int        `json:"delta_inserts"`
+		DeltaTombstones int        `json:"delta_tombstones"`
+	}{
+		Name: name, Version: res.version, InsertedIDs: ids, Deleted: res.deleted,
+		DeltaInserts: res.deltaIns, DeltaTombstones: res.deltaTomb,
+	})
+}
+
 // --- query --------------------------------------------------------------
 
 // queryRequest is the JSON body of POST /v1/datasets/{name}/query.
@@ -632,7 +720,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 			Min: touch.Point{req.Box[0], req.Box[1], req.Box[2]},
 			Max: touch.Point{req.Box[3], req.Box[4], req.Box[5]},
 		}
-		ids, err := snap.idx.RangeQuery(box)
+		ids, err := snap.engine().RangeQuery(box)
 		if err != nil {
 			engineError(err).write(w)
 			return
@@ -643,7 +731,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 			writeError(w, http.StatusBadRequest, codeInvalidPoint, "point query needs a 3-number point, got %d", len(req.Point))
 			return
 		}
-		ids, err := snap.idx.PointQuery(req.Point[0], req.Point[1], req.Point[2])
+		ids, err := snap.engine().PointQuery(req.Point[0], req.Point[1], req.Point[2])
 		if err != nil {
 			engineError(err).write(w)
 			return
@@ -654,7 +742,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 			writeError(w, http.StatusBadRequest, codeInvalidPoint, "knn query needs a 3-number point, got %d", len(req.Point))
 			return
 		}
-		nbrs, err := snap.idx.KNN(touch.Point{req.Point[0], req.Point[1], req.Point[2]}, req.K)
+		nbrs, err := snap.engine().KNN(touch.Point{req.Point[0], req.Point[1], req.Point[2]}, req.K)
 		if err != nil {
 			engineError(err).write(w)
 			return
@@ -752,7 +840,9 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 		if !ok {
 			return
 		}
-		probe = probeSnap.ds
+		// dataset() folds the probe's pending updates in, so a named
+		// probe joins with the same merged state its own queries see.
+		probe = probeSnap.dataset()
 		resp.Probe, resp.ProbeVersion = req.Probe, probeSnap.version
 	case req.Boxes != nil:
 		var err error
@@ -790,7 +880,7 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 	}
 	// ε = 0 is the plain intersection join; Dataset.Expand(0) is the
 	// identity, so there is no expansion copy to skip.
-	res, err := snap.idx.DistanceJoinCtx(ctx, probe, req.Eps, opt)
+	res, err := snap.engine().DistanceJoinCtx(ctx, probe, req.Eps, opt)
 	switch {
 	case errors.Is(err, touch.ErrJoinCanceled):
 		s.writeAborted(ctx, w)
@@ -910,7 +1000,7 @@ func (s *Server) streamJoin(ctx context.Context, w http.ResponseWriter, snap *sn
 	}()
 
 	n := int64(0)
-	for p, err := range snap.idx.DistanceJoinSeq(ctx, probe, eps, &touch.Options{Workers: workers}) {
+	for p, err := range snap.engine().DistanceJoinSeq(ctx, probe, eps, &touch.Options{Workers: workers}) {
 		if err != nil {
 			// Mid-stream failure: the 200 is already on the wire, so the
 			// truncation is the signal — plus, for cancellations, the

@@ -1,0 +1,366 @@
+package testutil
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"touch"
+	"touch/internal/geom"
+	"touch/internal/nl"
+)
+
+// The delta-layer differential suite: a Mutable driven through random
+// interleavings of insert / delete / compact must answer every query
+// shape and every join bit-identically to an index rebuilt from scratch
+// over its merged dataset after every single step. The rebuild oracle
+// is the definition of correctness the Overlay merge path claims, so
+// any divergence — a tombstone leaking into an answer, an insert
+// missed by a join, a compaction dropping an in-flight update — fails
+// here with the op script that produced it.
+
+// randBoxes generates n random boxes in the generator universe.
+func randBoxes(rng *rand.Rand, n int) []geom.Box {
+	boxes := make([]geom.Box, n)
+	for i := range boxes {
+		var lo, hi geom.Point
+		for d := 0; d < geom.Dims; d++ {
+			lo[d] = rng.Float64() * 1000
+			hi[d] = lo[d] + rng.Float64()*60
+		}
+		boxes[i] = geom.NewBox(lo, hi)
+	}
+	return boxes
+}
+
+// liveIDs lists the IDs currently live in the mutable's merged view.
+func liveIDs(m *touch.Mutable) []geom.ID {
+	ds := m.Dataset()
+	ids := make([]geom.ID, len(ds))
+	for i, o := range ds {
+		ids[i] = o.ID
+	}
+	return ids
+}
+
+// checkMutableAgainstRebuild compares every query shape and the
+// materializing, count-only and streaming join forms between the
+// mutable and an index rebuilt from its merged dataset.
+func checkMutableAgainstRebuild(t *testing.T, m *touch.Mutable, probe touch.Dataset, seed int64) {
+	t.Helper()
+	merged := m.Dataset()
+	rebuilt := touch.BuildIndex(merged, touch.TOUCHConfig{})
+
+	boxes, points, ks := QueryWorkload(seed, 8)
+	for i := range boxes {
+		got, err := m.RangeQuery(boxes[i])
+		if err != nil {
+			t.Fatalf("RangeQuery: %v", err)
+		}
+		want, err := rebuilt.RangeQuery(boxes[i])
+		if err != nil {
+			t.Fatalf("rebuilt RangeQuery: %v", err)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("RangeQuery(%v) diverges from rebuild: got %v, want %v", boxes[i], got, want)
+		}
+		if oracle := nl.RangeQuery(merged, boxes[i]); !slices.Equal(got, oracle) {
+			t.Fatalf("RangeQuery(%v) diverges from oracle: got %v, want %v", boxes[i], got, oracle)
+		}
+
+		p := points[i]
+		gotPt, err := m.PointQuery(p[0], p[1], p[2])
+		if err != nil {
+			t.Fatalf("PointQuery: %v", err)
+		}
+		wantPt, _ := rebuilt.PointQuery(p[0], p[1], p[2])
+		if !slices.Equal(gotPt, wantPt) {
+			t.Fatalf("PointQuery(%v) diverges from rebuild: got %v, want %v", p, gotPt, wantPt)
+		}
+
+		gotK, err := m.KNN(p, ks[i])
+		if err != nil {
+			t.Fatalf("KNN: %v", err)
+		}
+		wantK, _ := rebuilt.KNN(p, ks[i])
+		if !slices.Equal(gotK, wantK) {
+			t.Fatalf("KNN(%v, %d) diverges from rebuild: got %v, want %v", p, ks[i], gotK, wantK)
+		}
+	}
+
+	for _, eps := range []float64{0, 7.5} {
+		res, err := m.DistanceJoin(probe, eps, nil)
+		if err != nil {
+			t.Fatalf("DistanceJoin: %v", err)
+		}
+		wantRes, err := rebuilt.DistanceJoin(probe, eps, nil)
+		if err != nil {
+			t.Fatalf("rebuilt DistanceJoin: %v", err)
+		}
+		got, want := PairSet(res.Pairs), PairSet(wantRes.Pairs)
+		if !slices.Equal(got, want) {
+			t.Fatalf("DistanceJoin(eps=%g) diverges from rebuild: %d pairs, want %d (first diff %d)",
+				eps, len(got), len(want), firstDiff(got, want))
+		}
+		if res.Stats.Results != int64(len(got)) {
+			t.Fatalf("DistanceJoin(eps=%g): Stats.Results=%d but %d pairs", eps, res.Stats.Results, len(got))
+		}
+
+		count, err := m.DistanceJoin(probe, eps, &touch.Options{NoPairs: true})
+		if err != nil {
+			t.Fatalf("count-only DistanceJoin: %v", err)
+		}
+		if count.Stats.Results != int64(len(want)) {
+			t.Fatalf("count-only DistanceJoin(eps=%g) = %d, want %d", eps, count.Stats.Results, len(want))
+		}
+
+		var streamed []touch.Pair
+		for p, err := range m.DistanceJoinSeq(context.Background(), probe, eps, nil) {
+			if err != nil {
+				t.Fatalf("DistanceJoinSeq: %v", err)
+			}
+			streamed = append(streamed, p)
+		}
+		if got := PairSet(streamed); !slices.Equal(got, want) {
+			t.Fatalf("DistanceJoinSeq(eps=%g) diverges from rebuild: %d pairs, want %d", eps, len(got), len(want))
+		}
+	}
+
+	// Limit must deliver exactly min(limit, total) live pairs — never a
+	// tombstoned one (every delivered pair's A side must be live).
+	res := m.Join(probe, &touch.Options{Limit: 5})
+	if res != nil {
+		alive := make(map[geom.ID]bool, len(merged))
+		for _, o := range merged {
+			alive[o.ID] = true
+		}
+		full, _ := rebuilt.JoinCtx(context.Background(), probe, nil)
+		wantN := min(5, len(full.Pairs))
+		if len(res.Pairs) != wantN {
+			t.Fatalf("Limit=5 delivered %d pairs, want %d", len(res.Pairs), wantN)
+		}
+		for _, p := range res.Pairs {
+			if !alive[p.A] {
+				t.Fatalf("Limit join delivered tombstoned pair %v", p)
+			}
+		}
+	}
+}
+
+// TestDifferentialMutable drives random op scripts — insert a random
+// batch, delete a random subset (live IDs, repeats and unknowns mixed),
+// or compact — and verifies the full rebuild equivalence after every
+// step, across several seeds and base shapes.
+func TestDifferentialMutable(t *testing.T) {
+	bases := []struct {
+		name string
+		ds   touch.Dataset
+	}{
+		{"uniform", touch.GenerateUniform(250, 9001).Expand(10)},
+		{"clustered", touch.GenerateClustered(200, 9002).Expand(6)},
+		{"empty", nil},
+	}
+	for _, base := range bases {
+		for seed := int64(0); seed < 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", base.name, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(9100 + seed))
+				m, err := touch.NewMutable(base.ds, touch.TOUCHConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.SetCompactThreshold(0) // compaction only via the explicit op
+				probe := touch.GenerateUniform(120, 9200+seed)
+
+				for step := 0; step < 12; step++ {
+					switch op := rng.Intn(5); {
+					case op <= 1: // insert
+						if _, err := m.Insert(randBoxes(rng, 1+rng.Intn(40))); err != nil {
+							t.Fatalf("step %d insert: %v", step, err)
+						}
+					case op <= 3: // delete
+						ids := liveIDs(m)
+						var del []geom.ID
+						for i := 0; i < rng.Intn(20); i++ {
+							if len(ids) > 0 && rng.Intn(4) > 0 {
+								del = append(del, ids[rng.Intn(len(ids))]) // live (maybe repeated)
+							} else {
+								del = append(del, geom.ID(rng.Intn(100000))) // likely unknown
+							}
+						}
+						m.Delete(del)
+					default: // compact
+						m.Compact()
+					}
+					checkMutableAgainstRebuild(t, m, probe, 9300+seed*100+int64(step))
+				}
+			})
+		}
+	}
+}
+
+// TestMutableStatsAndIDs pins the bookkeeping contract: consecutive
+// ascending IDs from Insert, idempotent Delete, live-object accounting
+// and monotone IDs across a compaction (never reused).
+func TestMutableStatsAndIDs(t *testing.T) {
+	m, err := touch.NewMutable(touch.GenerateUniform(10, 42), touch.TOUCHConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetCompactThreshold(0)
+
+	ids, err := m.Insert(randBoxes(rand.New(rand.NewSource(1)), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(ids, []geom.ID{10, 11, 12}) {
+		t.Fatalf("Insert IDs = %v, want [10 11 12]", ids)
+	}
+	if n := m.Delete([]geom.ID{11, 11, 999}); n != 1 {
+		t.Fatalf("Delete = %d, want 1", n)
+	}
+	st := m.Stats()
+	if st.Objects != 12 || st.DeltaInserts != 3 || st.DeltaTombstones != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+
+	if !m.Compact() {
+		t.Fatal("Compact had nothing to fold")
+	}
+	st = m.Stats()
+	if st.Compactions != 1 || st.DeltaInserts != 0 || st.DeltaTombstones != 0 || st.Base.Objects != 12 {
+		t.Fatalf("post-compact Stats = %+v", st)
+	}
+	// IDs continue after the compacted generation — 11 is never reused.
+	ids, err = m.Insert(randBoxes(rand.New(rand.NewSource(2)), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(ids, []geom.ID{13}) {
+		t.Fatalf("post-compact Insert IDs = %v, want [13]", ids)
+	}
+}
+
+// TestMutableRace is the -race centerpiece for the delta layer: eight
+// readers hammer every query and join shape while one writer inserts
+// and deletes and the auto-compactor (threshold 24) hot-swaps the base
+// underneath. Readers verify structural invariants that hold under any
+// interleaving — sorted unique range IDs, KNN ordering, join pair
+// sanity — since the moving target has no single oracle answer.
+func TestMutableRace(t *testing.T) {
+	m, err := touch.NewMutable(touch.GenerateUniform(400, 7777).Expand(8), touch.TOUCHConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetCompactThreshold(24)
+	probe := touch.GenerateUniform(60, 7778)
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 16)
+
+	const readers = 8
+	done := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(7800 + r)))
+			for i := 0; ctx.Err() == nil; i++ {
+				switch i % 5 {
+				case 0:
+					q := geom.NewBox(geom.Point{0, 0, 0}, geom.Point{1200, 1200, 1200})
+					ids, err := m.RangeQuery(q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !slices.IsSorted(ids) {
+						errs <- fmt.Errorf("reader %d: unsorted range IDs", r)
+						return
+					}
+					for j := 1; j < len(ids); j++ {
+						if ids[j] == ids[j-1] {
+							errs <- fmt.Errorf("reader %d: duplicate ID %d", r, ids[j])
+							return
+						}
+					}
+				case 1:
+					if _, err := m.PointQuery(rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*1000); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					nbrs, err := m.KNN(geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}, 10)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := 1; j < len(nbrs); j++ {
+						if nbrs[j].Distance < nbrs[j-1].Distance {
+							errs <- fmt.Errorf("reader %d: KNN out of order", r)
+							return
+						}
+					}
+				case 3:
+					if _, err := m.DistanceJoinCtx(ctx, probe, 5, &touch.Options{Workers: 2}); err != nil && ctx.Err() == nil {
+						errs <- err
+						return
+					}
+				default:
+					n := 0
+					for _, err := range m.JoinSeq(ctx, probe, nil) {
+						if err != nil {
+							if ctx.Err() == nil {
+								errs <- err
+							}
+							return
+						}
+						if n++; n >= 500 {
+							break
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	writer := make(chan struct{})
+	go func() {
+		defer close(writer)
+		rng := rand.New(rand.NewSource(7900))
+		for i := 0; i < 300; i++ {
+			if i%3 == 0 {
+				ids := liveIDs(m)
+				var del []geom.ID
+				for j := 0; j < 8 && len(ids) > 0; j++ {
+					del = append(del, ids[rng.Intn(len(ids))])
+				}
+				m.Delete(del)
+			} else {
+				if _, err := m.Insert(randBoxes(rng, 12)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	<-writer
+	cancel()
+	for r := 0; r < readers; r++ {
+		<-done
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	// The writer pushed the delta past the threshold repeatedly; at
+	// least one background compaction must have landed. Wait for any
+	// straggler to publish, then verify the final state against a
+	// rebuild.
+	m.Compact()
+	if st := m.Stats(); st.Compactions < 1 {
+		t.Fatalf("no compaction ran (stats %+v)", st)
+	}
+	checkMutableAgainstRebuild(t, m, probe, 7999)
+}

@@ -1,0 +1,92 @@
+package testutil
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"touch"
+	"touch/internal/geom"
+)
+
+// FuzzDeltaMerge: an arbitrary byte-driven script of inserts, deletes
+// and compactions applied to a Mutable must leave every query shape
+// and the join bit-identical to an index rebuilt from the merged
+// dataset — the adversarial counterpart of TestDifferentialMutable,
+// on the same coarse coordinate lattice as the other fuzz targets so
+// boundary touches, duplicate boxes and distance ties are common.
+func FuzzDeltaMerge(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add([]byte{0x05, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+		0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		base, off := fuzzDataset(data, 2, int(data[0])%24)
+		m, err := touch.NewMutable(base, touch.TOUCHConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetCompactThreshold(0)
+
+		// Script: each leading byte picks an op, consuming operands
+		// from the remaining stream.
+		ops := 0
+		for off < len(data) && ops < 24 {
+			op := data[off]
+			off++
+			ops++
+			switch op % 4 {
+			case 0, 1: // insert up to 3 boxes
+				n := min(int(op/4)%3+1, (len(data)-off)/bytesPerBox)
+				boxes := make([]geom.Box, 0, n)
+				for j := 0; j < n; j++ {
+					boxes = append(boxes, fuzzBox(data, off))
+					off += bytesPerBox
+				}
+				if _, err := m.Insert(boxes); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // delete an ID derived from the stream
+				if off >= len(data) {
+					break
+				}
+				m.Delete([]geom.ID{geom.ID(data[off]) % 64})
+				off++
+			default:
+				m.Compact()
+			}
+		}
+
+		merged := m.Dataset()
+		rebuilt := touch.BuildIndex(merged, touch.TOUCHConfig{})
+		boxes, points, ks := QueryWorkload(int64(len(data))*31+int64(data[1]), 4)
+		for i := range boxes {
+			got, err := m.RangeQuery(boxes[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := rebuilt.RangeQuery(boxes[i])
+			if !slices.Equal(got, want) {
+				t.Fatalf("RangeQuery diverges from rebuild: got %v, want %v", got, want)
+			}
+			p := points[i]
+			gotK, err := m.KNN(p, ks[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantK, _ := rebuilt.KNN(p, ks[i])
+			if !slices.Equal(gotK, wantK) {
+				t.Fatalf("KNN diverges from rebuild: got %v, want %v", gotK, wantK)
+			}
+		}
+		probe, _ := fuzzDataset(bytes.Repeat(data, 1+120/max(len(data), 1)), 0, 8)
+		res := m.Join(probe, nil)
+		wantRes := rebuilt.Join(probe, nil)
+		got, want := PairSet(res.Pairs), PairSet(wantRes.Pairs)
+		if !slices.Equal(got, want) {
+			t.Fatalf("Join diverges from rebuild: %d pairs, want %d", len(got), len(want))
+		}
+	})
+}

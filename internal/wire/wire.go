@@ -43,6 +43,8 @@
 //	         u8 flags | probe (see below)            → OpCount (count-only)
 //	                                                 | OpPairs* then OpJoinDone
 //	OpCancel (empty; tag names the request to abort) → nothing of its own
+//	OpUpdate str name | u32 nDel | nDel×u32 ids |
+//	         u32 nIns | nIns×box                     → OpUpdateDone
 //
 // The join probe side is either inline boxes (u32 n | n×box) or, with
 // FlagNamedProbe set, a loaded dataset's name (str). str is u16 length +
@@ -89,6 +91,7 @@ const (
 	OpKNN    byte = 0x03
 	OpJoin   byte = 0x04
 	OpCancel byte = 0x05
+	OpUpdate byte = 0x06
 )
 
 // Response opcodes (server → client). Every request gets exactly one
@@ -96,12 +99,13 @@ const (
 // or OpError. OpPairs frames are non-terminal: a streaming join emits any
 // number of them before its OpJoinDone (or OpError, when canceled).
 const (
-	OpIDs       byte = 0x81
-	OpNeighbors byte = 0x82
-	OpCount     byte = 0x83
-	OpPairs     byte = 0x84
-	OpJoinDone  byte = 0x85
-	OpError     byte = 0x86
+	OpIDs        byte = 0x81
+	OpNeighbors  byte = 0x82
+	OpCount      byte = 0x83
+	OpPairs      byte = 0x84
+	OpJoinDone   byte = 0x85
+	OpError      byte = 0x86
+	OpUpdateDone byte = 0x87
 )
 
 // Join request flags.
@@ -525,6 +529,68 @@ func DecodeJoinReq(p []byte) (JoinReq, error) {
 	return req, c.done()
 }
 
+// UpdateReq is a decoded OpUpdate payload: a batch of deletes-then-
+// inserts against one dataset's pending delta. Name aliases the payload;
+// Deletes and Inserts are freshly allocated.
+type UpdateReq struct {
+	Name    []byte
+	Deletes []geom.ID
+	Inserts []geom.Box
+}
+
+// AppendUpdateReq encodes an OpUpdate payload.
+func AppendUpdateReq(dst []byte, name string, deletes []geom.ID, inserts []geom.Box) []byte {
+	dst = AppendStr(dst, name)
+	dst = AppendU32(dst, uint32(len(deletes)))
+	for _, id := range deletes {
+		dst = AppendU32(dst, uint32(id))
+	}
+	dst = AppendU32(dst, uint32(len(inserts)))
+	for _, b := range inserts {
+		dst = AppendBox(dst, b)
+	}
+	return dst
+}
+
+// DecodeUpdateReq decodes an OpUpdate payload. Both counts are validated
+// against the remaining payload size before anything is allocated, and
+// the insert count must consume the payload exactly.
+func DecodeUpdateReq(p []byte) (UpdateReq, error) {
+	var req UpdateReq
+	c := cursor{b: p}
+	var err error
+	if req.Name, err = c.str(); err != nil {
+		return req, err
+	}
+	nDel, err := c.u32()
+	if err != nil {
+		return req, err
+	}
+	// The delete section is followed by at least the 4-byte insert count.
+	if int64(nDel)*4+4 > int64(c.remaining()) {
+		return req, malformed("update claims %d delete ids, %d payload bytes remain", nDel, c.remaining())
+	}
+	req.Deletes = make([]geom.ID, nDel)
+	for i := range req.Deletes {
+		w, _ := c.u32() // size proven above
+		req.Deletes[i] = geom.ID(int32(w))
+	}
+	nIns, err := c.u32()
+	if err != nil {
+		return req, err
+	}
+	if int64(nIns)*boxSize != int64(c.remaining()) {
+		return req, malformed("update claims %d insert boxes, %d payload bytes remain", nIns, c.remaining())
+	}
+	req.Inserts = make([]geom.Box, nIns)
+	for i := range req.Inserts {
+		if req.Inserts[i], err = c.box(); err != nil {
+			return req, err
+		}
+	}
+	return req, c.done()
+}
+
 // --- responses ----------------------------------------------------------
 
 // AppendIDsResp encodes an OpIDs payload: the answering catalog version
@@ -654,6 +720,58 @@ func AppendJoinDoneResp(dst []byte, version, count int64) []byte {
 // DecodeJoinDoneResp decodes an OpJoinDone payload.
 func DecodeJoinDoneResp(p []byte) (version, count int64, err error) {
 	return DecodeCountResp(p)
+}
+
+// UpdateResp is a decoded OpUpdateDone payload.
+type UpdateResp struct {
+	// Version is the base version the update was applied against (the
+	// answers merging it in still advertise this version).
+	Version int64
+	// FirstID is the first assigned insert ID, -1 when nothing was
+	// inserted; the batch's IDs are consecutive from it.
+	FirstID int64
+	// Inserted and Deleted count the applied operations (Deleted counts
+	// live objects actually tombstoned).
+	Inserted int
+	Deleted  int
+	// DeltaInserts and DeltaTombstones are the dataset's pending delta
+	// sizes after this update.
+	DeltaInserts    int
+	DeltaTombstones int
+}
+
+// AppendUpdateResp encodes an OpUpdateDone payload.
+func AppendUpdateResp(dst []byte, r UpdateResp) []byte {
+	dst = AppendU64(dst, uint64(r.Version))
+	dst = AppendU64(dst, uint64(r.FirstID))
+	dst = AppendU32(dst, uint32(r.Inserted))
+	dst = AppendU32(dst, uint32(r.Deleted))
+	dst = AppendU32(dst, uint32(r.DeltaInserts))
+	return AppendU32(dst, uint32(r.DeltaTombstones))
+}
+
+// DecodeUpdateResp decodes an OpUpdateDone payload.
+func DecodeUpdateResp(p []byte) (UpdateResp, error) {
+	var r UpdateResp
+	c := cursor{b: p}
+	v, err := c.u64()
+	if err != nil {
+		return r, err
+	}
+	r.Version = int64(v)
+	f, err := c.u64()
+	if err != nil {
+		return r, err
+	}
+	r.FirstID = int64(f)
+	for _, dst := range []*int{&r.Inserted, &r.Deleted, &r.DeltaInserts, &r.DeltaTombstones} {
+		w, err := c.u32()
+		if err != nil {
+			return r, err
+		}
+		*dst = int(w)
+	}
+	return r, c.done()
 }
 
 // AppendErrorResp encodes an OpError payload: a machine-readable code

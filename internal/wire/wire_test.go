@@ -258,3 +258,68 @@ func TestReaderSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state reads allocate %.1f/run, want <= 2", allocs)
 	}
 }
+
+func TestUpdateReqRoundtrip(t *testing.T) {
+	dels := []geom.ID{3, 17, 4}
+	ins := []geom.Box{box(0, 0, 0, 1, 1, 1), box(5, 5, 5, 9, 9, 9)}
+	p := AppendUpdateReq(nil, "cells", dels, ins)
+	req, err := DecodeUpdateReq(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Name) != "cells" || len(req.Deletes) != 3 || len(req.Inserts) != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+	for i, id := range dels {
+		if req.Deletes[i] != id {
+			t.Fatalf("delete %d: %d != %d", i, req.Deletes[i], id)
+		}
+	}
+	for i, b := range ins {
+		if req.Inserts[i] != b {
+			t.Fatalf("insert %d: %v != %v", i, req.Inserts[i], b)
+		}
+	}
+
+	// Empty halves survive the trip.
+	req, err = DecodeUpdateReq(AppendUpdateReq(nil, "cells", nil, nil))
+	if err != nil || len(req.Deletes) != 0 || len(req.Inserts) != 0 {
+		t.Fatalf("empty: %+v %v", req, err)
+	}
+
+	// Hostile delete count: claims more IDs than the payload carries.
+	p = AppendUpdateReq(nil, "a", []geom.ID{1}, nil)
+	countOff := 2 + 1 // u16 name len + name
+	p[countOff] = 0xFF
+	p[countOff+1] = 0xFF
+	p[countOff+2] = 0xFF
+	p[countOff+3] = 0x7F
+	if _, err := DecodeUpdateReq(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("hostile delete count: %v, want ErrMalformed", err)
+	}
+	// Insert bytes must divide into whole boxes, exactly.
+	p = AppendUpdateReq(nil, "a", nil, []geom.Box{box(0, 0, 0, 1, 1, 1)})
+	if _, err := DecodeUpdateReq(p[:len(p)-1]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated insert: %v, want ErrMalformed", err)
+	}
+	if _, err := DecodeUpdateReq(append(p, 0)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing byte: %v, want ErrMalformed", err)
+	}
+}
+
+func TestUpdateRespRoundtrip(t *testing.T) {
+	want := UpdateResp{Version: 9, FirstID: 1024, Inserted: 3, Deleted: 2, DeltaInserts: 40, DeltaTombstones: 7}
+	got, err := DecodeUpdateResp(AppendUpdateResp(nil, want))
+	if err != nil || got != want {
+		t.Fatalf("got %+v, %v", got, err)
+	}
+	// FirstID -1 marks an insert-free batch and must survive the i64 word.
+	want = UpdateResp{Version: 2, FirstID: -1, Deleted: 5}
+	got, err = DecodeUpdateResp(AppendUpdateResp(nil, want))
+	if err != nil || got != want {
+		t.Fatalf("no-insert ack: %+v, %v", got, err)
+	}
+	if _, err := DecodeUpdateResp(AppendUpdateResp(nil, want)[:10]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated resp: %v, want ErrMalformed", err)
+	}
+}

@@ -1,0 +1,322 @@
+package touch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"touch/internal/delta"
+)
+
+// ErrIDSpaceExhausted is returned by Mutable.Insert when assigning the
+// requested IDs would overflow the 31-bit object ID space. IDs are
+// never reused — not even across compactions — so a very long-lived
+// Mutable with heavy churn can run out even while its live object
+// count is small.
+var ErrIDSpaceExhausted = errors.New("touch: object ID space exhausted")
+
+// DefaultCompactThreshold is the delta size (inserts + tombstones) at
+// which a Mutable schedules a background compaction unless
+// SetCompactThreshold chose otherwise.
+const DefaultCompactThreshold = 4096
+
+// Mutable is an incrementally updatable index: an immutable base Index
+// plus a small delta of pending inserts and tombstones, presented
+// through the familiar query and join surface. Reads are lock-free —
+// they load one atomic pointer to an immutable (base, delta) view — and
+// are safe concurrently with writers and with the background
+// compaction that periodically folds the delta into a fresh base index.
+//
+// The consistency contract: every query and join answers exactly as an
+// Index rebuilt from Dataset() (the merged live objects) would at that
+// moment, and each call observes one atomic view — a compaction or a
+// concurrent write is either entirely visible or not at all. Inserted
+// objects receive fresh ascending IDs (starting after the largest base
+// ID) that are never reused; Delete tombstones by ID and unknown or
+// already-deleted IDs are ignored.
+//
+// Writers (Insert, Delete, Compact, SetCompactThreshold) serialize on
+// an internal mutex; reads never block on it. The zero Mutable is not
+// usable — construct with NewMutable.
+type Mutable struct {
+	cfg TOUCHConfig
+
+	// mu serializes mutations and view publication. Reads only Load.
+	mu   sync.Mutex
+	view atomic.Pointer[mutView]
+
+	// threshold is the auto-compaction trigger (<= 0 disabled); guarded
+	// by mu.
+	threshold int
+
+	// compactMu serializes compactions; compactQueued dedupes the
+	// background trigger so at most one goroutine is ever in flight.
+	compactMu     sync.Mutex
+	compactQueued atomic.Bool
+	compactions   atomic.Int64
+}
+
+// mutView is one immutable generation of a Mutable: the base dataset
+// and its index, the pending delta and the merged read engine (nil
+// Overlay means the delta is empty and reads go straight to the index).
+type mutView struct {
+	base Dataset // ID-ascending
+	idx  *Index
+	d    *delta.Delta
+	ov   *Overlay
+}
+
+// inBase reports whether id is one of the base objects, by binary
+// search over the ID-ascending base dataset.
+func (v *mutView) inBase(id ID) bool {
+	_, ok := slices.BinarySearchFunc(v.base, id, func(o Object, id ID) int {
+		return int(o.ID) - int(id)
+	})
+	return ok
+}
+
+func overlayFor(idx *Index, d *delta.Delta) *Overlay {
+	if d.Empty() {
+		return nil
+	}
+	return NewOverlay(idx, d.Live(), d.TombIDs())
+}
+
+// NewMutable builds the base index over ds (zero cfg = paper defaults,
+// as BuildIndex) and returns a Mutable ready for updates. The dataset
+// is cloned and sorted by ID; duplicate IDs are rejected. Auto-
+// compaction starts enabled at DefaultCompactThreshold.
+func NewMutable(ds Dataset, cfg TOUCHConfig) (*Mutable, error) {
+	base := slices.Clone(ds)
+	slices.SortFunc(base, func(a, b Object) int { return int(a.ID) - int(b.ID) })
+	for i := 1; i < len(base); i++ {
+		if base[i].ID == base[i-1].ID {
+			return nil, fmt.Errorf("touch: duplicate object ID %d", base[i].ID)
+		}
+	}
+	m := &Mutable{cfg: cfg, threshold: DefaultCompactThreshold}
+	m.view.Store(&mutView{
+		base: base,
+		idx:  BuildIndex(base, cfg),
+		d:    delta.NewForBase(base),
+	})
+	return m, nil
+}
+
+// SetCompactThreshold sets the delta size (inserts + tombstones) that
+// triggers a background compaction; n <= 0 disables automatic
+// compaction (Compact can still be called explicitly). If the current
+// delta already meets the new threshold a compaction is scheduled
+// immediately.
+func (m *Mutable) SetCompactThreshold(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.threshold = n
+	m.maybeCompact(m.view.Load().d.Size())
+}
+
+// maybeCompact schedules a background compaction when the delta size
+// has reached the threshold and none is already queued. Caller holds
+// m.mu.
+func (m *Mutable) maybeCompact(size int) {
+	if m.threshold <= 0 || size < m.threshold {
+		return
+	}
+	if !m.compactQueued.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer m.compactQueued.Store(false)
+		m.Compact()
+	}()
+}
+
+// Insert adds one object per box and returns the assigned IDs, which
+// are consecutive and ascending. Boxes are validated like
+// DatasetFromBoxes (NaN, Inf and inverted corners rejected); on any
+// error nothing is inserted.
+func (m *Mutable) Insert(boxes []Box) ([]ID, error) {
+	for _, b := range boxes {
+		if err := checkDataBox(b); err != nil {
+			return nil, err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view.Load()
+	if !v.d.CanInsert(len(boxes)) {
+		return nil, ErrIDSpaceExhausted
+	}
+	nd, first := v.d.Insert(boxes)
+	if len(boxes) > 0 {
+		m.view.Store(&mutView{base: v.base, idx: v.idx, d: nd, ov: overlayFor(v.idx, nd)})
+		m.maybeCompact(nd.Size())
+	}
+	ids := make([]ID, len(boxes))
+	for i := range ids {
+		ids[i] = first + ID(i)
+	}
+	return ids, nil
+}
+
+// Delete tombstones the given IDs and reports how many were live —
+// unknown and already-deleted IDs are skipped silently, so Delete is
+// idempotent.
+func (m *Mutable) Delete(ids []ID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.view.Load()
+	nd, n := v.d.Delete(ids, v.inBase)
+	if n > 0 {
+		m.view.Store(&mutView{base: v.base, idx: v.idx, d: nd, ov: overlayFor(v.idx, nd)})
+		m.maybeCompact(nd.Size())
+	}
+	return n
+}
+
+// Compact synchronously folds the current delta into a fresh base
+// index and publishes it, returning whether there was anything to fold.
+// The expensive build runs without blocking writers or readers; only
+// the final pointer swap takes the writer lock, where updates that
+// arrived during the build carry over into the new (small) delta.
+// Concurrent Compact calls serialize.
+func (m *Mutable) Compact() bool {
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+	v0 := m.view.Load()
+	if v0.d.Empty() {
+		return false
+	}
+	merged := v0.d.Merged(v0.base)
+	idx := BuildIndex(merged, m.cfg)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Writers never replace the base and compactMu makes us the only
+	// compactor, so the current delta still descends from v0's.
+	v1 := m.view.Load()
+	nd := v1.d.Since(v0.d)
+	m.view.Store(&mutView{base: merged, idx: idx, d: nd, ov: overlayFor(idx, nd)})
+	m.compactions.Add(1)
+	return true
+}
+
+// Dataset returns the merged live objects — base survivors plus live
+// inserts, ID-ascending — as a fresh slice. An Index built from it is
+// the rebuild oracle the Mutable's answers are defined against.
+func (m *Mutable) Dataset() Dataset {
+	v := m.view.Load()
+	return slices.Clone(v.d.Merged(v.base))
+}
+
+// MutableStats describes a Mutable at one instant: the base index
+// shape, the live object count across base and delta, the pending
+// delta size and how many compactions have folded so far.
+type MutableStats struct {
+	// Base is the shape of the current base index (its Objects count
+	// includes base objects that are tombstoned in the delta).
+	Base IndexStats
+	// Objects is the number of live objects over base + delta.
+	Objects int
+	// DeltaInserts and DeltaTombstones are the pending update counts;
+	// their sum is compared against the compaction threshold.
+	DeltaInserts    int
+	DeltaTombstones int
+	// Compactions counts the delta folds published since NewMutable.
+	Compactions int64
+}
+
+// Stats reports the current state. Safe concurrently with everything.
+func (m *Mutable) Stats() MutableStats {
+	v := m.view.Load()
+	return MutableStats{
+		Base:            v.idx.Stats(),
+		Objects:         len(v.base) + v.d.Inserts() - v.d.Tombstones(),
+		DeltaInserts:    v.d.Inserts(),
+		DeltaTombstones: v.d.Tombstones(),
+		Compactions:     m.compactions.Load(),
+	}
+}
+
+// RangeQuery is Index.RangeQuery over the merged live objects.
+func (m *Mutable) RangeQuery(q Box) ([]ID, error) {
+	if v := m.view.Load(); v.ov != nil {
+		return v.ov.RangeQuery(q)
+	} else {
+		return v.idx.RangeQuery(q)
+	}
+}
+
+// PointQuery is Index.PointQuery over the merged live objects.
+func (m *Mutable) PointQuery(x, y, z float64) ([]ID, error) {
+	if v := m.view.Load(); v.ov != nil {
+		return v.ov.PointQuery(x, y, z)
+	} else {
+		return v.idx.PointQuery(x, y, z)
+	}
+}
+
+// KNN is Index.KNN over the merged live objects.
+func (m *Mutable) KNN(q Point, k int) ([]Neighbor, error) {
+	if v := m.view.Load(); v.ov != nil {
+		return v.ov.KNN(q, k)
+	} else {
+		return v.idx.KNN(q, k)
+	}
+}
+
+// Join is Index.Join over the merged live objects.
+func (m *Mutable) Join(b Dataset, opt *Options) *Result {
+	res, _ := m.JoinCtx(context.Background(), b, opt)
+	return res
+}
+
+// JoinCtx is Index.JoinCtx over the merged live objects. The view is
+// captured once at entry: a concurrent write or compaction never mixes
+// into a running join.
+func (m *Mutable) JoinCtx(ctx context.Context, b Dataset, opt *Options) (*Result, error) {
+	if v := m.view.Load(); v.ov != nil {
+		return v.ov.JoinCtx(ctx, b, opt)
+	} else {
+		return v.idx.JoinCtx(ctx, b, opt)
+	}
+}
+
+// DistanceJoin is Index.DistanceJoin over the merged live objects.
+func (m *Mutable) DistanceJoin(b Dataset, eps float64, opt *Options) (*Result, error) {
+	return m.DistanceJoinCtx(context.Background(), b, eps, opt)
+}
+
+// DistanceJoinCtx is Index.DistanceJoinCtx over the merged live
+// objects.
+func (m *Mutable) DistanceJoinCtx(ctx context.Context, b Dataset, eps float64, opt *Options) (*Result, error) {
+	if v := m.view.Load(); v.ov != nil {
+		return v.ov.DistanceJoinCtx(ctx, b, eps, opt)
+	} else {
+		return v.idx.DistanceJoinCtx(ctx, b, eps, opt)
+	}
+}
+
+// JoinSeq is Index.JoinSeq over the merged live objects. The view is
+// captured when the iterator starts; updates during iteration don't
+// affect the stream.
+func (m *Mutable) JoinSeq(ctx context.Context, b Dataset, opt *Options) iter.Seq2[Pair, error] {
+	if v := m.view.Load(); v.ov != nil {
+		return v.ov.JoinSeq(ctx, b, opt)
+	} else {
+		return v.idx.JoinSeq(ctx, b, opt)
+	}
+}
+
+// DistanceJoinSeq is Index.DistanceJoinSeq over the merged live
+// objects, with JoinSeq's view-capture semantics.
+func (m *Mutable) DistanceJoinSeq(ctx context.Context, b Dataset, eps float64, opt *Options) iter.Seq2[Pair, error] {
+	if v := m.view.Load(); v.ov != nil {
+		return v.ov.DistanceJoinSeq(ctx, b, eps, opt)
+	} else {
+		return v.idx.DistanceJoinSeq(ctx, b, eps, opt)
+	}
+}

@@ -1,0 +1,227 @@
+package touch
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"iter"
+	"slices"
+
+	"touch/internal/geom"
+	"touch/internal/nl"
+	"touch/internal/stats"
+)
+
+// Overlay combines an immutable base Index with a small set of pending
+// updates — inserted objects and deleted (tombstoned) IDs — and
+// presents the Index query and join surface over the merged state. Base
+// answers are filtered against the tombstones and united with a
+// brute-force pass over the inserts, so every answer is bit-identical
+// to what an index rebuilt from the merged dataset would return, at a
+// cost linear in the (small) insert buffer.
+//
+// An Overlay is an immutable value: it holds references, never copies
+// the base, and is safe for arbitrary concurrent callers, exactly like
+// Index. The write side lives elsewhere (Mutable here, the serving
+// catalog in touchserved); both publish a fresh Overlay per mutation
+// through an atomic pointer.
+//
+// Two invariants are assumed, not checked: every insert ID is greater
+// than every ID the base index holds (so merged ID lists stay sorted by
+// concatenation — a violation is detected and repaired with an explicit
+// sort), and inserts contains no tombstoned objects (filter with
+// Delta.Live or equivalent before constructing).
+type Overlay struct {
+	idx     *Index
+	inserts Dataset
+	tombs   map[ID]struct{}
+}
+
+// NewOverlay builds an Overlay over idx with the given live inserted
+// objects and deleted IDs. The slices are retained, not copied; treat
+// them as frozen afterwards.
+func NewOverlay(idx *Index, inserts Dataset, deleted []ID) *Overlay {
+	v := &Overlay{idx: idx, inserts: inserts}
+	if len(deleted) > 0 {
+		v.tombs = make(map[ID]struct{}, len(deleted))
+		for _, id := range deleted {
+			v.tombs[id] = struct{}{}
+		}
+	}
+	return v
+}
+
+// Base returns the underlying base index.
+func (v *Overlay) Base() *Index { return v.idx }
+
+// filterIDs removes tombstoned IDs from ids in place.
+func (v *Overlay) filterIDs(ids []ID) []ID {
+	if len(v.tombs) == 0 {
+		return ids
+	}
+	live := ids[:0]
+	for _, id := range ids {
+		if _, dead := v.tombs[id]; !dead {
+			live = append(live, id)
+		}
+	}
+	return live
+}
+
+// mergeIDs appends the insert-side IDs to the (already filtered) base
+// IDs. Insert IDs are greater than base IDs by the Overlay invariant,
+// so concatenation preserves ascending order; the check-and-sort is the
+// cheap repair path for callers that broke the invariant.
+func mergeIDs(baseIDs, extra []ID) []ID {
+	ids := append(baseIDs, extra...)
+	if !slices.IsSorted(ids) {
+		slices.Sort(ids)
+	}
+	return ids
+}
+
+// RangeQuery returns the IDs of every live object whose MBR intersects
+// q, sorted ascending — Index.RangeQuery over the merged state, with
+// identical validation and semantics.
+func (v *Overlay) RangeQuery(q Box) ([]ID, error) {
+	ids, err := v.idx.RangeQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return mergeIDs(v.filterIDs(ids), nl.RangeQuery(v.inserts, q)), nil
+}
+
+// PointQuery returns the IDs of every live object whose MBR contains
+// the point, sorted ascending — Index.PointQuery over the merged state.
+func (v *Overlay) PointQuery(x, y, z float64) ([]ID, error) {
+	ids, err := v.idx.PointQuery(x, y, z)
+	if err != nil {
+		return nil, err
+	}
+	return mergeIDs(v.filterIDs(ids), nl.PointQuery(v.inserts, Point{x, y, z})), nil
+}
+
+// KNN returns the k live objects nearest to q with Index.KNN's exact
+// (Distance, ID) ordering and tie-breaking over the merged state. The
+// base index is asked for k plus one candidate per tombstone — the
+// tombstones can shadow at most that many of its answers — and the
+// survivors merge with a brute-force scan of the inserts.
+func (v *Overlay) KNN(q Point, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrInvalidK, k)
+	}
+	nbrs, err := v.idx.KNN(q, k+len(v.tombs))
+	if err != nil {
+		return nil, err
+	}
+	if len(v.tombs) > 0 {
+		live := nbrs[:0]
+		for _, n := range nbrs {
+			if _, dead := v.tombs[n.ID]; !dead {
+				live = append(live, n)
+			}
+		}
+		nbrs = live
+	}
+	if len(v.inserts) > 0 {
+		nbrs = append(nbrs, nl.KNN(v.inserts, q, k)...)
+		slices.SortFunc(nbrs, func(a, b Neighbor) int {
+			if a.Distance != b.Distance {
+				return cmp.Compare(a.Distance, b.Distance)
+			}
+			return cmp.Compare(a.ID, b.ID)
+		})
+	}
+	return nbrs[:min(k, len(nbrs))], nil
+}
+
+// runMerged executes one merged join: the base index probe with a
+// tombstone filter in front of the delivery chain, then — unless the
+// join was stopped — the brute-force insert pass into the same chain.
+// The engine counts every emission in c.Results before the filter can
+// see it, so the dropped pairs are subtracted afterwards, keeping
+// Stats.Results equal to the delivered (live) pair count.
+func (v *Overlay) runMerged(b Dataset, workers int, ctl *stats.Control, c *Stats, sink Sink) {
+	base := sink
+	var dropped int64
+	if len(v.tombs) > 0 {
+		base = stats.FuncSink(func(a, bid geom.ID) {
+			if _, dead := v.tombs[a]; dead {
+				dropped++
+				return
+			}
+			sink.Emit(a, bid)
+		})
+	}
+	v.idx.runProbe(b, workers, ctl, c, base)
+	c.Results -= dropped
+	if ctl.Stopped() {
+		return
+	}
+	if len(v.inserts) > 0 {
+		nl.Join(v.inserts, b, ctl, c, sink)
+	}
+}
+
+// Join is Index.Join over the merged state: pairs in (indexed dataset,
+// b) orientation, every Options knob honored. Pair order is the base
+// engine's emission order followed by the insert pass — arbitrary under
+// parallelism, as with Index; sort with Result.SortPairs for a
+// canonical order.
+func (v *Overlay) Join(b Dataset, opt *Options) *Result {
+	res, _ := v.JoinCtx(context.Background(), b, opt)
+	return res
+}
+
+// JoinCtx is Join under a context, with Index.JoinCtx's cancellation
+// and limit semantics: both the base probe and the insert pass abort
+// cooperatively, and Options.Limit counts only live (delivered) pairs.
+func (v *Overlay) JoinCtx(ctx context.Context, b Dataset, opt *Options) (*Result, error) {
+	o := opt.normalized()
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
+	}
+	ctl := control(ctx, &o)
+	res := &Result{}
+	sink, finish := joinSink(&o, false, ctl, res)
+	v.runMerged(b, o.Workers, ctl, &res.Stats, sink)
+	if err := canceledErr(ctx, ctl); err != nil {
+		return nil, err
+	}
+	finish()
+	return res, nil
+}
+
+// DistanceJoin is Index.DistanceJoin over the merged state.
+func (v *Overlay) DistanceJoin(b Dataset, eps float64, opt *Options) (*Result, error) {
+	return v.DistanceJoinCtx(context.Background(), b, eps, opt)
+}
+
+// DistanceJoinCtx is DistanceJoin under a context. Like
+// Index.DistanceJoinCtx it expands the probe side by eps (the identity
+// at eps = 0), so base and insert passes see the same expanded probe.
+func (v *Overlay) DistanceJoinCtx(ctx context.Context, b Dataset, eps float64, opt *Options) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	return v.JoinCtx(ctx, b.Expand(eps), opt)
+}
+
+// JoinSeq is Index.JoinSeq over the merged state: the streaming
+// iterator form of JoinCtx, yielding base-probe pairs (tombstones
+// filtered) followed by the insert pass.
+func (v *Overlay) JoinSeq(ctx context.Context, b Dataset, opt *Options) iter.Seq2[Pair, error] {
+	o := opt.normalized()
+	return streamJoin(ctx, &o, false, func(ctl *stats.Control, c *Stats, sink Sink) {
+		v.runMerged(b, o.Workers, ctl, c, sink)
+	})
+}
+
+// DistanceJoinSeq is JoinSeq with the probe expanded by eps, mirroring
+// Index.DistanceJoinSeq.
+func (v *Overlay) DistanceJoinSeq(ctx context.Context, b Dataset, eps float64, opt *Options) iter.Seq2[Pair, error] {
+	if err := checkEps(eps); err != nil {
+		return func(yield func(Pair, error) bool) { yield(Pair{}, err) }
+	}
+	return v.JoinSeq(ctx, b.Expand(eps), opt)
+}

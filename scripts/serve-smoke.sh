@@ -16,11 +16,23 @@ BIN="$WORK/touchserved"
 LOG="$WORK/touchserved.log"
 DATA="$WORK/smoke.txt"
 
+# cleanup runs on every exit path, including mid-phase failures and
+# signals: kill the server if one is still up, reap it so no orphan
+# outlives the script, then drop the temp dir.
 cleanup() {
-    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    if [ -n "${PID:-}" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+        PID=
+    fi
     rm -rf "$WORK"
 }
 trap cleanup EXIT
+# A signal must clean up and then report the interruption, not fall
+# through to the success path: re-raise INT for the caller, exit 143
+# (128+SIGTERM) on TERM.
+trap 'cleanup; trap - INT EXIT; kill -INT $$' INT
+trap 'cleanup; trap - EXIT; exit 143' TERM
 
 fail() {
     echo "serve-smoke: FAIL: $1" >&2
@@ -125,6 +137,24 @@ while ! curl -sf "$BASE/metrics" | grep -q 'touchserved_wire_connections 0'; do
     [ $i -lt 50 ] || fail "wire connection gauge never returned to 0"
     sleep 0.1
 done
+
+# --- incremental updates -----------------------------------------------
+# PATCH one insert and one delete into the pending delta; the merged
+# answer must reflect both immediately, and the delta gauges must show
+# the pending entries.
+PATCHED=$(curl -sf -X PATCH "$BASE/v1/datasets/smoke" -H 'Content-Type: application/json' \
+    -d '{"insert":[[40,40,40,41,41,41]],"delete":[0]}') || fail "patch request"
+echo "$PATCHED" | grep -q '"inserted_ids":\[3\]' || fail "patch assigned ids: $PATCHED"
+echo "$PATCHED" | grep -q '"deleted":1' || fail "patch deleted count: $PATCHED"
+post /v1/datasets/smoke/query '{"type":"range","box":[0,0,0,50,50,50]}' \
+    | grep -q '"ids":\[1,2,3\]' || fail "range after patch"
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q 'touchserved_delta_inserts{dataset="smoke"} 1' \
+    || fail "delta insert gauge"
+echo "$METRICS" | grep -q 'touchserved_delta_tombstones{dataset="smoke"} 1' \
+    || fail "delta tombstone gauge"
+echo "$METRICS" | grep -q 'touchserved_requests_total{class="update"} 1' \
+    || fail "update metric class"
 
 # Graceful shutdown: SIGTERM must drain both listeners and exit 0.
 kill -TERM "$PID"
