@@ -34,8 +34,11 @@ vet:
 # BENCH_8 adds the incremental-update points: update-throughput
 # (PATCH-applied insert/delete batches per second against a Mutable) and
 # query-under-mutation (range qps while a writer mutates and compactions
-# fold in the background).
-BENCH_OUT ?= BENCH_8.json
+# fold in the background). BENCH_9 adds the observability points:
+# trace-overhead (the prebuilt-index join with a live span vs the
+# nil-span fast path as baseline_ns) and metrics-scrape (one GET
+# /metrics render against a serving catalog).
+BENCH_OUT ?= BENCH_9.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

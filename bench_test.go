@@ -107,6 +107,29 @@ func BenchmarkJoinS3(b *testing.B)      { benchmarkAlgorithm(b, touch.AlgS3) }
 func BenchmarkJoinINL(b *testing.B)     { benchmarkAlgorithm(b, touch.AlgINL) }
 func BenchmarkJoinRTree(b *testing.B)   { benchmarkAlgorithm(b, touch.AlgRTree) }
 
+// BenchmarkJoinTOUCHTraced is BenchmarkJoinTOUCH with a live span
+// attached. The pair feeds the CI bench-guard: the nil-span (disabled)
+// path must not run measurably slower than this traced one — tracing
+// has to cost nothing when nobody asks for it.
+func BenchmarkJoinTOUCHTraced(b *testing.B) {
+	a := touch.GenerateUniform(8_000, 1)
+	bb := touch.GenerateUniform(24_000, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sp touch.Span
+	for i := 0; i < b.N; i++ {
+		sp = touch.Span{}
+		_, err := touch.DistanceJoin(touch.AlgTOUCH, a, bb, 5,
+			&touch.Options{NoPairs: true, Trace: &sp})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sp.Comparisons == 0 {
+		b.Fatal("armed span recorded no comparisons")
+	}
+}
+
 // BenchmarkTOUCHPhases isolates the three TOUCH phases by reusing a
 // prebuilt index: the loop measures assignment + join only, the way the
 // neuroscientists' build-once pipeline would see it.

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"touch"
+	"touch/internal/trace"
 	"touch/internal/wire"
 )
 
@@ -59,6 +60,8 @@ type call struct {
 	payload  []byte
 	pairs    []touch.Pair // accumulated OpPairs batches (joins)
 	pairsErr error
+	trace    *wire.TraceResp // OpTrace trailer, when the request asked for one
+	traceErr error
 	err      error // connection-level failure
 }
 
@@ -66,6 +69,11 @@ type call struct {
 type Conn struct {
 	nc net.Conn
 	w  *wire.Writer
+
+	// serverInfo is the free-text build identification the server sent in
+	// its hello frame ("touchserved/v1.2.3 rev/abc... go1.x"); empty for
+	// servers predating the info field.
+	serverInfo string
 
 	// wmu serializes frame writes and flushes.
 	wmu sync.Mutex
@@ -76,6 +84,10 @@ type Conn struct {
 	nextTag uint32
 	err     error // sticky; set once by fail
 }
+
+// ServerInfo returns the server's hello-frame build identification,
+// empty when the server did not send one.
+func (c *Conn) ServerInfo() string { return c.serverInfo }
 
 // Dial connects and performs the protocol handshake. The context bounds
 // dialing and the handshake only; it does not govern the connection's
@@ -91,17 +103,18 @@ func Dial(ctx context.Context, addr string) (*Conn, error) {
 	}
 	c := &Conn{nc: nc, w: wire.NewWriter(nc), pending: make(map[uint32]*call)}
 	r := wire.NewReader(nc, 0)
-	if err := c.w.WriteHello(); err == nil {
+	if err := c.w.WriteHello("touchclient/go"); err == nil {
 		err = c.w.Flush()
 	} else {
 		nc.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
-	v, err := r.ReadHello()
+	v, info, err := r.ReadHello()
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
+	c.serverInfo = info
 	if v != wire.Version {
 		nc.Close()
 		return nil, fmt.Errorf("client: server speaks protocol version %d, this client speaks %d", v, wire.Version)
@@ -144,8 +157,9 @@ func (c *Conn) fail(err error) {
 }
 
 // readLoop is the connection's single reader: it matches every response
-// frame to its pending call by tag. Non-terminal OpPairs batches
-// accumulate on the call; any other opcode completes it.
+// frame to its pending call by tag. Non-terminal frames — OpPairs
+// batches and the OpTrace trailer — accumulate on the call; any other
+// opcode completes it.
 func (c *Conn) readLoop(r *wire.Reader) {
 	for {
 		op, tag, payload, err := r.ReadFrame()
@@ -153,9 +167,10 @@ func (c *Conn) readLoop(r *wire.Reader) {
 			c.fail(fmt.Errorf("client: read: %w", err))
 			return
 		}
+		nonTerminal := op == wire.OpPairs || op == wire.OpTrace
 		c.mu.Lock()
 		cl := c.pending[tag]
-		if op != wire.OpPairs {
+		if !nonTerminal {
 			delete(c.pending, tag)
 		}
 		c.mu.Unlock()
@@ -165,9 +180,18 @@ func (c *Conn) readLoop(r *wire.Reader) {
 			c.fail(fmt.Errorf("client: response for unknown tag %d (opcode %#02x)", tag, op))
 			return
 		}
-		if op == wire.OpPairs {
+		switch op {
+		case wire.OpPairs:
 			if cl.pairsErr == nil {
 				cl.pairs, cl.pairsErr = wire.DecodePairsResp(payload, cl.pairs)
+			}
+			continue
+		case wire.OpTrace:
+			tr, err := wire.DecodeTraceResp(payload)
+			if err != nil {
+				cl.traceErr = err
+			} else {
+				cl.trace = &tr
 			}
 			continue
 		}
@@ -334,6 +358,55 @@ func decodeUpdate(cl *call) (UpdateResult, error) {
 	return res, nil
 }
 
+// --- tracing --------------------------------------------------------------
+
+// Trace is the per-request engine trace the server returns when a
+// request asks for one (the wire twin of the HTTP X-Touch-Trace
+// response field): the server-assigned request ID, wall time per engine
+// phase, and the engine's work counters for exactly this request.
+type Trace struct {
+	// RequestID is the server-assigned identifier, usable to correlate
+	// with server logs and the slow-query log.
+	RequestID string
+	// PhaseNs holds nanoseconds spent per engine phase, keyed by phase
+	// name ("admission", "decode", "join", ...); phases the request never
+	// entered are absent.
+	PhaseNs map[string]int64
+
+	Comparisons int64
+	NodeTests   int64
+	Filtered    int64
+	Results     int64
+	Replicas    int64
+	// Cancel names why the engine stopped early, "" for a complete run.
+	Cancel string
+}
+
+// callTrace converts an accumulated OpTrace trailer. A missing or
+// malformed trailer yields nil — tracing is best-effort diagnostics and
+// never fails the request it rides on.
+func callTrace(cl *call) *Trace {
+	if cl.trace == nil || cl.traceErr != nil {
+		return nil
+	}
+	t := &Trace{
+		RequestID:   cl.trace.RequestID,
+		PhaseNs:     make(map[string]int64),
+		Comparisons: cl.trace.Comparisons,
+		NodeTests:   cl.trace.NodeTests,
+		Filtered:    cl.trace.Filtered,
+		Results:     cl.trace.Results,
+		Replicas:    cl.trace.Replicas,
+		Cancel:      trace.CancelName(int32(cl.trace.Cancel)),
+	}
+	for i, ns := range cl.trace.PhaseNs {
+		if ns > 0 && i < int(trace.NumPhases) {
+			t.PhaseNs[trace.Phase(i).Name()] = ns
+		}
+	}
+	return t
+}
+
 // --- unary API ------------------------------------------------------------
 
 // Range returns the IDs of indexed objects intersecting the box, and
@@ -346,6 +419,17 @@ func (c *Conn) Range(ctx context.Context, dataset string, b touch.Box) (version 
 	return decodeIDs(cl)
 }
 
+// RangeTraced is Range with per-request tracing: the server returns its
+// engine trace alongside the result.
+func (c *Conn) RangeTraced(ctx context.Context, dataset string, b touch.Box) (version int64, ids []touch.ID, tr *Trace, err error) {
+	cl, err := c.roundTrip(ctx, wire.OpRange, wire.AppendRangeReqFlags(nil, dataset, b, wire.QueryFlagTrace))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	version, ids, err = decodeIDs(cl)
+	return version, ids, callTrace(cl), err
+}
+
 // Point returns the IDs of indexed objects containing the point.
 func (c *Conn) Point(ctx context.Context, dataset string, pt touch.Point) (version int64, ids []touch.ID, err error) {
 	cl, err := c.roundTrip(ctx, wire.OpPoint, wire.AppendPointReq(nil, dataset, pt))
@@ -355,6 +439,16 @@ func (c *Conn) Point(ctx context.Context, dataset string, pt touch.Point) (versi
 	return decodeIDs(cl)
 }
 
+// PointTraced is Point with per-request tracing.
+func (c *Conn) PointTraced(ctx context.Context, dataset string, pt touch.Point) (version int64, ids []touch.ID, tr *Trace, err error) {
+	cl, err := c.roundTrip(ctx, wire.OpPoint, wire.AppendPointReqFlags(nil, dataset, pt, wire.QueryFlagTrace))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	version, ids, err = decodeIDs(cl)
+	return version, ids, callTrace(cl), err
+}
+
 // KNN returns the k nearest indexed objects to the point.
 func (c *Conn) KNN(ctx context.Context, dataset string, pt touch.Point, k int) (version int64, nbrs []touch.Neighbor, err error) {
 	cl, err := c.roundTrip(ctx, wire.OpKNN, wire.AppendKNNReq(nil, dataset, pt, k))
@@ -362,6 +456,16 @@ func (c *Conn) KNN(ctx context.Context, dataset string, pt touch.Point, k int) (
 		return 0, nil, err
 	}
 	return decodeNeighbors(cl)
+}
+
+// KNNTraced is KNN with per-request tracing.
+func (c *Conn) KNNTraced(ctx context.Context, dataset string, pt touch.Point, k int) (version int64, nbrs []touch.Neighbor, tr *Trace, err error) {
+	cl, err := c.roundTrip(ctx, wire.OpKNN, wire.AppendKNNReqFlags(nil, dataset, pt, k, wire.QueryFlagTrace))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	version, nbrs, err = decodeNeighbors(cl)
+	return version, nbrs, callTrace(cl), err
 }
 
 // JoinSpec selects a join's probe side and parameters. Exactly one of
@@ -381,6 +485,17 @@ func (c *Conn) JoinCount(ctx context.Context, dataset string, spec JoinSpec) (ve
 		return 0, 0, err
 	}
 	return decodeCount(cl)
+}
+
+// JoinCountTraced is JoinCount with per-request tracing.
+func (c *Conn) JoinCountTraced(ctx context.Context, dataset string, spec JoinSpec) (version, count int64, tr *Trace, err error) {
+	cl, err := c.roundTrip(ctx, wire.OpJoin,
+		wire.AppendJoinReqFlags(nil, dataset, spec.Eps, spec.Workers, wire.FlagCountOnly|wire.FlagTrace, spec.Probe, spec.Boxes))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	version, count, err = decodeCount(cl)
+	return version, count, callTrace(cl), err
 }
 
 // UpdateSpec is one incremental-update batch against a loaded dataset.
@@ -428,4 +543,15 @@ func (c *Conn) Join(ctx context.Context, dataset string, spec JoinSpec) (version
 		return 0, nil, 0, err
 	}
 	return decodeJoin(cl)
+}
+
+// JoinTraced is Join with per-request tracing.
+func (c *Conn) JoinTraced(ctx context.Context, dataset string, spec JoinSpec) (version int64, pairs []touch.Pair, count int64, tr *Trace, err error) {
+	cl, err := c.roundTrip(ctx, wire.OpJoin,
+		wire.AppendJoinReqFlags(nil, dataset, spec.Eps, spec.Workers, wire.FlagTrace, spec.Probe, spec.Boxes))
+	if err != nil {
+		return 0, nil, 0, nil, err
+	}
+	version, pairs, count, err = decodeJoin(cl)
+	return version, pairs, count, callTrace(cl), err
 }

@@ -45,10 +45,10 @@ func newSilentAfterFirst(t *testing.T) *silentAfterFirst {
 				go func() {
 					// Complete the handshake, then idle: the client
 					// side stays healthy (Err() == nil) indefinitely.
-					buf := make([]byte, 12)
+					buf := make([]byte, 64)
 					io := c
 					if _, err := io.Read(buf); err == nil {
-						wire.WriteHello(io)
+						wire.WriteHello(io, "")
 					}
 				}()
 			}

@@ -38,6 +38,7 @@ type benchPoint struct {
 	Workers     int     `json:"workers,omitempty"`
 	Clients     int     `json:"clients,omitempty"`
 	NsPerOp     int64   `json:"ns_per_op"`
+	BaselineNs  int64   `json:"baseline_ns,omitempty"`
 	QueriesPerS float64 `json:"queries_per_sec,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	BuildNs     int64   `json:"build_ns"`
@@ -193,6 +194,36 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			return err
 		}
 		report.Points = append(report.Points, pt)
+	}
+
+	// Tracing overhead: the same prebuilt-index join on the nil-span fast
+	// path every untraced request rides (BaselineNs) vs with a live span
+	// recording phases and counters (NsPerOp). The two should be
+	// indistinguishable beyond run-to-run noise — tracing is opt-in per
+	// request precisely so the default path pays nothing.
+	{
+		var untraced, traced int64
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			idx.Join(probe, &touch.Options{NoPairs: true})
+			if ns := time.Since(start).Nanoseconds(); rep == 0 || ns < untraced {
+				untraced = ns
+			}
+		}
+		var sp touch.Span
+		for rep := 0; rep < 5; rep++ {
+			sp = touch.Span{}
+			start := time.Now()
+			idx.Join(probe, &touch.Options{NoPairs: true, Trace: &sp})
+			if ns := time.Since(start).Nanoseconds(); rep == 0 || ns < traced {
+				traced = ns
+			}
+		}
+		report.Points = append(report.Points, benchPoint{
+			Name: "trace-overhead", Algorithm: string(touch.AlgTOUCH),
+			NsPerOp: traced, BaselineNs: untraced,
+			Comparisons: sp.Comparisons, Results: sp.Results,
+		})
 	}
 
 	// Streaming join: the same whole-dataset join consumed pair by pair
@@ -444,6 +475,40 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			}
 			report.Points = append(report.Points, pt)
 		}
+	}
+
+	// Metrics scrape cost: what one GET /metrics render costs while the
+	// server holds a dataset and live counters — the budget a 15-second
+	// Prometheus scrape interval draws against. MemoryBytes carries the
+	// exposition size.
+	{
+		metricsURL := "http://" + ln.Addr().String() + "/metrics"
+		var scrapeBytes int64
+		scrape := func(int) error {
+			resp, err := httpClient.Get(metricsURL)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			n, err := io.Copy(io.Discard, resp.Body)
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("metrics status %d", resp.StatusCode)
+			}
+			scrapeBytes = n
+			return nil
+		}
+		if err := scrape(0); err != nil {
+			return fmt.Errorf("metrics-scrape: %w", err)
+		}
+		pt, err := measureClients("metrics-scrape", 1, 256, false, scrape)
+		if err != nil {
+			return err
+		}
+		pt.MemoryBytes = scrapeBytes
+		report.Points = append(report.Points, pt)
 	}
 
 	// Binary wire serving: the same query index behind the pipelined

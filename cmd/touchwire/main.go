@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	touchwire -addr HOST:PORT [-dataset NAME] [-eps E] SPEC...
+//	touchwire -addr HOST:PORT [-dataset NAME] [-eps E] [-trace] SPEC...
 //
 // where each SPEC is one of
 //
@@ -19,7 +19,10 @@
 //	joincount:minx,...,maxz[;...]
 //
 // Answers go to stdout; any error (transport or server-side) is fatal
-// with a nonzero exit.
+// with a nonzero exit. -trace asks the server for a per-query engine
+// trace (request ID, phase timings, work counters) and prints one JSON
+// trace per query to stderr — stdout stays byte-identical to the
+// untraced run, so differential tests keep working.
 package main
 
 import (
@@ -69,6 +72,7 @@ func main() {
 		dataset = flag.String("dataset", "default", "dataset every query targets")
 		eps     = flag.Float64("eps", 0, "join ε distance")
 		timeout = flag.Duration("timeout", 30*time.Second, "overall deadline")
+		traced  = flag.Bool("trace", false, "request per-query engine traces; traces print to stderr as JSON")
 	)
 	flag.Parse()
 	if *addr == "" || flag.NArg() == 0 {
@@ -82,6 +86,11 @@ func main() {
 		log.Fatalf("dial %s: %v", *addr, err)
 	}
 	defer c.Close()
+
+	if *traced {
+		runTraced(ctx, c, *dataset, *eps, flag.Args())
+		return
+	}
 
 	// One batch, one write burst: every spec is in flight before the
 	// first answer is read back.
@@ -165,6 +174,89 @@ func main() {
 	}
 	for _, get := range gets {
 		if err := get(); err != nil {
+			log.Fatalf("%v", err)
+		}
+	}
+}
+
+// runTraced answers each spec with a traced unary call: the answer goes
+// to stdout in the usual shape, the engine trace to stderr. Sequential
+// round trips instead of one pipelined batch — tracing is a diagnosis
+// mode, not a throughput mode.
+func runTraced(ctx context.Context, c *client.Conn, dataset string, eps float64, specs []string) {
+	enc := json.NewEncoder(os.Stdout)
+	tenc := json.NewEncoder(os.Stderr)
+	emitTrace := func(tr *client.Trace) {
+		if tr != nil {
+			_ = tenc.Encode(tr)
+		}
+	}
+	for _, spec := range specs {
+		kind, arg, ok := strings.Cut(spec, ":")
+		if !ok {
+			log.Fatalf("bad spec %q: want kind:args", spec)
+		}
+		var err error
+		switch kind {
+		case "range":
+			f := floats(spec, arg, 6)
+			box := touch.Box{Min: touch.Point{f[0], f[1], f[2]}, Max: touch.Point{f[3], f[4], f[5]}}
+			var v int64
+			var ids []touch.ID
+			var tr *client.Trace
+			if v, ids, tr, err = c.RangeTraced(ctx, dataset, box); err == nil {
+				emitTrace(tr)
+				err = enc.Encode(queryJSON{Dataset: dataset, Version: v, Type: "range", Count: len(ids), IDs: ids})
+			}
+		case "point":
+			f := floats(spec, arg, 3)
+			var v int64
+			var ids []touch.ID
+			var tr *client.Trace
+			if v, ids, tr, err = c.PointTraced(ctx, dataset, touch.Point{f[0], f[1], f[2]}); err == nil {
+				emitTrace(tr)
+				err = enc.Encode(queryJSON{Dataset: dataset, Version: v, Type: "point", Count: len(ids), IDs: ids})
+			}
+		case "knn":
+			f := floats(spec, arg, 4)
+			var v int64
+			var nbrs []touch.Neighbor
+			var tr *client.Trace
+			if v, nbrs, tr, err = c.KNNTraced(ctx, dataset, touch.Point{f[0], f[1], f[2]}, int(f[3])); err == nil {
+				emitTrace(tr)
+				out := queryJSON{Dataset: dataset, Version: v, Type: "knn", Count: len(nbrs)}
+				for _, n := range nbrs {
+					out.Neighbors = append(out.Neighbors, neighborJSON{ID: n.ID, Distance: n.Distance})
+				}
+				err = enc.Encode(out)
+			}
+		case "join", "joincount":
+			boxes := joinBoxes(spec, arg)
+			js := client.JoinSpec{Boxes: boxes, Eps: eps}
+			if kind == "joincount" {
+				var v, n int64
+				var tr *client.Trace
+				if v, n, tr, err = c.JoinCountTraced(ctx, dataset, js); err == nil {
+					emitTrace(tr)
+					err = enc.Encode(joinJSON{Dataset: dataset, Version: v, ProbeObjects: len(boxes), Count: n})
+				}
+			} else {
+				var v, n int64
+				var pairs []touch.Pair
+				var tr *client.Trace
+				if v, pairs, n, tr, err = c.JoinTraced(ctx, dataset, js); err == nil {
+					emitTrace(tr)
+					out := joinJSON{Dataset: dataset, Version: v, ProbeObjects: len(boxes), Count: n}
+					for _, p := range pairs {
+						out.Pairs = append(out.Pairs, [2]touch.ID{p.A, p.B})
+					}
+					err = enc.Encode(out)
+				}
+			}
+		default:
+			log.Fatalf("bad spec %q: unknown kind %q", spec, kind)
+		}
+		if err != nil {
 			log.Fatalf("%v", err)
 		}
 	}

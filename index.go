@@ -10,6 +10,7 @@ import (
 
 	"touch/internal/core"
 	"touch/internal/stats"
+	"touch/internal/trace"
 )
 
 // Index is a reusable TOUCH partitioning tree built once over a dataset
@@ -72,10 +73,17 @@ func (ix *Index) JoinCtx(ctx context.Context, b Dataset, opt *Options) (*Result,
 	res := &Result{}
 	sink, finish := joinSink(&o, false, ctl, res)
 	ix.runProbe(b, o.Workers, ctl, &res.Stats, sink)
-	if err := canceledErr(ctx, ctl); err != nil {
+	err := canceledErr(ctx, ctl)
+	if err == nil {
+		finish()
+	}
+	if t := o.Trace; t != nil {
+		t.Record(&res.Stats)
+		t.SetCancel(ctl.Cause())
+	}
+	if err != nil {
 		return nil, err
 	}
-	finish()
 	return res, nil
 }
 
@@ -176,14 +184,28 @@ func checkPoint(p Point) error {
 // as one contiguous arena scan with no per-object tests. Safe for
 // arbitrary concurrent callers on a shared Index; steady-state serving
 // allocates only the returned slice.
-func (ix *Index) RangeQuery(q Box) ([]ID, error) {
+func (ix *Index) RangeQuery(q Box) ([]ID, error) { return ix.RangeQueryTraced(q, nil) }
+
+// RangeQueryTraced is RangeQuery with per-request tracing: a non-nil
+// span receives the descent wall time (PhaseQuery) and the traversal
+// counters the query engine already maintains. A nil span is exactly
+// RangeQuery — no timing, no allocations.
+func (ix *Index) RangeQueryTraced(q Box, sp *Span) ([]ID, error) {
 	if !q.Valid() {
 		return nil, fmt.Errorf("%w %v", ErrInvalidBox, q)
 	}
 	p := ix.probes.Get().(*core.Probe)
 	defer ix.probes.Put(p)
 	var c Stats
-	return slices.Clone(p.RangeQuery(q, &c)), nil
+	if sp == nil {
+		return slices.Clone(p.RangeQuery(q, &c)), nil
+	}
+	start := time.Now()
+	ids := slices.Clone(p.RangeQuery(q, &c))
+	sp.Add(trace.PhaseQuery, time.Since(start))
+	c.Results = int64(len(ids))
+	sp.Record(&c)
+	return ids, nil
 }
 
 // PointQuery returns the IDs of every indexed object whose MBR contains
@@ -191,6 +213,12 @@ func (ix *Index) RangeQuery(q Box) ([]ID, error) {
 // RangeQuery with a zero-extent box; NaN coordinates are rejected with
 // ErrInvalidPoint.
 func (ix *Index) PointQuery(x, y, z float64) ([]ID, error) {
+	return ix.PointQueryTraced(x, y, z, nil)
+}
+
+// PointQueryTraced is PointQuery with per-request tracing; see
+// RangeQueryTraced.
+func (ix *Index) PointQueryTraced(x, y, z float64, sp *Span) ([]ID, error) {
 	pt := Point{x, y, z}
 	if err := checkPoint(pt); err != nil {
 		return nil, err
@@ -198,7 +226,15 @@ func (ix *Index) PointQuery(x, y, z float64) ([]ID, error) {
 	p := ix.probes.Get().(*core.Probe)
 	defer ix.probes.Put(p)
 	var c Stats
-	return slices.Clone(p.PointQuery(pt, &c)), nil
+	if sp == nil {
+		return slices.Clone(p.PointQuery(pt, &c)), nil
+	}
+	start := time.Now()
+	ids := slices.Clone(p.PointQuery(pt, &c))
+	sp.Add(trace.PhaseQuery, time.Since(start))
+	c.Results = int64(len(ids))
+	sp.Record(&c)
+	return ids, nil
 }
 
 // KNN returns the k indexed objects nearest to q by minimum Euclidean
@@ -214,7 +250,10 @@ func (ix *Index) PointQuery(x, y, z float64) ([]ID, error) {
 // node visits on well-separated data. Safe for arbitrary concurrent
 // callers on a shared Index; steady-state serving allocates only the
 // returned slice.
-func (ix *Index) KNN(q Point, k int) ([]Neighbor, error) {
+func (ix *Index) KNN(q Point, k int) ([]Neighbor, error) { return ix.KNNTraced(q, k, nil) }
+
+// KNNTraced is KNN with per-request tracing; see RangeQueryTraced.
+func (ix *Index) KNNTraced(q Point, k int, sp *Span) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrInvalidK, k)
 	}
@@ -224,5 +263,13 @@ func (ix *Index) KNN(q Point, k int) ([]Neighbor, error) {
 	p := ix.probes.Get().(*core.Probe)
 	defer ix.probes.Put(p)
 	var c Stats
-	return slices.Clone(p.KNN(q, k, &c)), nil
+	if sp == nil {
+		return slices.Clone(p.KNN(q, k, &c)), nil
+	}
+	start := time.Now()
+	nbrs := slices.Clone(p.KNN(q, k, &c))
+	sp.Add(trace.PhaseQuery, time.Since(start))
+	c.Results = int64(len(nbrs))
+	sp.Record(&c)
+	return nbrs, nil
 }

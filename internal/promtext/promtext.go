@@ -1,0 +1,392 @@
+// Package promtext is a strict parser for the Prometheus text
+// exposition format (version 0.0.4) — strict because it exists to test
+// the server's /metrics endpoint, so anything a real scraper could
+// choke on must be an error here, not a shrug: malformed lines, samples
+// without a family, duplicate or interleaved families, duplicate
+// series, histograms with non-cumulative buckets.
+//
+// It deliberately parses the subset touchserved emits: # TYPE and
+// # HELP comments, samples with optional {label="value"} sets, float
+// values (including +Inf). Timestamps and exemplars are rejected — the
+// server never writes them, so seeing one is a bug.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one series line: name, sorted flattened labels, value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label's value, "" when absent.
+func (s Sample) Label(k string) string { return s.Labels[k] }
+
+// Family is one metric family: everything under a single # TYPE.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []Sample
+}
+
+// Metrics is a parsed exposition, keyed by family name, plus the family
+// order as encountered.
+type Metrics struct {
+	Families map[string]*Family
+	Order    []string
+}
+
+// validTypes are the metric types the exposition format defines.
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// Parse reads a full exposition. Every violation of the format — or of
+// the grouping rules Prometheus enforces on ingestion — is an error
+// naming the offending line.
+func Parse(r io.Reader) (*Metrics, error) {
+	m := &Metrics{Families: make(map[string]*Family)}
+	var cur *Family
+	seenSeries := make(map[string]bool)
+	closed := make(map[string]bool) // families whose block ended
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind != "TYPE" {
+				continue // HELP and free comments carry no structure we check
+			}
+			if !validTypes[rest] {
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+			}
+			if m.Families[name] != nil {
+				return nil, fmt.Errorf("line %d: duplicate # TYPE for family %q", lineNo, name)
+			}
+			if cur != nil {
+				closed[cur.Name] = true
+			}
+			cur = &Family{Name: name, Type: rest}
+			m.Families[name] = cur
+			m.Order = append(m.Order, name)
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if cur == nil || (s.Name != cur.Name && familyOf(s.Name) != cur.Name) {
+			return nil, fmt.Errorf("line %d: sample %q outside its family's # TYPE block", lineNo, s.Name)
+		}
+		owner := cur
+		if owner.Type != "histogram" && owner.Type != "summary" && s.Name != owner.Name {
+			return nil, fmt.Errorf("line %d: suffixed sample %q under %s family %q", lineNo, s.Name, owner.Type, owner.Name)
+		}
+		if closed[owner.Name] {
+			return nil, fmt.Errorf("line %d: family %q has interleaved sample blocks", lineNo, owner.Name)
+		}
+		key := s.Name + "|" + labelKey(s.Labels)
+		if seenSeries[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, s.Name, labelKey(s.Labels))
+		}
+		seenSeries[key] = true
+		owner.Samples = append(owner.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// A # TYPE with no samples is legal (a family whose series are all
+	// conditional), so only families that do carry samples are validated.
+	for _, f := range m.Families {
+		if f.Type == "histogram" && len(f.Samples) > 0 {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// familyOf strips the histogram/summary sample suffixes, mapping a
+// series name to the family it must belong to.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if cut, ok := strings.CutSuffix(name, suf); ok {
+			return cut
+		}
+	}
+	return name
+}
+
+// parseComment splits "# KIND name rest...".
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	parts := strings.SplitN(body, " ", 3)
+	if len(parts) < 1 {
+		return "", "", "", fmt.Errorf("empty comment")
+	}
+	if parts[0] != "TYPE" && parts[0] != "HELP" {
+		return parts[0], "", "", nil // free-form comment
+	}
+	if len(parts) < 3 {
+		return "", "", "", fmt.Errorf("malformed # %s line %q", parts[0], line)
+	}
+	return parts[0], parts[1], parts[2], nil
+}
+
+// parseSample parses one series line: name[{labels}] value. Timestamps
+// are rejected — touchserved never writes them.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("sample without value: %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" {
+		return s, fmt.Errorf("sample without value: %q", line)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("trailing fields (timestamp?) after value: %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} set starting at text[0] == '{',
+// returning the index one past the closing brace.
+func parseLabels(text string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if text[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		key := text[i : i+eq]
+		if !validLabelName(key) {
+			return 0, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, fmt.Errorf("label value for %q is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in label %q", text[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := into[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		into[key] = val.String()
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey renders labels sorted, for series identity.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// validateHistogram checks every series of a histogram family: per
+// label-set, buckets must exist, their le bounds must strictly
+// increase, counts must be cumulative (non-decreasing), the +Inf bucket
+// must be present and equal the _count sample.
+func validateHistogram(f *Family) error {
+	type series struct {
+		les     []float64
+		counts  []float64
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+		baseKey string
+	}
+	groups := make(map[string]*series)
+	group := func(s Sample) *series {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != "le" {
+				labels[k] = v
+			}
+		}
+		key := labelKey(labels)
+		g := groups[key]
+		if g == nil {
+			g = &series{baseKey: key}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseValue(s.Label("le"))
+			if err != nil {
+				return fmt.Errorf("histogram %s: bucket without a numeric le: %v", f.Name, s.Labels)
+			}
+			g := group(s)
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			group(s).hasSum = true
+		case f.Name + "_count":
+			g := group(s)
+			g.hasCnt = true
+			g.count = s.Value
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %s", f.Name, s.Name)
+		}
+	}
+	for _, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("histogram %s{%s}: no buckets", f.Name, g.baseKey)
+		}
+		if !g.hasCnt || !g.hasSum {
+			return fmt.Errorf("histogram %s{%s}: missing _sum or _count", f.Name, g.baseKey)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("histogram %s{%s}: le bounds not increasing (%g after %g)",
+					f.Name, g.baseKey, g.les[i], g.les[i-1])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative (%g after %g at le=%g)",
+					f.Name, g.baseKey, g.counts[i], g.counts[i-1], g.les[i])
+			}
+		}
+		last := len(g.les) - 1
+		if !math.IsInf(g.les[last], 1) {
+			return fmt.Errorf("histogram %s{%s}: last bucket is le=%g, want +Inf", f.Name, g.baseKey, g.les[last])
+		}
+		if g.counts[last] != g.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g",
+				f.Name, g.baseKey, g.counts[last], g.count)
+		}
+	}
+	return nil
+}

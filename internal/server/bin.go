@@ -36,6 +36,7 @@ import (
 
 	"touch"
 	"touch/internal/geom"
+	"touch/internal/trace"
 	"touch/internal/wire"
 )
 
@@ -192,6 +193,54 @@ type binConn struct {
 	// Worker-owned scratch reused across requests on this connection.
 	scratch []byte
 	pairBuf []geom.Pair
+
+	// span is the current request's trace, worker-owned and reset per
+	// request — kept on the connection so the steady (untraced) pipeline
+	// stays allocation-free. Its RequestID is assigned lazily, only when
+	// a request is traced, slow, or fails.
+	span touch.Span
+
+	// dsRef is the per-dataset counter cell the current request resolved
+	// via serving(); handle()'s completion hook folds the span into it.
+	// Cached as a pointer so the steady path does one map lookup and no
+	// allocation per request.
+	dsRef *dsCounters
+}
+
+// ensureRequestID assigns the current request's ID if it does not have
+// one yet, and returns it.
+func (c *binConn) ensureRequestID() string {
+	if c.span.RequestID == "" {
+		c.span.RequestID = nextRequestID()
+	}
+	return c.span.RequestID
+}
+
+// respondTrace emits the non-terminal OpTrace frame carrying the
+// current request's span; call it immediately before the terminal
+// response of a traced request.
+func (c *binConn) respondTrace(tag uint32) {
+	c.ensureRequestID()
+	c.scratch = wire.AppendTraceResp(c.scratch[:0], spanTraceResp(&c.span))
+	c.respond(wire.OpTrace, tag, c.scratch)
+}
+
+// spanTraceResp converts an engine span to its wire form.
+func spanTraceResp(sp *touch.Span) wire.TraceResp {
+	r := wire.TraceResp{
+		RequestID:   sp.RequestID,
+		PhaseNs:     make([]int64, trace.NumPhases),
+		Comparisons: sp.Comparisons,
+		NodeTests:   sp.NodeTests,
+		Filtered:    sp.Filtered,
+		Results:     sp.Results,
+		Replicas:    sp.Replicas,
+		Cancel:      byte(sp.Cancel),
+	}
+	for i, d := range sp.Durations {
+		r.PhaseNs[i] = int64(d)
+	}
+	return r
 }
 
 func (s *Server) serveWireConn(nc net.Conn) {
@@ -227,12 +276,13 @@ func (s *Server) serveWireConn(nc net.Conn) {
 	}
 	// The client helloes first; the server always replies with its own
 	// hello so a version-mismatched client learns what this server
-	// speaks, then the connection closes on mismatch.
-	clientV, err := c.r.ReadHello()
+	// speaks, then the connection closes on mismatch. The client's info
+	// string is informational only and ignored here.
+	clientV, _, err := c.r.ReadHello()
 	if err != nil {
 		return
 	}
-	if c.w.WriteHello() != nil || c.w.Flush() != nil || clientV != wire.Version {
+	if c.w.WriteHello(BuildInfo()) != nil || c.w.Flush() != nil || clientV != wire.Version {
 		return
 	}
 	nc.SetDeadline(time.Time{})
@@ -400,6 +450,7 @@ func (c *binConn) serving(tag uint32, name []byte) (*snapshot, int) {
 		c.respondErrorf(tag, codeBuilding, "dataset %q is still building its first index version", name)
 		return nil, http.StatusServiceUnavailable
 	}
+	c.dsRef = c.s.met.dataset(name)
 	return snap, 0
 }
 
@@ -421,7 +472,14 @@ func (c *binConn) handle(req *wireReq) {
 	start := time.Now()
 	admitted := false
 	status := http.StatusOK
-	defer func() { s.met.observe(class, status, time.Since(start), admitted) }()
+	c.span = touch.Span{}
+	c.dsRef = nil
+	defer func() {
+		s.met.observe(class, status, time.Since(start), admitted)
+		s.met.observeSpan(&c.span)
+		c.dsRef.add(&c.span)
+		s.noteSlow(&c.span, class, status, time.Since(start))
+	}()
 
 	c.mu.Lock()
 	canceled := c.pending[req.tag]
@@ -461,6 +519,8 @@ func (c *binConn) handle(req *wireReq) {
 		status = statusClientClosed
 		return
 	}
+	// Queue wait plus slot wait is this request's admission phase.
+	c.span.Add(trace.PhaseAdmission, time.Since(req.enq))
 	s.met.inFlight.Add(1)
 	admitted = true
 	defer func() {
@@ -494,10 +554,12 @@ func (c *binConn) checkAlive() bool {
 }
 
 func (c *binConn) handleRange(req *wireReq) int {
-	name, box, err := wire.DecodeRangeReq(req.buf)
+	decStart := time.Now()
+	name, box, flags, err := wire.DecodeRangeReq(req.buf)
 	if err != nil {
 		return c.badPayload(req.tag, err)
 	}
+	c.span.Add(trace.PhaseDecode, time.Since(decStart))
 	snap, st := c.serving(req.tag, name)
 	if snap == nil {
 		return st
@@ -508,9 +570,12 @@ func (c *binConn) handleRange(req *wireReq) int {
 	if !c.checkAlive() {
 		return statusClientClosed
 	}
-	ids, err := snap.engine().RangeQuery(box)
+	ids, err := snap.engine().RangeQueryTraced(box, &c.span)
 	if err != nil {
 		return c.respondEngineError(req.tag, err)
+	}
+	if flags&wire.QueryFlagTrace != 0 {
+		c.respondTrace(req.tag)
 	}
 	c.scratch = wire.AppendIDsResp(c.scratch[:0], snap.version, ids)
 	c.respond(wire.OpIDs, req.tag, c.scratch)
@@ -518,10 +583,12 @@ func (c *binConn) handleRange(req *wireReq) int {
 }
 
 func (c *binConn) handlePoint(req *wireReq) int {
-	name, pt, err := wire.DecodePointReq(req.buf)
+	decStart := time.Now()
+	name, pt, flags, err := wire.DecodePointReq(req.buf)
 	if err != nil {
 		return c.badPayload(req.tag, err)
 	}
+	c.span.Add(trace.PhaseDecode, time.Since(decStart))
 	snap, st := c.serving(req.tag, name)
 	if snap == nil {
 		return st
@@ -532,9 +599,12 @@ func (c *binConn) handlePoint(req *wireReq) int {
 	if !c.checkAlive() {
 		return statusClientClosed
 	}
-	ids, err := snap.engine().PointQuery(pt[0], pt[1], pt[2])
+	ids, err := snap.engine().PointQueryTraced(pt[0], pt[1], pt[2], &c.span)
 	if err != nil {
 		return c.respondEngineError(req.tag, err)
+	}
+	if flags&wire.QueryFlagTrace != 0 {
+		c.respondTrace(req.tag)
 	}
 	c.scratch = wire.AppendIDsResp(c.scratch[:0], snap.version, ids)
 	c.respond(wire.OpIDs, req.tag, c.scratch)
@@ -542,10 +612,12 @@ func (c *binConn) handlePoint(req *wireReq) int {
 }
 
 func (c *binConn) handleKNN(req *wireReq) int {
-	name, pt, k, err := wire.DecodeKNNReq(req.buf)
+	decStart := time.Now()
+	name, pt, k, flags, err := wire.DecodeKNNReq(req.buf)
 	if err != nil {
 		return c.badPayload(req.tag, err)
 	}
+	c.span.Add(trace.PhaseDecode, time.Since(decStart))
 	snap, st := c.serving(req.tag, name)
 	if snap == nil {
 		return st
@@ -556,9 +628,12 @@ func (c *binConn) handleKNN(req *wireReq) int {
 	if !c.checkAlive() {
 		return statusClientClosed
 	}
-	nbrs, err := snap.engine().KNN(pt, k)
+	nbrs, err := snap.engine().KNNTraced(pt, k, &c.span)
 	if err != nil {
 		return c.respondEngineError(req.tag, err)
+	}
+	if flags&wire.QueryFlagTrace != 0 {
+		c.respondTrace(req.tag)
 	}
 	c.scratch = wire.AppendNeighborsResp(c.scratch[:0], snap.version, nbrs)
 	c.respond(wire.OpNeighbors, req.tag, c.scratch)
@@ -616,10 +691,12 @@ func (c *binConn) handleUpdate(req *wireReq) int {
 // unwind.
 func (c *binConn) handleJoin(req *wireReq) int {
 	s := c.s
+	decStart := time.Now()
 	jr, err := wire.DecodeJoinReq(req.buf)
 	if err != nil {
 		return c.badPayload(req.tag, err)
 	}
+	c.span.Add(trace.PhaseDecode, time.Since(decStart))
 	snap, st := c.serving(req.tag, jr.Name)
 	if snap == nil {
 		return st
@@ -656,12 +733,16 @@ func (c *binConn) handleJoin(req *wireReq) int {
 	// identity — no expansion copy on either protocol, so wire and HTTP
 	// answers stay byte-identical at eps = 0 by construction.
 	if jr.CountOnly {
-		res, err := snap.engine().DistanceJoinCtx(ctx, probe, jr.Eps, &touch.Options{Workers: workers, NoPairs: true})
+		res, err := snap.engine().DistanceJoinCtx(ctx, probe, jr.Eps,
+			&touch.Options{Workers: workers, NoPairs: true, Trace: &c.span})
 		switch {
 		case errors.Is(err, touch.ErrJoinCanceled):
 			return c.respondAborted(req.tag, ctx)
 		case err != nil:
 			return c.respondEngineError(req.tag, err)
+		}
+		if jr.Trace {
+			c.respondTrace(req.tag)
 		}
 		c.scratch = wire.AppendCountResp(c.scratch[:0], snap.version, res.Stats.Results)
 		c.respond(wire.OpCount, req.tag, c.scratch)
@@ -674,7 +755,8 @@ func (c *binConn) handleJoin(req *wireReq) int {
 	c.pairBuf = c.pairBuf[:0]
 	n := int64(0)
 	frames := 0
-	for p, err := range snap.engine().DistanceJoinSeq(ctx, probe, jr.Eps, &touch.Options{Workers: workers}) {
+	for p, err := range snap.engine().DistanceJoinSeq(ctx, probe, jr.Eps,
+		&touch.Options{Workers: workers, Trace: &c.span}) {
 		if err != nil {
 			if errors.Is(err, touch.ErrJoinCanceled) {
 				return c.respondAborted(req.tag, ctx)
@@ -694,6 +776,9 @@ func (c *binConn) handleJoin(req *wireReq) int {
 		n += int64(len(c.pairBuf))
 		c.scratch = wire.AppendPairsResp(c.scratch[:0], c.pairBuf)
 		c.respondStream(req.tag, c.scratch, false)
+	}
+	if jr.Trace {
+		c.respondTrace(req.tag)
 	}
 	c.scratch = wire.AppendJoinDoneResp(c.scratch[:0], snap.version, n)
 	c.respond(wire.OpJoinDone, req.tag, c.scratch)

@@ -462,12 +462,14 @@ func rawWireConn(t *testing.T, addr string) (net.Conn, *wire.Reader) {
 	}
 	t.Cleanup(func() { nc.Close() })
 	nc.SetDeadline(time.Now().Add(5 * time.Second))
-	if err := wire.WriteHello(nc); err != nil {
+	if err := wire.WriteHello(nc, ""); err != nil {
 		t.Fatal(err)
 	}
 	r := wire.NewReader(nc, 0)
-	if v, err := r.ReadHello(); err != nil || v != wire.Version {
+	if v, info, err := r.ReadHello(); err != nil || v != wire.Version {
 		t.Fatalf("handshake: v=%d err=%v", v, err)
+	} else if info == "" {
+		t.Fatal("server hello carries no build info")
 	}
 	return nc, r
 }
@@ -589,10 +591,11 @@ func TestWireHelloMismatch(t *testing.T) {
 	defer nc.Close()
 	nc.SetDeadline(time.Now().Add(5 * time.Second))
 	hello := append([]byte(wire.Magic), 0xFE, 0, 0, 0) // version 254
+	hello = append(hello, 0, 0)                        // empty info
 	if _, err := nc.Write(hello); err != nil {
 		t.Fatal(err)
 	}
-	v, err := wire.ReadHello(nc)
+	v, _, err := wire.ReadHello(nc)
 	if err != nil || v != wire.Version {
 		t.Fatalf("reply hello: v=%d err=%v", v, err)
 	}

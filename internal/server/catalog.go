@@ -64,6 +64,9 @@ type engine interface {
 	RangeQuery(touch.Box) ([]touch.ID, error)
 	PointQuery(x, y, z float64) ([]touch.ID, error)
 	KNN(touch.Point, int) ([]touch.Neighbor, error)
+	RangeQueryTraced(touch.Box, *touch.Span) ([]touch.ID, error)
+	PointQueryTraced(x, y, z float64, sp *touch.Span) ([]touch.ID, error)
+	KNNTraced(touch.Point, int, *touch.Span) ([]touch.Neighbor, error)
 	DistanceJoinCtx(context.Context, touch.Dataset, float64, *touch.Options) (*touch.Result, error)
 	DistanceJoinSeq(context.Context, touch.Dataset, float64, *touch.Options) iter.Seq2[touch.Pair, error]
 }
@@ -234,7 +237,8 @@ func (c *catalog) load(name string, ds touch.Dataset, cfg touch.TOUCHConfig, wai
 			size, wrote, err := p.save(e.name, v, ds, idx, snap.builtAt)
 			switch {
 			case err != nil:
-				p.logf("snapshot: persisting %s v%d failed, dataset is ephemeral: %v", e.name, v, err)
+				p.log.Error("snapshot: persist failed, dataset is ephemeral",
+					"dataset", e.name, "version", v, "err", err)
 			case wrote:
 				snap.persisted, snap.snapBytes = true, size
 			}
@@ -382,7 +386,8 @@ func (c *catalog) runCompaction(e *entry, from *snapshot, v int64) {
 		size, wrote, err := p.save(e.name, v, merged, idx, snap.builtAt)
 		switch {
 		case err != nil:
-			p.logf("snapshot: persisting %s v%d failed, dataset is ephemeral: %v", e.name, v, err)
+			p.log.Error("snapshot: persist failed, dataset is ephemeral",
+					"dataset", e.name, "version", v, "err", err)
 		case wrote:
 			snap.persisted, snap.snapBytes = true, size
 		}

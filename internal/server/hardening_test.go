@@ -307,17 +307,22 @@ func TestQPSWindowedEstimate(t *testing.T) {
 	}
 }
 
-// TestRejectsStayOutOfLatencyRings: admission rejects finish in
-// microseconds; feeding them into the ring would report a healthy p50
-// during an overload incident.
-func TestRejectsStayOutOfLatencyRings(t *testing.T) {
+// TestRejectsStayOutOfLatencyHistograms: admission rejects finish in
+// microseconds; feeding them into the duration histogram would report a
+// healthy p50 during an overload incident.
+func TestRejectsStayOutOfLatencyHistograms(t *testing.T) {
 	m := newMetrics()
 	m.observe(classQuery, http.StatusTooManyRequests, time.Microsecond, false)
-	if _, _, ok := m.latency[classQuery].quantiles(); ok {
-		t.Fatal("rejected request polluted the latency ring")
+	if n := m.duration[classQuery].count.Load(); n != 0 {
+		t.Fatalf("rejected request polluted the duration histogram (count %d)", n)
 	}
 	m.observe(classQuery, http.StatusOK, time.Millisecond, true)
-	if p50, _, ok := m.latency[classQuery].quantiles(); !ok || p50 != time.Millisecond {
-		t.Fatalf("admitted request not recorded: %v %v", p50, ok)
+	if n := m.duration[classQuery].count.Load(); n != 1 {
+		t.Fatalf("admitted request not recorded (count %d)", n)
+	}
+	// The derived p50 must land in the bucket holding 1ms.
+	p50, ok := m.duration[classQuery].quantile(0.50)
+	if !ok || p50 < 0.0005 || p50 > 0.005 {
+		t.Fatalf("derived p50 = %gs, want ≈ 0.001s", p50)
 	}
 }

@@ -3,9 +3,13 @@ package server
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"touch"
+	"touch/internal/trace"
 )
 
 // Request classes for per-endpoint accounting. Query and join are the
@@ -41,14 +45,14 @@ func codeIndex(status int) int {
 	return len(trackedCodes)
 }
 
-// ringSize is the number of recent samples each latency ring keeps.
-// Quantiles are computed over this window at scrape time.
+// ringSize is the number of recent samples the completion-time ring
+// keeps; the qps estimate is computed over this window at scrape time.
 const ringSize = 1024
 
-// latencyRing is a lock-free ring of recent request latencies. Writers
-// claim a slot with one atomic add; readers copy the window at scrape
-// time. A torn read can at worst mix two real samples — fine for
-// monitoring quantiles.
+// latencyRing is a lock-free ring of recent timestamps. Writers claim a
+// slot with one atomic add; readers copy the window at scrape time. A
+// torn read can at worst mix two real samples — fine for a monitoring
+// gauge.
 type latencyRing struct {
 	n   atomic.Int64
 	buf [ringSize]atomic.Int64 // nanoseconds; 0 = never written
@@ -63,30 +67,109 @@ func (r *latencyRing) observe(d time.Duration) {
 	r.buf[i%ringSize].Store(ns)
 }
 
-// quantiles returns the p50 and p99 of the current window; ok is false
-// when no samples have been recorded.
-func (r *latencyRing) quantiles() (p50, p99 time.Duration, ok bool) {
-	n := r.n.Load()
-	if n == 0 {
-		return 0, 0, false
+// durationBuckets are the shared upper bounds (seconds) of every
+// duration histogram: log-spaced from 1µs to 30s, covering microsecond
+// query phases and multi-second joins in one fixed layout. Fixed
+// buckets — unlike the sampled quantile rings they replaced — aggregate
+// correctly across instances and over time in Prometheus.
+var durationBuckets = [...]float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10, 30,
+}
+
+// durationBucketsNs mirrors durationBuckets in integer nanoseconds so
+// the observe hot path compares without float conversion.
+var durationBucketsNs = func() [len(durationBuckets)]int64 {
+	var ns [len(durationBuckets)]int64
+	for i, s := range durationBuckets {
+		ns[i] = int64(s * 1e9)
 	}
-	if n > ringSize {
-		n = ringSize
+	return ns
+}()
+
+// histogram is a fixed-bucket duration histogram: one atomic counter
+// per bucket plus the +Inf overflow, the observation sum and count.
+// Observe is wait-free; render reads are torn at worst by one in-flight
+// observation.
+type histogram struct {
+	buckets [len(durationBuckets) + 1]atomic.Int64
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := int64(d)
+	i := 0
+	for i < len(durationBucketsNs) && ns > durationBucketsNs[i] {
+		i++
 	}
-	window := make([]int64, 0, n)
-	for i := int64(0); i < n; i++ {
-		if v := r.buf[i].Load(); v > 0 {
-			window = append(window, v)
+	h.buckets[i].Add(1)
+	h.sumNs.Add(ns)
+	h.count.Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q < 1) with the standard
+// Prometheus histogram_quantile interpolation: find the bucket holding
+// the rank, interpolate linearly inside it. ok is false on an empty
+// histogram; ranks landing in the +Inf bucket report the largest finite
+// bound.
+func (h *histogram) quantile(q float64) (seconds float64, ok bool) {
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range durationBuckets {
+		cum += h.buckets[i].Load()
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = durationBuckets[i-1]
+			}
+			hi := durationBuckets[i]
+			inBucket := float64(h.buckets[i].Load())
+			if inBucket == 0 {
+				return hi, true
+			}
+			prev := float64(cum) - inBucket
+			return lo + (hi-lo)*(rank-prev)/inBucket, true
 		}
 	}
-	if len(window) == 0 {
-		return 0, 0, false
+	return durationBuckets[len(durationBuckets)-1], true
+}
+
+// render writes one histogram family member's bucket/sum/count lines.
+// labels is the rendered label pairs without braces ("class=\"query\"");
+// the caller writes the # TYPE header once per family.
+func (h *histogram) render(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i, le := range durationBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, le, cum)
 	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	at := func(q float64) time.Duration {
-		return time.Duration(window[int(q*float64(len(window)-1))])
+	cum += h.buckets[len(durationBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+}
+
+// dsCounters are the per-dataset engine-work counters, fed from request
+// spans: cumulative box comparisons and replica emissions answered from
+// one dataset.
+type dsCounters struct {
+	comparisons atomic.Int64
+	replicas    atomic.Int64
+}
+
+func (c *dsCounters) add(sp *touch.Span) {
+	if c == nil {
+		return
 	}
-	return at(0.50), at(0.99), true
+	c.comparisons.Add(sp.Comparisons)
+	c.replicas.Add(sp.Replicas)
 }
 
 // metrics aggregates the server's observability counters: request and
@@ -98,7 +181,20 @@ type metrics struct {
 
 	requests  [nClasses]atomic.Int64
 	responses [nClasses][len(trackedCodes) + 1]atomic.Int64
-	latency   [nClasses]latencyRing
+	// duration histograms every admitted request's wall time per class;
+	// the legacy touchserved_latency_seconds quantile lines are derived
+	// from it at scrape time.
+	duration [nClasses]histogram
+	// phase histograms engine phase wall times across all requests,
+	// indexed by trace.Phase and fed from the per-request spans.
+	phase [trace.NumPhases]histogram
+
+	// ds maps dataset name to its cumulative engine-work counters. The
+	// read path resolves the pointer once per request (no allocation);
+	// entries are never removed — a dropped dataset keeps its counters,
+	// as Prometheus counters must never go backwards.
+	dsMu sync.RWMutex
+	ds   map[string]*dsCounters
 
 	// times holds the completion timestamps (unix nanos) of the most
 	// recent requests across all classes, backing the qps estimate.
@@ -140,17 +236,67 @@ func (m *metrics) observeWireDepth(depth int) {
 	m.wireDepthSum.Add(int64(depth))
 }
 
-func newMetrics() *metrics { return &metrics{start: time.Now()} }
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), ds: make(map[string]*dsCounters)}
+}
 
 // observe records a finished request. Only admitted requests feed the
-// latency rings — admission rejects finish in microseconds and would
-// mask real serving latency under overload.
+// duration histograms — admission rejects finish in microseconds and
+// would mask real serving latency under overload.
 func (m *metrics) observe(class, status int, d time.Duration, admitted bool) {
 	m.responses[class][codeIndex(status)].Add(1)
 	m.times.observe(time.Duration(time.Now().UnixNano()))
-	if admitted && (class == classQuery || class == classJoin || class == classWireQuery || class == classWireJoin) {
-		m.latency[class].observe(d)
+	if admitted {
+		m.duration[class].observe(d)
 	}
+}
+
+// observeSpan folds a finished request's span into the per-phase
+// histograms. Phases the request never entered (zero duration) are not
+// counted — each phase histogram's count is the number of requests that
+// ran that phase.
+func (m *metrics) observeSpan(sp *touch.Span) {
+	for i, d := range sp.Durations {
+		if d > 0 {
+			m.phase[i].observe(d)
+		}
+	}
+}
+
+// dataset resolves (creating on first use) the per-dataset counters for
+// name. The read path is one RLock and a map lookup — no allocation,
+// []byte keys don't escape.
+func (m *metrics) dataset(name []byte) *dsCounters {
+	m.dsMu.RLock()
+	c := m.ds[string(name)]
+	m.dsMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.dsMu.Lock()
+	defer m.dsMu.Unlock()
+	if c = m.ds[string(name)]; c == nil {
+		c = &dsCounters{}
+		m.ds[string(name)] = c
+	}
+	return c
+}
+
+// datasetNamed is dataset for callers that already hold a string.
+func (m *metrics) datasetNamed(name string) *dsCounters {
+	m.dsMu.RLock()
+	c := m.ds[name]
+	m.dsMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.dsMu.Lock()
+	defer m.dsMu.Unlock()
+	if c = m.ds[name]; c == nil {
+		c = &dsCounters{}
+		m.ds[name] = c
+	}
+	return c
 }
 
 // qpsWindow is the recency window of the qps gauge.
@@ -234,14 +380,52 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors, co
 	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"canceled\"} %d\n", m.rejectCanceled.Load())
 	fmt.Fprintf(w, "touchserved_rejects_total{reason=\"limited\"} %d\n", m.rejectLimited.Load())
 
+	// The real distributions: fixed-bucket histograms per request class
+	// and per engine phase. The legacy latency gauge below is derived
+	// from these at scrape time.
+	fmt.Fprintf(w, "# TYPE touchserved_request_duration_seconds histogram\n")
+	for i := 0; i < nClasses; i++ {
+		m.duration[i].render(w, "touchserved_request_duration_seconds",
+			fmt.Sprintf("class=%q", classNames[i]))
+	}
+	fmt.Fprintf(w, "# TYPE touchserved_phase_duration_seconds histogram\n")
+	for _, p := range trace.Phases() {
+		m.phase[p].render(w, "touchserved_phase_duration_seconds",
+			fmt.Sprintf("phase=%q", p.Name()))
+	}
+
+	// Kept for dashboard continuity: the historical quantile lines, now
+	// interpolated from the histograms above instead of a sampled ring.
 	fmt.Fprintf(w, "# TYPE touchserved_latency_seconds gauge\n")
 	for _, class := range []int{classQuery, classJoin, classWireQuery, classWireJoin} {
-		if p50, p99, ok := m.latency[class].quantiles(); ok {
+		if p50, ok := m.duration[class].quantile(0.50); ok {
 			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.5\"} %g\n",
-				classNames[class], p50.Seconds())
-			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.99\"} %g\n",
-				classNames[class], p99.Seconds())
+				classNames[class], p50)
 		}
+		if p99, ok := m.duration[class].quantile(0.99); ok {
+			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.99\"} %g\n",
+				classNames[class], p99)
+		}
+	}
+
+	// Per-dataset engine work, fed from request spans: how much box
+	// comparison and replication effort each dataset's traffic costs.
+	m.dsMu.RLock()
+	dsNames := make([]string, 0, len(m.ds))
+	for name := range m.ds {
+		dsNames = append(dsNames, name)
+	}
+	m.dsMu.RUnlock()
+	slices.Sort(dsNames)
+	fmt.Fprintf(w, "# TYPE touchserved_dataset_comparisons_total counter\n")
+	for _, name := range dsNames {
+		fmt.Fprintf(w, "touchserved_dataset_comparisons_total{dataset=%q} %d\n",
+			name, m.datasetNamed(name).comparisons.Load())
+	}
+	fmt.Fprintf(w, "# TYPE touchserved_dataset_replicas_total counter\n")
+	for _, name := range dsNames {
+		fmt.Fprintf(w, "touchserved_dataset_replicas_total{dataset=%q} %d\n",
+			name, m.datasetNamed(name).replicas.Load())
 	}
 
 	fmt.Fprintf(w, "# TYPE touchserved_wire_connections gauge\n")

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,7 +23,7 @@ import (
 type persister struct {
 	store *snapstore.Store
 	cat   *catalog
-	logf  func(format string, args ...any)
+	log   *slog.Logger
 
 	// errors backs snapshot_errors_total: every failed persistence
 	// operation increments it, whether or not the failure left the
@@ -75,7 +76,7 @@ func (p *persister) delete(name string, retired int64) {
 	p.written[name] = retired
 	if err := p.store.Delete(name); err != nil {
 		p.errors.Add(1)
-		p.logf("snapshot: deleting %s: %v", name, err)
+		p.log.Error("snapshot: delete failed", "dataset", name, "err", err)
 	}
 	p.saveCounters()
 }
@@ -86,7 +87,7 @@ func (p *persister) delete(name string, retired int64) {
 func (p *persister) saveCounters() {
 	if err := p.store.SaveVersions(p.cat.counters()); err != nil {
 		p.errors.Add(1)
-		p.logf("snapshot: persisting version counters: %v", err)
+		p.log.Error("snapshot: persisting version counters failed", "err", err)
 	}
 }
 
@@ -140,9 +141,10 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		}
 		p.restored(name, info.Version)
 		s.cat.restore(name, info.Version, ds, idx, info.BuiltAt, size)
-		p.logf("snapshot: restored dataset %q v%d (%d objects, %d bytes)", name, info.Version, len(ds), size)
+		p.log.Info("snapshot: restored dataset",
+			"dataset", name, "version", info.Version, "objects", len(ds), "bytes", size)
 		return nil
-	}, p.logf)
+	}, func(format string, args ...any) { p.log.Warn(fmt.Sprintf(format, args...)) })
 	if err != nil {
 		return RecoveryStats{}, err
 	}

@@ -1,0 +1,31 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// reqIDPrefix distinguishes this process's request IDs from every other
+// run's, so an ID in a log or a bug report names one request globally,
+// not one per restart. Drawn once at startup.
+var reqIDPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degrade to a fixed prefix: IDs stay unique within the process,
+		// which is what the serving paths rely on.
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var reqIDCounter atomic.Uint64
+
+// nextRequestID returns a process-unique request ID, e.g.
+// "9f3ac81b-42". Cheap (one atomic increment and one small string
+// build), but not free — the wire path assigns IDs lazily, only when a
+// request is traced, slow, or fails.
+func nextRequestID() string {
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDCounter.Add(1), 10)
+}

@@ -66,6 +66,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"mime"
 	"net"
 	"net/http"
@@ -78,6 +80,7 @@ import (
 
 	"touch"
 	snapstore "touch/internal/snapshot"
+	"touch/internal/trace"
 )
 
 // Config tunes the serving subsystem; the zero value is production-safe.
@@ -123,9 +126,16 @@ type Config struct {
 	// catalog from the directory at startup — no rebuilds. Empty
 	// disables persistence (the pre-existing in-memory behavior).
 	DataDir string
-	// Logf receives operational log lines (snapshot persistence
-	// failures, recovery progress). Default discards them.
-	Logf func(format string, args ...any)
+	// SlowQueryThreshold enables the forensic slow-query log: every
+	// admitted request (HTTP or wire) that takes at least this long is
+	// recorded — request ID, class, status, full phase span — in a
+	// bounded ring served by GET /debug/slowlog and dumped on SIGUSR1 by
+	// cmd/touchserved. 0 disables the log.
+	SlowQueryThreshold time.Duration
+	// Logger receives operational log records (snapshot persistence
+	// failures, recovery progress, slow and failed requests). Default
+	// discards them.
+	Logger *slog.Logger
 
 	// build replaces touch.BuildIndex in tests (slow/observable builds).
 	build buildFunc
@@ -153,8 +163,8 @@ func (c *Config) fillDefaults() {
 	if c.CompactThreshold == 0 {
 		c.CompactThreshold = touch.DefaultCompactThreshold
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 }
 
@@ -197,6 +207,10 @@ type Server struct {
 	// bin.go for the serving loop and ShutdownWire for the drain.
 	wire wireState
 
+	// slow is the bounded slow-query ring; nil when
+	// Config.SlowQueryThreshold is 0.
+	slow *slowLog
+
 	// testHookWorker, when set, runs inside query and join handlers
 	// before the engine call, under the request context — tests block it
 	// to hold requests in flight or to park them past their deadline.
@@ -220,6 +234,9 @@ func New(cfg Config) *Server {
 	s.cat.compactAt = cfg.CompactThreshold
 	s.wire.lns = make(map[net.Listener]struct{})
 	s.wire.conns = make(map[net.Conn]context.CancelFunc)
+	if cfg.SlowQueryThreshold > 0 {
+		s.slow = &slowLog{threshold: cfg.SlowQueryThreshold}
+	}
 	if cfg.DataDir != "" {
 		fsys := cfg.snapFS
 		if fsys == nil {
@@ -228,14 +245,18 @@ func New(cfg Config) *Server {
 		store, err := snapstore.NewStore(cfg.DataDir, fsys)
 		if err != nil {
 			s.persistErr = err
-			cfg.Logf("snapshot: opening data dir %s failed, serving without persistence: %v", cfg.DataDir, err)
+			cfg.Logger.Error("snapshot: opening data dir failed, serving without persistence",
+				"dir", cfg.DataDir, "err", err)
 		} else {
-			s.persist = &persister{store: store, cat: s.cat, logf: cfg.Logf, written: make(map[string]int64)}
+			s.persist = &persister{store: store, cat: s.cat, log: cfg.Logger, written: make(map[string]int64)}
 			s.cat.persist = s.persist
 		}
 	}
 	return s
 }
+
+// logger returns the configured operational logger (never nil).
+func (s *Server) logger() *slog.Logger { return s.cfg.Logger }
 
 // Load registers a dataset and builds its index synchronously — the
 // programmatic preload path used by touchserved -load, the benchmark
@@ -295,6 +316,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleHealthz(w, r)
 	case path == "/metrics":
 		s.handleMetrics(w, r)
+	case path == "/version":
+		s.handleVersion(w, r)
+	case path == "/debug/slowlog":
+		s.handleSlowlog(w, r)
 	case path == "/v1/datasets":
 		if r.Method != http.MethodGet {
 			s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use GET on /v1/datasets")
@@ -374,6 +399,36 @@ func validName(name string) bool {
 
 type handlerFn func(ctx context.Context, w http.ResponseWriter, r *http.Request)
 
+// reqInfo is the per-request observability state threaded through the
+// handler via the request context: the server-assigned request ID, the
+// engine span, whether the client opted into the trace in its response,
+// and the dataset the request answered from (set by the handler, read
+// by admit's completion hook for the per-dataset counters).
+type reqInfo struct {
+	id      string
+	span    touch.Span
+	traced  bool
+	dataset string
+}
+
+type reqInfoKey struct{}
+
+// requestInfo returns the request's reqInfo, or nil outside admit (unit
+// tests calling handlers directly).
+func requestInfo(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// traceHeader is the opt-in request header: "X-Touch-Trace: 1" adds the
+// span breakdown to the JSON response of a query or buffered join.
+const traceHeader = "X-Touch-Trace"
+
+// requestIDHeader carries the server-assigned request ID on every
+// admitted response, so any error a client logs names a request the
+// slow log and server logs can be searched for.
+const requestIDHeader = "X-Touch-Request-Id"
+
 // admit is the admission-control front door for all /v1 traffic: it
 // rejects during drain (503) or when every in-flight slot is taken
 // (429), caps the request body, arms the per-request deadline and
@@ -385,10 +440,30 @@ func (s *Server) admit(class int, w http.ResponseWriter, r *http.Request, h hand
 	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	admitted := false
-	// Latency rings only see admitted requests: microsecond-fast 429s
-	// and drain rejections would otherwise drag the reported p50/p99
-	// toward zero exactly when the server is overloaded.
-	defer func() { s.met.observe(class, sr.status, time.Since(start), admitted) }()
+	ri := &reqInfo{id: nextRequestID(), traced: r.Header.Get(traceHeader) == "1"}
+	ri.span.RequestID = ri.id
+	// Duration histograms only see admitted requests: microsecond-fast
+	// 429s and drain rejections would otherwise drag the reported
+	// p50/p99 toward zero exactly when the server is overloaded.
+	defer func() {
+		d := time.Since(start)
+		s.met.observe(class, sr.status, d, admitted)
+		if admitted {
+			s.met.observeSpan(&ri.span)
+			if ri.dataset != "" {
+				s.met.datasetNamed(ri.dataset).add(&ri.span)
+			}
+			s.noteSlow(&ri.span, class, sr.status, d)
+			if sr.status >= 500 {
+				s.logger().Error("request failed",
+					"id", ri.id, "class", classNames[class], "status", sr.status,
+					"duration_ms", float64(d)/1e6)
+			} else if sr.status >= 400 {
+				s.logger().Debug("request rejected",
+					"id", ri.id, "class", classNames[class], "status", sr.status)
+			}
+		}
+	}()
 
 	if s.draining.Load() {
 		s.met.rejectDraining.Add(1)
@@ -404,6 +479,7 @@ func (s *Server) admit(class int, w http.ResponseWriter, r *http.Request, h hand
 			"server at its %d-request in-flight cap", s.cfg.MaxInFlight)
 		return
 	}
+	ri.span.Add(trace.PhaseAdmission, time.Since(start))
 	s.met.inFlight.Add(1)
 	admitted = true
 	defer func() {
@@ -411,9 +487,11 @@ func (s *Server) admit(class int, w http.ResponseWriter, r *http.Request, h hand
 		s.met.inFlight.Add(-1)
 	}()
 
+	sr.Header().Set(requestIDHeader, ri.id)
 	r.Body = http.MaxBytesReader(sr, r.Body, s.cfg.MaxBodyBytes)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	ctx = context.WithValue(ctx, reqInfoKey{}, ri)
 	h(ctx, sr, r.WithContext(ctx))
 }
 
@@ -489,6 +567,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.render(w, s.cat.list(), s.SnapshotErrors(),
 		s.cat.compactions.Load(), s.cat.compactionsSkipped.Load())
+}
+
+// handleVersion answers GET /version with the build description — the
+// HTTP twin of the wire hello's informational field.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use GET on /version")
+		return
+	}
+	writeJSON(w, http.StatusOK, VersionInfo())
+}
+
+// handleSlowlog answers GET /debug/slowlog with the recorded slow
+// requests, newest first, full phase spans included. Like /metrics it
+// bypasses admission — it must answer even when every slot is pinned,
+// which is exactly when someone reads it.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, codeMethod, "use GET on /debug/slowlog")
+		return
+	}
+	if s.slow == nil {
+		writeError(w, http.StatusNotFound, codeNotFound,
+			"slow-query log disabled; start touchserved with -slow-query-ms")
+		return
+	}
+	entries, total := s.slow.snapshot()
+	out := struct {
+		ThresholdMs float64         `json:"threshold_ms"`
+		Recorded    int64           `json:"recorded"`
+		Entries     []slowEntryJSON `json:"entries"`
+	}{
+		ThresholdMs: float64(s.slow.threshold) / 1e6,
+		Recorded:    total,
+		Entries:     make([]slowEntryJSON, len(entries)),
+	}
+	for i, e := range entries {
+		out.Entries[i] = slowEntryToJSON(e)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // --- catalog ------------------------------------------------------------
@@ -687,14 +805,50 @@ type queryResponse struct {
 	Count     int            `json:"count"`
 	IDs       []touch.ID     `json:"ids,omitempty"`
 	Neighbors []neighborJSON `json:"neighbors,omitempty"`
+	Trace     *traceJSON     `json:"trace,omitempty"`
+}
+
+// traceJSON is the X-Touch-Trace response field: the request's span —
+// phase wall times keyed by phase name (zero phases omitted), engine
+// counters, cancel cause — under the server-assigned request ID.
+type traceJSON struct {
+	RequestID   string           `json:"request_id"`
+	PhaseNs     map[string]int64 `json:"phase_ns"`
+	Comparisons int64            `json:"comparisons"`
+	NodeTests   int64            `json:"node_tests"`
+	Filtered    int64            `json:"filtered"`
+	Results     int64            `json:"results"`
+	Replicas    int64            `json:"replicas"`
+	Cancel      string           `json:"cancel"`
+}
+
+func spanTraceJSON(sp *touch.Span) *traceJSON {
+	return &traceJSON{
+		RequestID:   sp.RequestID,
+		PhaseNs:     spanPhaseNs(sp),
+		Comparisons: sp.Comparisons,
+		NodeTests:   sp.NodeTests,
+		Filtered:    sp.Filtered,
+		Results:     sp.Results,
+		Replicas:    sp.Replicas,
+		Cancel:      trace.CancelName(sp.Cancel),
+	}
 }
 
 func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
+	ri := requestInfo(ctx)
+	var sp *touch.Span
+	if ri != nil {
+		sp = &ri.span
+		ri.dataset = name
+	}
+	decStart := time.Now()
 	var req queryRequest
 	if err := decodeJSONBody(r, &req); err != nil {
 		writeDecodeError(w, err)
 		return
 	}
+	sp.Add(trace.PhaseDecode, time.Since(decStart))
 	snap, ok := s.serving(w, name)
 	if !ok {
 		return
@@ -720,7 +874,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 			Min: touch.Point{req.Box[0], req.Box[1], req.Box[2]},
 			Max: touch.Point{req.Box[3], req.Box[4], req.Box[5]},
 		}
-		ids, err := snap.engine().RangeQuery(box)
+		ids, err := snap.engine().RangeQueryTraced(box, sp)
 		if err != nil {
 			engineError(err).write(w)
 			return
@@ -731,7 +885,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 			writeError(w, http.StatusBadRequest, codeInvalidPoint, "point query needs a 3-number point, got %d", len(req.Point))
 			return
 		}
-		ids, err := snap.engine().PointQuery(req.Point[0], req.Point[1], req.Point[2])
+		ids, err := snap.engine().PointQueryTraced(req.Point[0], req.Point[1], req.Point[2], sp)
 		if err != nil {
 			engineError(err).write(w)
 			return
@@ -742,7 +896,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 			writeError(w, http.StatusBadRequest, codeInvalidPoint, "knn query needs a 3-number point, got %d", len(req.Point))
 			return
 		}
-		nbrs, err := snap.engine().KNN(touch.Point{req.Point[0], req.Point[1], req.Point[2]}, req.K)
+		nbrs, err := snap.engine().KNNTraced(touch.Point{req.Point[0], req.Point[1], req.Point[2]}, req.K, sp)
 		if err != nil {
 			engineError(err).write(w)
 			return
@@ -756,6 +910,9 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		writeError(w, http.StatusBadRequest, codeBadRequest,
 			"unknown query type %q (want range, point or knn)", req.Type)
 		return
+	}
+	if ri != nil && ri.traced {
+		resp.Trace = spanTraceJSON(sp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -791,6 +948,7 @@ type joinResponse struct {
 	Count        int64          `json:"count"`
 	Pairs        [][2]touch.ID  `json:"pairs,omitempty"`
 	Stats        *joinStatsJSON `json:"stats,omitempty"`
+	Trace        *traceJSON     `json:"trace,omitempty"`
 }
 
 // ndjsonContentType is the media type selecting (and labelling) the
@@ -819,11 +977,19 @@ func wantsNDJSON(accept string) bool {
 }
 
 func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
+	ri := requestInfo(ctx)
+	var sp *touch.Span
+	if ri != nil {
+		sp = &ri.span
+		ri.dataset = name
+	}
+	decStart := time.Now()
 	var req joinRequest
 	if err := decodeJSONBody(r, &req); err != nil {
 		writeDecodeError(w, err)
 		return
 	}
+	sp.Add(trace.PhaseDecode, time.Since(decStart))
 	snap, ok := s.serving(w, name)
 	if !ok {
 		return
@@ -865,7 +1031,7 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 	}
 
 	if !req.CountOnly && wantsNDJSON(r.Header.Get("Accept")) {
-		s.streamJoin(ctx, w, snap, probe, req.Eps, workers)
+		s.streamJoin(ctx, w, snap, probe, req.Eps, workers, sp)
 		return
 	}
 
@@ -874,7 +1040,7 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 	// there, instead of materializing |A|·|B| pairs to throw away.
 	// count_only joins carry no pairs, so their count stays exact and
 	// uncapped.
-	opt := &touch.Options{Workers: workers, NoPairs: req.CountOnly}
+	opt := &touch.Options{Workers: workers, NoPairs: req.CountOnly, Trace: sp}
 	if !req.CountOnly {
 		opt.Limit = int64(s.cfg.MaxJoinPairs) + 1
 	}
@@ -915,6 +1081,9 @@ func (s *Server) handleJoin(ctx context.Context, w http.ResponseWriter, r *http.
 		AssignNs:    res.Stats.AssignTime.Nanoseconds(),
 		JoinNs:      res.Stats.JoinTime.Nanoseconds(),
 	}
+	if ri != nil && ri.traced {
+		resp.Trace = spanTraceJSON(sp)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -938,7 +1107,7 @@ const streamFlushInterval = 250 * time.Millisecond
 // expiry cancels the engine mid-stream; the truncated stream simply
 // ends without the trailer (the status line is long gone), and the
 // abort is recorded under its own reject reason.
-func (s *Server) streamJoin(ctx context.Context, w http.ResponseWriter, snap *snapshot, probe touch.Dataset, eps float64, workers int) {
+func (s *Server) streamJoin(ctx context.Context, w http.ResponseWriter, snap *snapshot, probe touch.Dataset, eps float64, workers int, sp *touch.Span) {
 	// The eps validation must run before the 200 goes on the wire, so it
 	// is checked here for the status and delegated to the engine
 	// (DistanceJoinSeq) for the semantics — expansion policy included.
@@ -1000,7 +1169,7 @@ func (s *Server) streamJoin(ctx context.Context, w http.ResponseWriter, snap *sn
 	}()
 
 	n := int64(0)
-	for p, err := range snap.engine().DistanceJoinSeq(ctx, probe, eps, &touch.Options{Workers: workers}) {
+	for p, err := range snap.engine().DistanceJoinSeq(ctx, probe, eps, &touch.Options{Workers: workers, Trace: sp}) {
 		if err != nil {
 			// Mid-stream failure: the 200 is already on the wire, so the
 			// truncation is the signal — plus, for cancellations, the

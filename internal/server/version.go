@@ -1,0 +1,67 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo returns a short build identification string — module
+// version, VCS revision when stamped, and the Go toolchain — used as
+// the wire hello's informational field and by the /version endpoint.
+// It is informational only: nothing parses it.
+var BuildInfo = sync.OnceValue(func() string {
+	v := VersionInfo()
+	s := "touchserved/" + v.Version
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev/" + rev
+		if v.Modified {
+			s += "+dirty"
+		}
+	}
+	return s + " " + v.GoVersion
+})
+
+// Version describes the running build, as served by /version.
+type Version struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// `go build` checkout).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, empty when
+	// the build was not stamped (e.g. `go build` outside a checkout).
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// VersionInfo extracts the build description from the binary's embedded
+// build info; every field degrades to a usable zero when the info is
+// absent (tests, stripped builds).
+var VersionInfo = sync.OnceValue(func() Version {
+	v := Version{Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		v.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
+		}
+	}
+	return v
+})

@@ -22,10 +22,12 @@ func wireSeed(t testing.TB) []byte {
 		payload []byte
 	}{
 		{wire.OpRange, wire.AppendRangeReq(nil, "d", box)},
+		{wire.OpRange, wire.AppendRangeReqFlags(nil, "d", box, wire.QueryFlagTrace)},
 		{wire.OpPoint, wire.AppendPointReq(nil, "d", geom.Point{1, 2, 3})},
 		{wire.OpKNN, wire.AppendKNNReq(nil, "d", geom.Point{4, 5, 6}, 10)},
 		{wire.OpJoin, wire.AppendJoinReq(nil, "d", 2.5, 4, false, "", []geom.Box{box, box})},
 		{wire.OpJoin, wire.AppendJoinReq(nil, "d", 0, 0, true, "probe", nil)},
+		{wire.OpJoin, wire.AppendJoinReqFlags(nil, "d", 0, 0, wire.FlagTrace, "probe", nil)},
 		{wire.OpCancel, nil},
 	}
 	for i, fr := range frames {
@@ -69,38 +71,38 @@ func FuzzWireDecode(f *testing.F) {
 			var enc, enc2 []byte
 			switch op {
 			case wire.OpRange:
-				name, box, err := wire.DecodeRangeReq(payload)
+				name, box, flags, err := wire.DecodeRangeReq(payload)
 				if err != nil {
 					continue
 				}
-				enc = wire.AppendRangeReq(nil, string(name), box)
-				n2, b2, err := wire.DecodeRangeReq(enc)
+				enc = wire.AppendRangeReqFlags(nil, string(name), box, flags)
+				n2, b2, fl2, err := wire.DecodeRangeReq(enc)
 				if err != nil {
 					t.Fatalf("range re-decode: %v", err)
 				}
-				enc2 = wire.AppendRangeReq(nil, string(n2), b2)
+				enc2 = wire.AppendRangeReqFlags(nil, string(n2), b2, fl2)
 			case wire.OpPoint:
-				name, pt, err := wire.DecodePointReq(payload)
+				name, pt, flags, err := wire.DecodePointReq(payload)
 				if err != nil {
 					continue
 				}
-				enc = wire.AppendPointReq(nil, string(name), pt)
-				n2, p2, err := wire.DecodePointReq(enc)
+				enc = wire.AppendPointReqFlags(nil, string(name), pt, flags)
+				n2, p2, fl2, err := wire.DecodePointReq(enc)
 				if err != nil {
 					t.Fatalf("point re-decode: %v", err)
 				}
-				enc2 = wire.AppendPointReq(nil, string(n2), p2)
+				enc2 = wire.AppendPointReqFlags(nil, string(n2), p2, fl2)
 			case wire.OpKNN:
-				name, pt, k, err := wire.DecodeKNNReq(payload)
+				name, pt, k, flags, err := wire.DecodeKNNReq(payload)
 				if err != nil {
 					continue
 				}
-				enc = wire.AppendKNNReq(nil, string(name), pt, k)
-				n2, p2, k2, err := wire.DecodeKNNReq(enc)
+				enc = wire.AppendKNNReqFlags(nil, string(name), pt, k, flags)
+				n2, p2, k2, fl2, err := wire.DecodeKNNReq(enc)
 				if err != nil {
 					t.Fatalf("knn re-decode: %v", err)
 				}
-				enc2 = wire.AppendKNNReq(nil, string(n2), p2, k2)
+				enc2 = wire.AppendKNNReqFlags(nil, string(n2), p2, k2, fl2)
 			case wire.OpJoin:
 				jr, err := wire.DecodeJoinReq(payload)
 				if err != nil {
@@ -109,12 +111,22 @@ func FuzzWireDecode(f *testing.F) {
 				if len(jr.Boxes) > len(payload)/48 {
 					t.Fatalf("join decode conjured %d boxes from a %d-byte payload", len(jr.Boxes), len(payload))
 				}
-				enc = wire.AppendJoinReq(nil, string(jr.Name), jr.Eps, jr.Workers, jr.CountOnly, string(jr.ProbeName), jr.Boxes)
+				joinFlags := func(r wire.JoinReq) byte {
+					var fl byte
+					if r.CountOnly {
+						fl |= wire.FlagCountOnly
+					}
+					if r.Trace {
+						fl |= wire.FlagTrace
+					}
+					return fl
+				}
+				enc = wire.AppendJoinReqFlags(nil, string(jr.Name), jr.Eps, jr.Workers, joinFlags(jr), string(jr.ProbeName), jr.Boxes)
 				jr2, err := wire.DecodeJoinReq(enc)
 				if err != nil {
 					t.Fatalf("join re-decode: %v", err)
 				}
-				enc2 = wire.AppendJoinReq(nil, string(jr2.Name), jr2.Eps, jr2.Workers, jr2.CountOnly, string(jr2.ProbeName), jr2.Boxes)
+				enc2 = wire.AppendJoinReqFlags(nil, string(jr2.Name), jr2.Eps, jr2.Workers, joinFlags(jr2), string(jr2.ProbeName), jr2.Boxes)
 			default:
 				continue
 			}

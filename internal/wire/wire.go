@@ -7,13 +7,16 @@
 //
 // # Handshake
 //
-// A connection opens with a 12-byte hello from each side:
+// A connection opens with a hello from each side:
 //
-//	magic "TCHWIRE1" | protocol version u32
+//	magic "TCHWIRE1" | protocol version u32 | u16 infoLen | info bytes
 //
 // The client sends first; the server answers with the version it will
 // speak (currently 1) or an Error frame with tag 0 followed by a close
-// when the client's version is unsupported.
+// when the client's version is unsupported. info is a free-form,
+// informational build identification string ("touchserved/abc123
+// go/go1.24"); it carries no protocol semantics and either side may
+// send it empty. It is capped at MaxHelloInfo bytes.
 //
 // # Frames
 //
@@ -36,9 +39,9 @@
 //
 // # Requests and responses
 //
-//	OpRange  str name | box                          → OpIDs
-//	OpPoint  str name | 3×f64                        → OpIDs
-//	OpKNN    str name | 3×f64 | u32 k                → OpNeighbors
+//	OpRange  str name | box | [u8 flags]             → OpIDs
+//	OpPoint  str name | 3×f64 | [u8 flags]           → OpIDs
+//	OpKNN    str name | 3×f64 | u32 k | [u8 flags]   → OpNeighbors
 //	OpJoin   str name | f64 eps | u32 workers |
 //	         u8 flags | probe (see below)            → OpCount (count-only)
 //	                                                 | OpPairs* then OpJoinDone
@@ -48,11 +51,15 @@
 //
 // The join probe side is either inline boxes (u32 n | n×box) or, with
 // FlagNamedProbe set, a loaded dataset's name (str). str is u16 length +
-// bytes. Every response that answers from an index carries the catalog
-// version it answered from, so clients can pin or compare versions
-// exactly as over HTTP. OpError (str code | str message) is the terminal
-// response of a failed request; the codes are the same machine-readable
-// vocabulary as the HTTP error bodies.
+// bytes. The query requests take an optional trailing flags byte
+// (absent means zero — the encoding without flags stays valid);
+// QueryFlagTrace asks the server to emit a non-terminal OpTrace frame
+// carrying the request's span immediately before the terminal response,
+// as FlagTrace does for joins. Every response that answers from an
+// index carries the catalog version it answered from, so clients can
+// pin or compare versions exactly as over HTTP. OpError (str code |
+// str message) is the terminal response of a failed request; the codes
+// are the same machine-readable vocabulary as the HTTP error bodies.
 package wire
 
 import (
@@ -78,10 +85,14 @@ const Version = 1
 // with the HTTP path's default body cap.
 const DefaultMaxFrame = 8 << 20
 
+// MaxHelloInfo caps the informational string of a hello, bounding what
+// ReadHello will allocate for a hostile peer.
+const MaxHelloInfo = 1024
+
 const (
-	helloSize   = len(Magic) + 4
-	headerSize  = 4 + 1 + 4 // length + opcode + tag
-	minFrameLen = 1 + 4     // opcode + tag
+	helloFixedSize = len(Magic) + 4 + 2 // magic + version + info length
+	headerSize     = 4 + 1 + 4          // length + opcode + tag
+	minFrameLen    = 1 + 4              // opcode + tag
 )
 
 // Request opcodes (client → server).
@@ -106,6 +117,10 @@ const (
 	OpJoinDone   byte = 0x85
 	OpError      byte = 0x86
 	OpUpdateDone byte = 0x87
+	// OpTrace is non-terminal like OpPairs: when a request asked for
+	// tracing, the server emits exactly one OpTrace frame with the
+	// request's span immediately before the terminal response.
+	OpTrace byte = 0x88
 )
 
 // Join request flags.
@@ -116,6 +131,16 @@ const (
 	// FlagNamedProbe selects a loaded dataset as the probe side instead
 	// of inline boxes.
 	FlagNamedProbe byte = 1 << 1
+	// FlagTrace requests a non-terminal OpTrace frame with the request's
+	// engine span before the terminal response.
+	FlagTrace byte = 1 << 2
+)
+
+// Query request flags — the optional trailing byte of OpRange, OpPoint
+// and OpKNN. A request without the byte means flags zero.
+const (
+	// QueryFlagTrace is FlagTrace for the query ops.
+	QueryFlagTrace byte = 1 << 0
 )
 
 // ErrMalformed is wrapped into every decode rejection — truncated or
@@ -130,27 +155,46 @@ func malformed(format string, args ...any) error {
 
 // --- handshake ----------------------------------------------------------
 
-// WriteHello writes the 12-byte hello (magic + version).
-func WriteHello(w io.Writer) error {
-	var b [helloSize]byte
-	copy(b[:], Magic)
-	binary.LittleEndian.PutUint32(b[len(Magic):], Version)
-	_, err := w.Write(b[:])
+// WriteHello writes the hello: magic, version, and an informational
+// build string (truncated to MaxHelloInfo; empty is fine).
+func WriteHello(w io.Writer, info string) error {
+	if len(info) > MaxHelloInfo {
+		info = info[:MaxHelloInfo]
+	}
+	b := make([]byte, 0, helloFixedSize+len(info))
+	b = append(b, Magic...)
+	b = AppendU32(b, Version)
+	b = AppendU16(b, uint16(len(info)))
+	b = append(b, info...)
+	_, err := w.Write(b)
 	return err
 }
 
 // ReadHello reads and validates the peer's hello, returning the version
-// it announced. A bad magic is ErrMalformed; version agreement is the
+// and informational string it announced. A bad magic or an info length
+// beyond MaxHelloInfo is ErrMalformed; version agreement is the
 // caller's policy (the server may still answer an Error frame).
-func ReadHello(r io.Reader) (version uint32, err error) {
-	var b [helloSize]byte
+func ReadHello(r io.Reader) (version uint32, info string, err error) {
+	var b [helloFixedSize]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if string(b[:len(Magic)]) != Magic {
-		return 0, malformed("bad hello magic %q", b[:len(Magic)])
+		return 0, "", malformed("bad hello magic %q", b[:len(Magic)])
 	}
-	return binary.LittleEndian.Uint32(b[len(Magic):]), nil
+	version = binary.LittleEndian.Uint32(b[len(Magic):])
+	n := int(binary.LittleEndian.Uint16(b[len(Magic)+4:]))
+	if n > MaxHelloInfo {
+		return 0, "", malformed("hello info length %d exceeds the %d-byte cap", n, MaxHelloInfo)
+	}
+	if n > 0 {
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return 0, "", eofIsUnexpected(err)
+		}
+		info = string(raw)
+	}
+	return version, info, nil
 }
 
 // --- framed reader ------------------------------------------------------
@@ -178,7 +222,7 @@ func NewReader(r io.Reader, maxFrame int) *Reader {
 // ReadHello runs the handshake read through the Reader's buffer (the
 // hello must be consumed from the same buffered stream as the frames
 // that follow it).
-func (r *Reader) ReadHello() (uint32, error) { return ReadHello(r.br) }
+func (r *Reader) ReadHello() (uint32, string, error) { return ReadHello(r.br) }
 
 // ReadFrame reads one frame. io.EOF is returned only at a clean frame
 // boundary; a connection dying mid-frame is io.ErrUnexpectedEOF. The
@@ -233,7 +277,7 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 // WriteHello writes the handshake hello into the buffer (Flush to send).
-func (w *Writer) WriteHello() error { return WriteHello(w.bw) }
+func (w *Writer) WriteHello(info string) error { return WriteHello(w.bw, info) }
 
 // WriteFrame appends one frame to the buffer. Nothing hits the wire
 // until the buffer fills or Flush is called.
@@ -373,60 +417,78 @@ func (c *cursor) done() error {
 
 // --- requests -----------------------------------------------------------
 
-// AppendRangeReq encodes an OpRange payload.
-func AppendRangeReq(dst []byte, name string, b geom.Box) []byte {
-	dst = AppendStr(dst, name)
-	return AppendBox(dst, b)
-}
-
-// DecodeRangeReq decodes an OpRange payload. name aliases the payload.
-func DecodeRangeReq(p []byte) (name []byte, b geom.Box, err error) {
-	c := cursor{b: p}
-	if name, err = c.str(); err != nil {
-		return nil, b, err
-	}
-	if b, err = c.box(); err != nil {
-		return nil, b, err
-	}
-	return name, b, c.done()
-}
-
-// AppendPointReq encodes an OpPoint payload.
-func AppendPointReq(dst []byte, name string, p geom.Point) []byte {
-	dst = AppendStr(dst, name)
-	for d := 0; d < geom.Dims; d++ {
-		dst = AppendF64(dst, p[d])
+// queryFlags finishes a query request payload: the trailing flags byte
+// is written only when non-zero, so a zero-flag encoding is
+// byte-identical to the pre-flags wire format.
+func queryFlags(dst []byte, flags byte) []byte {
+	if flags != 0 {
+		dst = append(dst, flags)
 	}
 	return dst
 }
 
-// DecodePointReq decodes an OpPoint payload. name aliases the payload.
-func DecodePointReq(p []byte) (name []byte, pt geom.Point, err error) {
-	c := cursor{b: p}
-	if name, err = c.str(); err != nil {
-		return nil, pt, err
+// takeQueryFlags reads the optional trailing flags byte of a query
+// request; an exhausted cursor means flags zero, and unknown bits are
+// malformed.
+func (c *cursor) takeQueryFlags() (byte, error) {
+	if c.remaining() == 0 {
+		return 0, nil
 	}
-	for d := 0; d < geom.Dims; d++ {
-		if pt[d], err = c.f64(); err != nil {
-			return nil, pt, err
-		}
+	fb, err := c.take(1)
+	if err != nil {
+		return 0, err
 	}
-	return name, pt, c.done()
+	if fb[0]&^QueryFlagTrace != 0 {
+		return 0, malformed("unknown query flags %#02x", fb[0])
+	}
+	return fb[0], nil
 }
 
-// AppendKNNReq encodes an OpKNN payload.
-func AppendKNNReq(dst []byte, name string, p geom.Point, k int) []byte {
+// AppendRangeReq encodes an OpRange payload with zero flags.
+func AppendRangeReq(dst []byte, name string, b geom.Box) []byte {
+	return AppendRangeReqFlags(dst, name, b, 0)
+}
+
+// AppendRangeReqFlags encodes an OpRange payload; flags zero omits the
+// trailing byte.
+func AppendRangeReqFlags(dst []byte, name string, b geom.Box, flags byte) []byte {
+	dst = AppendStr(dst, name)
+	dst = AppendBox(dst, b)
+	return queryFlags(dst, flags)
+}
+
+// DecodeRangeReq decodes an OpRange payload. name aliases the payload.
+func DecodeRangeReq(p []byte) (name []byte, b geom.Box, flags byte, err error) {
+	c := cursor{b: p}
+	if name, err = c.str(); err != nil {
+		return nil, b, 0, err
+	}
+	if b, err = c.box(); err != nil {
+		return nil, b, 0, err
+	}
+	if flags, err = c.takeQueryFlags(); err != nil {
+		return nil, b, 0, err
+	}
+	return name, b, flags, c.done()
+}
+
+// AppendPointReq encodes an OpPoint payload with zero flags.
+func AppendPointReq(dst []byte, name string, p geom.Point) []byte {
+	return AppendPointReqFlags(dst, name, p, 0)
+}
+
+// AppendPointReqFlags encodes an OpPoint payload; flags zero omits the
+// trailing byte.
+func AppendPointReqFlags(dst []byte, name string, p geom.Point, flags byte) []byte {
 	dst = AppendStr(dst, name)
 	for d := 0; d < geom.Dims; d++ {
 		dst = AppendF64(dst, p[d])
 	}
-	return AppendU32(dst, uint32(k))
+	return queryFlags(dst, flags)
 }
 
-// DecodeKNNReq decodes an OpKNN payload. name aliases the payload; k is
-// returned as the signed interpretation of the wire word so the engine's
-// k-validation sees negative values as negative.
-func DecodeKNNReq(p []byte) (name []byte, pt geom.Point, k int, err error) {
+// DecodePointReq decodes an OpPoint payload. name aliases the payload.
+func DecodePointReq(p []byte) (name []byte, pt geom.Point, flags byte, err error) {
 	c := cursor{b: p}
 	if name, err = c.str(); err != nil {
 		return nil, pt, 0, err
@@ -436,11 +498,49 @@ func DecodeKNNReq(p []byte) (name []byte, pt geom.Point, k int, err error) {
 			return nil, pt, 0, err
 		}
 	}
-	kw, err := c.u32()
-	if err != nil {
+	if flags, err = c.takeQueryFlags(); err != nil {
 		return nil, pt, 0, err
 	}
-	return name, pt, int(int32(kw)), c.done()
+	return name, pt, flags, c.done()
+}
+
+// AppendKNNReq encodes an OpKNN payload with zero flags.
+func AppendKNNReq(dst []byte, name string, p geom.Point, k int) []byte {
+	return AppendKNNReqFlags(dst, name, p, k, 0)
+}
+
+// AppendKNNReqFlags encodes an OpKNN payload; flags zero omits the
+// trailing byte.
+func AppendKNNReqFlags(dst []byte, name string, p geom.Point, k int, flags byte) []byte {
+	dst = AppendStr(dst, name)
+	for d := 0; d < geom.Dims; d++ {
+		dst = AppendF64(dst, p[d])
+	}
+	dst = AppendU32(dst, uint32(k))
+	return queryFlags(dst, flags)
+}
+
+// DecodeKNNReq decodes an OpKNN payload. name aliases the payload; k is
+// returned as the signed interpretation of the wire word so the engine's
+// k-validation sees negative values as negative.
+func DecodeKNNReq(p []byte) (name []byte, pt geom.Point, k int, flags byte, err error) {
+	c := cursor{b: p}
+	if name, err = c.str(); err != nil {
+		return nil, pt, 0, 0, err
+	}
+	for d := 0; d < geom.Dims; d++ {
+		if pt[d], err = c.f64(); err != nil {
+			return nil, pt, 0, 0, err
+		}
+	}
+	kw, err := c.u32()
+	if err != nil {
+		return nil, pt, 0, 0, err
+	}
+	if flags, err = c.takeQueryFlags(); err != nil {
+		return nil, pt, 0, 0, err
+	}
+	return name, pt, int(int32(kw)), flags, c.done()
 }
 
 // JoinReq is a decoded OpJoin payload. Exactly one of ProbeName and
@@ -451,6 +551,7 @@ type JoinReq struct {
 	Eps       float64
 	Workers   int
 	CountOnly bool
+	Trace     bool
 	ProbeName []byte     // nil unless FlagNamedProbe
 	Boxes     []geom.Box // nil when FlagNamedProbe
 }
@@ -458,15 +559,23 @@ type JoinReq struct {
 // AppendJoinReq encodes an OpJoin payload. probeName selects a named
 // probe when non-empty; boxes are the inline probe otherwise.
 func AppendJoinReq(dst []byte, name string, eps float64, workers int, countOnly bool, probeName string, boxes []geom.Box) []byte {
-	dst = AppendStr(dst, name)
-	dst = AppendF64(dst, eps)
-	dst = AppendU32(dst, uint32(workers))
 	flags := byte(0)
 	if countOnly {
 		flags |= FlagCountOnly
 	}
+	return AppendJoinReqFlags(dst, name, eps, workers, flags, probeName, boxes)
+}
+
+// AppendJoinReqFlags is AppendJoinReq with the flags byte given
+// explicitly (FlagNamedProbe is still derived from probeName).
+func AppendJoinReqFlags(dst []byte, name string, eps float64, workers int, flags byte, probeName string, boxes []geom.Box) []byte {
+	dst = AppendStr(dst, name)
+	dst = AppendF64(dst, eps)
+	dst = AppendU32(dst, uint32(workers))
 	if probeName != "" {
 		flags |= FlagNamedProbe
+	} else {
+		flags &^= FlagNamedProbe
 	}
 	dst = append(dst, flags)
 	if probeName != "" {
@@ -503,10 +612,11 @@ func DecodeJoinReq(p []byte) (JoinReq, error) {
 		return req, err
 	}
 	flags := fb[0]
-	if flags&^(FlagCountOnly|FlagNamedProbe) != 0 {
+	if flags&^(FlagCountOnly|FlagNamedProbe|FlagTrace) != 0 {
 		return req, malformed("unknown join flags %#02x", flags)
 	}
 	req.CountOnly = flags&FlagCountOnly != 0
+	req.Trace = flags&FlagTrace != 0
 	if flags&FlagNamedProbe != 0 {
 		if req.ProbeName, err = c.str(); err != nil {
 			return req, err
@@ -797,4 +907,78 @@ func DecodeErrorResp(p []byte) (code, message string, err error) {
 		return "", "", err
 	}
 	return string(cb), string(mb), c.done()
+}
+
+// MaxTracePhases caps the phase count an OpTrace frame may claim,
+// bounding the decode allocation.
+const MaxTracePhases = 64
+
+// TraceResp is a decoded OpTrace payload: the server-assigned request
+// ID, per-phase wall times in nanoseconds (indexed by the engine's
+// phase order; the count may grow as phases are added), the engine
+// counters for the request, and the cancel cause (0 none, 1 context,
+// 2 stop).
+type TraceResp struct {
+	RequestID   string
+	PhaseNs     []int64
+	Comparisons int64
+	NodeTests   int64
+	Filtered    int64
+	Results     int64
+	Replicas    int64
+	Cancel      byte
+}
+
+// AppendTraceResp encodes an OpTrace payload:
+//
+//	str requestID | u8 nPhases | nPhases×u64 ns |
+//	u64 comparisons | u64 nodeTests | u64 filtered |
+//	u64 results | u64 replicas | u8 cancel
+func AppendTraceResp(dst []byte, r TraceResp) []byte {
+	dst = AppendStr(dst, r.RequestID)
+	dst = append(dst, byte(len(r.PhaseNs)))
+	for _, ns := range r.PhaseNs {
+		dst = AppendU64(dst, uint64(ns))
+	}
+	dst = AppendU64(dst, uint64(r.Comparisons))
+	dst = AppendU64(dst, uint64(r.NodeTests))
+	dst = AppendU64(dst, uint64(r.Filtered))
+	dst = AppendU64(dst, uint64(r.Results))
+	dst = AppendU64(dst, uint64(r.Replicas))
+	return append(dst, r.Cancel)
+}
+
+// DecodeTraceResp decodes an OpTrace payload. The strings and slices
+// are freshly allocated; trace frames are rare, not the steady state.
+func DecodeTraceResp(p []byte) (TraceResp, error) {
+	var r TraceResp
+	c := cursor{b: p}
+	rid, err := c.str()
+	if err != nil {
+		return r, err
+	}
+	r.RequestID = string(rid)
+	nb, err := c.take(1)
+	if err != nil {
+		return r, err
+	}
+	n := int(nb[0])
+	if n > MaxTracePhases {
+		return r, malformed("trace claims %d phases, cap is %d", n, MaxTracePhases)
+	}
+	if int64(n)*8+5*8+1 != int64(c.remaining()) {
+		return r, malformed("trace claims %d phases, %d payload bytes remain", n, c.remaining())
+	}
+	r.PhaseNs = make([]int64, n)
+	for i := range r.PhaseNs {
+		w, _ := c.u64() // size proven above
+		r.PhaseNs[i] = int64(w)
+	}
+	for _, dst := range []*int64{&r.Comparisons, &r.NodeTests, &r.Filtered, &r.Results, &r.Replicas} {
+		w, _ := c.u64() // size proven above
+		*dst = int64(w)
+	}
+	cb, _ := c.take(1) // size proven above
+	r.Cancel = cb[0]
+	return r, c.done()
 }

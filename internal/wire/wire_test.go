@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math"
+	"strings"
 	"testing"
 
 	"touch/internal/geom"
@@ -16,18 +17,47 @@ func box(minX, minY, minZ, maxX, maxY, maxZ float64) geom.Box {
 
 func TestHelloRoundtrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteHello(&buf); err != nil {
+	if err := WriteHello(&buf, "touchserved/test rev/abc"); err != nil {
 		t.Fatal(err)
 	}
-	v, err := ReadHello(&buf)
+	v, info, err := ReadHello(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != Version {
 		t.Fatalf("hello version %d, want %d", v, Version)
 	}
-	if _, err := ReadHello(bytes.NewReader([]byte("NOTWIRE0\x01\x00\x00\x00"))); !errors.Is(err, ErrMalformed) {
+	if info != "touchserved/test rev/abc" {
+		t.Fatalf("hello info %q", info)
+	}
+
+	// The info field is optional: an empty one round-trips as "".
+	buf.Reset()
+	if err := WriteHello(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err = ReadHello(&buf); err != nil || info != "" {
+		t.Fatalf("empty info: %q %v", info, err)
+	}
+
+	if _, _, err := ReadHello(bytes.NewReader([]byte("NOTWIRE0\x01\x00\x00\x00\x00\x00"))); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("bad magic: got %v, want ErrMalformed", err)
+	}
+
+	// An info length beyond the cap is malformed before any allocation;
+	// a writer-side overlong info is truncated to the cap, not an error.
+	bad := []byte(Magic)
+	bad = AppendU32(bad, Version)
+	bad = AppendU16(bad, MaxHelloInfo+1)
+	if _, _, err := ReadHello(bytes.NewReader(bad)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized info length: %v, want ErrMalformed", err)
+	}
+	buf.Reset()
+	if err := WriteHello(&buf, strings.Repeat("x", MaxHelloInfo+100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err = ReadHello(&buf); err != nil || len(info) != MaxHelloInfo {
+		t.Fatalf("truncated info: len=%d %v", len(info), err)
 	}
 }
 
@@ -91,18 +121,32 @@ func TestFrameLengthBounds(t *testing.T) {
 func TestRangeReqRoundtrip(t *testing.T) {
 	b := box(1, 2, 3, 4, 5, 6)
 	p := AppendRangeReq(nil, "cells", b)
-	name, got, err := DecodeRangeReq(p)
+	name, got, flags, err := DecodeRangeReq(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(name) != "cells" || got != b {
-		t.Fatalf("decoded %q %v", name, got)
+	if string(name) != "cells" || got != b || flags != 0 {
+		t.Fatalf("decoded %q %v flags=%#x", name, got, flags)
 	}
-	// Exact-size validation: one stray byte is malformed.
-	if _, _, err := DecodeRangeReq(append(p, 0)); !errors.Is(err, ErrMalformed) {
+	// The flagless encoding carries no flags byte at all — older peers'
+	// encodings stay valid and byte-stable.
+	if flagged := AppendRangeReqFlags(nil, "cells", b, 0); !bytes.Equal(p, flagged) {
+		t.Fatalf("zero-flags encoding differs from legacy encoding")
+	}
+	// A trace-flagged request round-trips its flag.
+	p2 := AppendRangeReqFlags(nil, "cells", b, QueryFlagTrace)
+	if len(p2) != len(p)+1 {
+		t.Fatalf("flags byte: len %d vs %d", len(p2), len(p))
+	}
+	if _, _, flags, err = DecodeRangeReq(p2); err != nil || flags != QueryFlagTrace {
+		t.Fatalf("flags roundtrip: %#x %v", flags, err)
+	}
+	// Exact-size validation: stray bytes beyond the flags byte are
+	// malformed, as is a truncated box.
+	if _, _, _, err := DecodeRangeReq(append(p2, 0)); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("trailing byte: %v", err)
 	}
-	if _, _, err := DecodeRangeReq(p[:len(p)-1]); !errors.Is(err, ErrMalformed) {
+	if _, _, _, err := DecodeRangeReq(p[:len(p)-1]); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("truncated: %v", err)
 	}
 }
@@ -110,20 +154,26 @@ func TestRangeReqRoundtrip(t *testing.T) {
 func TestPointAndKNNReqRoundtrip(t *testing.T) {
 	pt := geom.Point{7, -8, 9.5}
 	p := AppendPointReq(nil, "grid", pt)
-	name, got, err := DecodePointReq(p)
-	if err != nil || string(name) != "grid" || got != pt {
-		t.Fatalf("point: %q %v %v", name, got, err)
+	name, got, flags, err := DecodePointReq(p)
+	if err != nil || string(name) != "grid" || got != pt || flags != 0 {
+		t.Fatalf("point: %q %v flags=%#x %v", name, got, flags, err)
+	}
+	if _, _, flags, err = DecodePointReq(AppendPointReqFlags(nil, "grid", pt, QueryFlagTrace)); err != nil || flags != QueryFlagTrace {
+		t.Fatalf("point flags: %#x %v", flags, err)
 	}
 
 	p = AppendKNNReq(nil, "grid", pt, 12)
-	name, got, k, err := DecodeKNNReq(p)
-	if err != nil || string(name) != "grid" || got != pt || k != 12 {
-		t.Fatalf("knn: %q %v k=%d %v", name, got, k, err)
+	name, got, k, flags, err := DecodeKNNReq(p)
+	if err != nil || string(name) != "grid" || got != pt || k != 12 || flags != 0 {
+		t.Fatalf("knn: %q %v k=%d flags=%#x %v", name, got, k, flags, err)
+	}
+	if _, _, _, flags, err = DecodeKNNReq(AppendKNNReqFlags(nil, "grid", pt, 12, QueryFlagTrace)); err != nil || flags != QueryFlagTrace {
+		t.Fatalf("knn flags: %#x %v", flags, err)
 	}
 	// Negative k survives the unsigned wire word as negative, so the
 	// engine's validation fires instead of a giant allocation.
 	p = AppendKNNReq(nil, "grid", pt, -3)
-	if _, _, k, err = DecodeKNNReq(p); err != nil || k != -3 {
+	if _, _, k, _, err = DecodeKNNReq(p); err != nil || k != -3 {
 		t.Fatalf("negative k: k=%d %v", k, err)
 	}
 }
@@ -149,6 +199,54 @@ func TestJoinReqRoundtrip(t *testing.T) {
 	}
 	if string(req.ProbeName) != "grid" || req.Boxes != nil || req.CountOnly {
 		t.Fatalf("named probe: %+v", req)
+	}
+
+	// The trace flag rides the existing join flags byte.
+	p = AppendJoinReqFlags(nil, "cells", 0, 0, FlagCountOnly|FlagTrace, "grid", nil)
+	req, err = DecodeJoinReq(p)
+	if err != nil || !req.Trace || !req.CountOnly || string(req.ProbeName) != "grid" {
+		t.Fatalf("traced join: %+v %v", req, err)
+	}
+}
+
+func TestTraceRespRoundtrip(t *testing.T) {
+	want := TraceResp{
+		RequestID:   "9f3ac81b-42",
+		PhaseNs:     []int64{0, 1200, 0, 1_000_000, 0, 0, 0, 0},
+		Comparisons: 12345, NodeTests: 678, Filtered: 9, Results: 42, Replicas: 3,
+		Cancel: 1,
+	}
+	p := AppendTraceResp(nil, want)
+	got, err := DecodeTraceResp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RequestID != want.RequestID || got.Comparisons != want.Comparisons ||
+		got.NodeTests != want.NodeTests || got.Filtered != want.Filtered ||
+		got.Results != want.Results || got.Replicas != want.Replicas || got.Cancel != want.Cancel {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.PhaseNs) != len(want.PhaseNs) {
+		t.Fatalf("phases: %v", got.PhaseNs)
+	}
+	for i := range want.PhaseNs {
+		if got.PhaseNs[i] != want.PhaseNs[i] {
+			t.Fatalf("phase %d: %d != %d", i, got.PhaseNs[i], want.PhaseNs[i])
+		}
+	}
+	// Exact-size validation both ways.
+	if _, err := DecodeTraceResp(append(p, 0)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+	if _, err := DecodeTraceResp(p[:len(p)-1]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated: %v", err)
+	}
+	// A hostile phase count beyond MaxTracePhases is rejected before the
+	// size arithmetic can mislead.
+	hostile := AppendStr(nil, "id")
+	hostile = append(hostile, 255)
+	if _, err := DecodeTraceResp(hostile); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("hostile phase count: %v", err)
 	}
 }
 
@@ -248,7 +346,7 @@ func TestReaderSteadyStateAllocs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := DecodeRangeReq(p); err != nil {
+			if _, _, _, err := DecodeRangeReq(p); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -242,29 +242,44 @@ func (m *Mutable) Stats() MutableStats {
 }
 
 // RangeQuery is Index.RangeQuery over the merged live objects.
-func (m *Mutable) RangeQuery(q Box) ([]ID, error) {
+func (m *Mutable) RangeQuery(q Box) ([]ID, error) { return m.RangeQueryTraced(q, nil) }
+
+// RangeQueryTraced is Index.RangeQueryTraced over the merged live
+// objects: a view with pending updates records the overlay and delta
+// phases on top of the base descent.
+func (m *Mutable) RangeQueryTraced(q Box, sp *Span) ([]ID, error) {
 	if v := m.view.Load(); v.ov != nil {
-		return v.ov.RangeQuery(q)
+		return v.ov.RangeQueryTraced(q, sp)
 	} else {
-		return v.idx.RangeQuery(q)
+		return v.idx.RangeQueryTraced(q, sp)
 	}
 }
 
 // PointQuery is Index.PointQuery over the merged live objects.
 func (m *Mutable) PointQuery(x, y, z float64) ([]ID, error) {
+	return m.PointQueryTraced(x, y, z, nil)
+}
+
+// PointQueryTraced is Index.PointQueryTraced over the merged live
+// objects; see RangeQueryTraced.
+func (m *Mutable) PointQueryTraced(x, y, z float64, sp *Span) ([]ID, error) {
 	if v := m.view.Load(); v.ov != nil {
-		return v.ov.PointQuery(x, y, z)
+		return v.ov.PointQueryTraced(x, y, z, sp)
 	} else {
-		return v.idx.PointQuery(x, y, z)
+		return v.idx.PointQueryTraced(x, y, z, sp)
 	}
 }
 
 // KNN is Index.KNN over the merged live objects.
-func (m *Mutable) KNN(q Point, k int) ([]Neighbor, error) {
+func (m *Mutable) KNN(q Point, k int) ([]Neighbor, error) { return m.KNNTraced(q, k, nil) }
+
+// KNNTraced is Index.KNNTraced over the merged live objects; see
+// RangeQueryTraced.
+func (m *Mutable) KNNTraced(q Point, k int, sp *Span) ([]Neighbor, error) {
 	if v := m.view.Load(); v.ov != nil {
-		return v.ov.KNN(q, k)
+		return v.ov.KNNTraced(q, k, sp)
 	} else {
-		return v.idx.KNN(q, k)
+		return v.idx.KNNTraced(q, k, sp)
 	}
 }
 

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"iter"
 	"slices"
+	"time"
 
 	"touch/internal/geom"
 	"touch/internal/nl"
 	"touch/internal/stats"
+	"touch/internal/trace"
 )
 
 // Overlay combines an immutable base Index with a small set of pending
@@ -83,22 +85,54 @@ func mergeIDs(baseIDs, extra []ID) []ID {
 // RangeQuery returns the IDs of every live object whose MBR intersects
 // q, sorted ascending — Index.RangeQuery over the merged state, with
 // identical validation and semantics.
-func (v *Overlay) RangeQuery(q Box) ([]ID, error) {
-	ids, err := v.idx.RangeQuery(q)
+func (v *Overlay) RangeQuery(q Box) ([]ID, error) { return v.RangeQueryTraced(q, nil) }
+
+// RangeQueryTraced is RangeQuery with per-request tracing: the base
+// descent records PhaseQuery (see Index.RangeQueryTraced), the
+// brute-force scan of the pending inserts records PhaseDelta, and the
+// tombstone filter plus merge records PhaseOverlay.
+func (v *Overlay) RangeQueryTraced(q Box, sp *Span) ([]ID, error) {
+	ids, err := v.idx.RangeQueryTraced(q, sp)
 	if err != nil {
 		return nil, err
 	}
-	return mergeIDs(v.filterIDs(ids), nl.RangeQuery(v.inserts, q)), nil
+	if sp == nil {
+		return mergeIDs(v.filterIDs(ids), nl.RangeQuery(v.inserts, q)), nil
+	}
+	start := time.Now()
+	extra := nl.RangeQuery(v.inserts, q)
+	sp.Add(trace.PhaseDelta, time.Since(start))
+	start = time.Now()
+	ids = mergeIDs(v.filterIDs(ids), extra)
+	sp.Add(trace.PhaseOverlay, time.Since(start))
+	sp.SetResults(int64(len(ids)))
+	return ids, nil
 }
 
 // PointQuery returns the IDs of every live object whose MBR contains
 // the point, sorted ascending — Index.PointQuery over the merged state.
 func (v *Overlay) PointQuery(x, y, z float64) ([]ID, error) {
-	ids, err := v.idx.PointQuery(x, y, z)
+	return v.PointQueryTraced(x, y, z, nil)
+}
+
+// PointQueryTraced is PointQuery with per-request tracing; see
+// RangeQueryTraced.
+func (v *Overlay) PointQueryTraced(x, y, z float64, sp *Span) ([]ID, error) {
+	ids, err := v.idx.PointQueryTraced(x, y, z, sp)
 	if err != nil {
 		return nil, err
 	}
-	return mergeIDs(v.filterIDs(ids), nl.PointQuery(v.inserts, Point{x, y, z})), nil
+	if sp == nil {
+		return mergeIDs(v.filterIDs(ids), nl.PointQuery(v.inserts, Point{x, y, z})), nil
+	}
+	start := time.Now()
+	extra := nl.PointQuery(v.inserts, Point{x, y, z})
+	sp.Add(trace.PhaseDelta, time.Since(start))
+	start = time.Now()
+	ids = mergeIDs(v.filterIDs(ids), extra)
+	sp.Add(trace.PhaseOverlay, time.Since(start))
+	sp.SetResults(int64(len(ids)))
+	return ids, nil
 }
 
 // KNN returns the k live objects nearest to q with Index.KNN's exact
@@ -106,13 +140,23 @@ func (v *Overlay) PointQuery(x, y, z float64) ([]ID, error) {
 // base index is asked for k plus one candidate per tombstone — the
 // tombstones can shadow at most that many of its answers — and the
 // survivors merge with a brute-force scan of the inserts.
-func (v *Overlay) KNN(q Point, k int) ([]Neighbor, error) {
+func (v *Overlay) KNN(q Point, k int) ([]Neighbor, error) { return v.KNNTraced(q, k, nil) }
+
+// KNNTraced is KNN with per-request tracing; see RangeQueryTraced. The
+// tombstone filter and the merge-sort of the insert candidates record
+// PhaseOverlay; the brute-force insert scan records PhaseDelta.
+func (v *Overlay) KNNTraced(q Point, k int, sp *Span) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrInvalidK, k)
 	}
-	nbrs, err := v.idx.KNN(q, k+len(v.tombs))
+	nbrs, err := v.idx.KNNTraced(q, k+len(v.tombs), sp)
 	if err != nil {
 		return nil, err
+	}
+	var overlayTime time.Duration
+	var start time.Time
+	if sp != nil {
+		start = time.Now()
 	}
 	if len(v.tombs) > 0 {
 		live := nbrs[:0]
@@ -123,16 +167,35 @@ func (v *Overlay) KNN(q Point, k int) ([]Neighbor, error) {
 		}
 		nbrs = live
 	}
+	if sp != nil {
+		overlayTime += time.Since(start)
+	}
 	if len(v.inserts) > 0 {
-		nbrs = append(nbrs, nl.KNN(v.inserts, q, k)...)
+		if sp != nil {
+			start = time.Now()
+		}
+		extra := nl.KNN(v.inserts, q, k)
+		if sp != nil {
+			sp.Add(trace.PhaseDelta, time.Since(start))
+			start = time.Now()
+		}
+		nbrs = append(nbrs, extra...)
 		slices.SortFunc(nbrs, func(a, b Neighbor) int {
 			if a.Distance != b.Distance {
 				return cmp.Compare(a.Distance, b.Distance)
 			}
 			return cmp.Compare(a.ID, b.ID)
 		})
+		if sp != nil {
+			overlayTime += time.Since(start)
+		}
 	}
-	return nbrs[:min(k, len(nbrs))], nil
+	nbrs = nbrs[:min(k, len(nbrs))]
+	if sp != nil {
+		sp.Add(trace.PhaseOverlay, overlayTime)
+		sp.SetResults(int64(len(nbrs)))
+	}
+	return nbrs, nil
 }
 
 // runMerged executes one merged join: the base index probe with a
@@ -140,8 +203,11 @@ func (v *Overlay) KNN(q Point, k int) ([]Neighbor, error) {
 // join was stopped — the brute-force insert pass into the same chain.
 // The engine counts every emission in c.Results before the filter can
 // see it, so the dropped pairs are subtracted afterwards, keeping
-// Stats.Results equal to the delivered (live) pair count.
-func (v *Overlay) runMerged(b Dataset, workers int, ctl *stats.Control, c *Stats, sink Sink) {
+// Stats.Results equal to the delivered (live) pair count. A non-nil sp
+// records the insert pass's wall time as PhaseDelta (the tombstone
+// filter runs inline inside the join phase and is not timed
+// separately).
+func (v *Overlay) runMerged(b Dataset, workers int, ctl *stats.Control, c *Stats, sink Sink, sp *trace.Span) {
 	base := sink
 	var dropped int64
 	if len(v.tombs) > 0 {
@@ -159,7 +225,13 @@ func (v *Overlay) runMerged(b Dataset, workers int, ctl *stats.Control, c *Stats
 		return
 	}
 	if len(v.inserts) > 0 {
+		if sp == nil {
+			nl.Join(v.inserts, b, ctl, c, sink)
+			return
+		}
+		start := time.Now()
 		nl.Join(v.inserts, b, ctl, c, sink)
+		sp.Add(trace.PhaseDelta, time.Since(start))
 	}
 }
 
@@ -184,11 +256,18 @@ func (v *Overlay) JoinCtx(ctx context.Context, b Dataset, opt *Options) (*Result
 	ctl := control(ctx, &o)
 	res := &Result{}
 	sink, finish := joinSink(&o, false, ctl, res)
-	v.runMerged(b, o.Workers, ctl, &res.Stats, sink)
-	if err := canceledErr(ctx, ctl); err != nil {
+	v.runMerged(b, o.Workers, ctl, &res.Stats, sink, o.Trace)
+	err := canceledErr(ctx, ctl)
+	if err == nil {
+		finish()
+	}
+	if t := o.Trace; t != nil {
+		t.Record(&res.Stats)
+		t.SetCancel(ctl.Cause())
+	}
+	if err != nil {
 		return nil, err
 	}
-	finish()
 	return res, nil
 }
 
@@ -213,7 +292,7 @@ func (v *Overlay) DistanceJoinCtx(ctx context.Context, b Dataset, eps float64, o
 func (v *Overlay) JoinSeq(ctx context.Context, b Dataset, opt *Options) iter.Seq2[Pair, error] {
 	o := opt.normalized()
 	return streamJoin(ctx, &o, false, func(ctl *stats.Control, c *Stats, sink Sink) {
-		v.runMerged(b, o.Workers, ctl, c, sink)
+		v.runMerged(b, o.Workers, ctl, c, sink, o.Trace)
 	})
 }
 

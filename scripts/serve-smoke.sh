@@ -48,16 +48,19 @@ go build -o "$WIREBIN" ./cmd/touchwire
 # Three known boxes so every query has a predictable answer.
 printf '0 0 0 10 10 10\n5 5 5 15 15 15\n20 20 20 30 30 30\n' > "$DATA"
 
-"$BIN" -addr 127.0.0.1:0 -bin-addr 127.0.0.1:0 -load smoke="$DATA" > "$LOG" 2>&1 &
+"$BIN" -addr 127.0.0.1:0 -bin-addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+    -slow-query-ms 1 -load smoke="$DATA" > "$LOG" 2>&1 &
 PID=$!
 
 # wait_addr: block until the startup line carries the randomly chosen
-# port, setting BASE. Reads the log named in $LOG.
+# port, setting BASE. Reads the log named in $LOG. The slog text handler
+# quotes messages containing spaces, so the capture stops at the first
+# space or closing quote.
 wait_addr() {
     ADDR=
     i=0
     while [ $i -lt 100 ]; do
-        ADDR=$(sed -n 's/.*touchserved listening on //p' "$LOG" | head -n 1)
+        ADDR=$(sed -n 's/.*touchserved listening on \([^ "]*\).*/\1/p' "$LOG" | head -n 1)
         [ -n "$ADDR" ] && break
         kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
         i=$((i + 1))
@@ -94,6 +97,46 @@ echo "$NDJSON" | grep -q '^{"count":2}$' || fail "ndjson join trailer"
 curl -sf "$BASE/metrics" | grep -q 'touchserved_requests_total{class="query"} 3' \
     || fail "metrics"
 
+# --- observability ------------------------------------------------------
+# Per-request tracing: X-Touch-Trace must grow the response a trace
+# object carrying the server-assigned request ID, and every admitted
+# response must name its ID in the X-Touch-Request-Id header.
+TRACED=$(curl -sf -X POST "$BASE/v1/datasets/smoke/query" \
+    -H 'Content-Type: application/json' -H 'X-Touch-Trace: 1' \
+    -d '{"type":"range","box":[0,0,0,50,50,50]}')
+echo "$TRACED" | grep -q '"trace":{' || fail "traced query carries no trace: $TRACED"
+echo "$TRACED" | grep -q '"request_id"' || fail "trace carries no request id: $TRACED"
+echo "$TRACED" | grep -q '"comparisons"' || fail "trace carries no engine counters: $TRACED"
+if curl -sf -D - -o /dev/null "$BASE/healthz" | grep -qi '^x-touch-request-id:'; then
+    fail "unadmitted healthz grew a request id header"
+fi
+curl -sf -D - -o /dev/null -X POST "$BASE/v1/datasets/smoke/query" \
+    -H 'Content-Type: application/json' -d '{"type":"point","point":[6,6,6]}' \
+    | grep -qi '^x-touch-request-id:' || fail "response without X-Touch-Request-Id header"
+
+# Build identity: /version over HTTP, and -version on the binary.
+curl -sf "$BASE/version" | grep -q '"go_version"' || fail "/version shape"
+"$BIN" -version | grep -q 'go1' || fail "-version output"
+
+# Slow-query log: armed via -slow-query-ms, served as JSON on the main
+# listener and as text on the debug listener; SIGUSR1 dumps it to stderr.
+curl -sf "$BASE/debug/slowlog" | grep -q '"threshold_ms"' || fail "/debug/slowlog shape"
+DADDR=$(sed -n 's/.*touchserved debug listening on \([^ "]*\).*/\1/p' "$LOG" | head -n 1)
+[ -n "$DADDR" ] || fail "server never printed its debug listen address"
+curl -sf "http://$DADDR/debug/slowlog" | grep -q 'slowlog:' || fail "debug slowlog mirror"
+curl -sf "http://$DADDR/debug/pprof/cmdline" > /dev/null || fail "pprof on debug listener"
+kill -USR1 "$PID"
+i=0
+while ! grep -q 'slowlog:' "$LOG"; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || fail "SIGUSR1 never dumped the slow log"
+    sleep 0.1
+done
+# CI exports the slow-query ring as an artifact when asked to.
+if [ -n "${SLOWLOG_OUT:-}" ]; then
+    curl -sf "$BASE/debug/slowlog" > "$SLOWLOG_OUT" || fail "slowlog artifact export"
+fi
+
 # Error mapping: unknown dataset must be a structured 404.
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/datasets/ghost/query" \
     -H 'Content-Type: application/json' -d '{"type":"point","point":[0,0,0]}')
@@ -105,7 +148,7 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/datasets/ghost/q
 # stripped on the HTTP side — they carry wall-clock timings the wire
 # protocol doesn't transmit).
 
-WADDR=$(sed -n 's/.*touchserved wire listening on //p' "$LOG" | head -n 1)
+WADDR=$(sed -n 's/.*touchserved wire listening on \([^ "]*\).*/\1/p' "$LOG" | head -n 1)
 [ -n "$WADDR" ] || fail "server never printed its wire listen address"
 echo "serve-smoke: wire listener on $WADDR"
 
@@ -123,11 +166,20 @@ WIRE_ANSWERS=$("$WIREBIN" -addr "$WADDR" -dataset smoke \
 http: $HTTP_ANSWERS
 wire: $WIRE_ANSWERS"
 
+# Traced wire probe: -trace keeps stdout byte-identical (so the diff
+# above still holds) and writes the OpTrace breakdown to stderr.
+WIRE_TRACE="$WORK/wire-trace.json"
+TRACED_WIRE=$("$WIREBIN" -addr "$WADDR" -dataset smoke -trace \
+    'range:0,0,0,50,50,50' 2> "$WIRE_TRACE") || fail "traced touchwire probe"
+echo "$TRACED_WIRE" | grep -q '"count":3' || fail "traced wire answer"
+grep -q '"RequestID"' "$WIRE_TRACE" || fail "wire trace carries no request id"
+grep -q '"Comparisons"' "$WIRE_TRACE" || fail "wire trace carries no engine counters"
+
 # The binary path reports under its own metric classes and connection
 # gauge. The gauge drops when the server notices touchwire hung up, so
 # give it a moment.
 METRICS=$(curl -sf "$BASE/metrics")
-echo "$METRICS" | grep -q 'touchserved_requests_total{class="wire_query"} 3' \
+echo "$METRICS" | grep -q 'touchserved_requests_total{class="wire_query"} 4' \
     || fail "wire_query metrics"
 echo "$METRICS" | grep -q 'touchserved_requests_total{class="wire_join"} 1' \
     || fail "wire_join metrics"

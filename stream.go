@@ -73,20 +73,33 @@ func streamJoin(ctx context.Context, o *Options, swapped bool, run func(*stats.C
 			var c Stats
 			run(ctl, &c, sink)
 			ss.flush()
+			// Trace the engine's work before close(ch) publishes it: the
+			// consumer only reads the span after its drain observed the
+			// close, so these writes are ordered before any read.
+			if t := o.Trace; t != nil {
+				t.Record(&c)
+				t.SetCancel(ctl.Cause())
+			}
 		}()
 		// Whatever way the loop ends — completion, break, a panic in the
 		// loop body — stop the join and drain the channel so the producer
 		// can finish and release its probe.
+		var delivered int64
 		defer func() {
 			ctl.Stop()
 			for range ch {
 			}
+			// The engine's own Results counter includes pairs the consumer
+			// never saw (emitted before a break/limit stop landed); the
+			// span reports what was actually delivered.
+			o.Trace.SetResults(delivered)
 		}()
 		for batch := range ch {
 			for _, p := range batch {
 				if !yield(p, nil) {
 					return
 				}
+				delivered++
 				if limit > 0 {
 					if limit--; limit == 0 {
 						return

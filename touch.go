@@ -46,6 +46,7 @@ import (
 	"touch/internal/s3"
 	"touch/internal/stats"
 	"touch/internal/sweep"
+	"touch/internal/trace"
 )
 
 // Re-exported geometric types; see the geom package for their methods.
@@ -83,6 +84,13 @@ type (
 	// RTreeConfig is the R-tree bulk-load configuration (fanout, leaf
 	// capacity) used by the RTree and INL baselines.
 	RTreeConfig = rtree.Config
+	// Span is a per-request trace record: phase wall times (assignment,
+	// join, query descent, overlay merge, delta scan, …) plus the engine
+	// counters of one execution. Attach one via Options.Trace or the
+	// *Traced query variants; a nil *Span disables tracing at zero cost.
+	Span = trace.Span
+	// TracePhase identifies one timed segment of a Span.
+	TracePhase = trace.Phase
 )
 
 // NewBox returns the box spanned by the two corner points, normalizing
@@ -178,6 +186,11 @@ type Options struct {
 	// Stats.Results equal to the delivered count. Which pairs are kept is
 	// deterministic single-threaded and arbitrary under parallelism.
 	Limit int64
+	// Trace, when non-nil, receives the execution's phase timings,
+	// engine counters and cancel cause. The span is written once, after
+	// the engine finishes (for JoinSeq, after the iterator's loop
+	// exits); nil adds no work and no allocations to the join.
+	Trace *Span
 }
 
 func (o *Options) normalized() Options {
@@ -370,10 +383,19 @@ func SpatialJoinCtx(ctx context.Context, alg Algorithm, a, b Dataset, opt *Optio
 	sink, finish := joinSink(&o, swapped, ctl, res)
 
 	dispatch(alg, join, &o, a, b, ctl, &res.Stats, sink)
-	if err := canceledErr(ctx, ctl); err != nil {
+	err = canceledErr(ctx, ctl)
+	if err == nil {
+		finish()
+	}
+	if t := o.Trace; t != nil {
+		// Record after finish so a limited join traces the delivered
+		// count, and even a canceled join traces its partial work.
+		t.Record(&res.Stats)
+		t.SetCancel(ctl.Cause())
+	}
+	if err != nil {
 		return nil, err
 	}
-	finish()
 	return res, nil
 }
 
