@@ -37,8 +37,13 @@ vet:
 # fold in the background). BENCH_9 adds the observability points:
 # trace-overhead (the prebuilt-index join with a live span vs the
 # nil-span fast path as baseline_ns) and metrics-scrape (one GET
-# /metrics render against a serving catalog).
-BENCH_OUT ?= BENCH_9.json
+# /metrics render against a serving catalog). BENCH_10 adds the routing
+# points: router-range-cN (the pipelined range workload through the
+# touchrouter wire front over two replicas, with the direct
+# bin-range-pipelined-cN number as baseline_ns — the budget is routed
+# ≤ 2× direct) and router-failover-latency (wall time from killing the
+# primary ring owner to the first successful read through the router).
+BENCH_OUT ?= BENCH_10.json
 bench:
 	$(GO) run ./cmd/touchbench -bench -json $(BENCH_OUT)
 

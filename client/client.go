@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,6 +89,19 @@ type Conn struct {
 // ServerInfo returns the server's hello-frame build identification,
 // empty when the server did not send one.
 func (c *Conn) ServerInfo() string { return c.serverInfo }
+
+// ServerNode returns the server's stable instance name — the "node/<id>"
+// token of its hello info (touchserved -node-id) — or "" when the server
+// did not advertise one. Routing tiers key logs and per-backend metrics
+// on it.
+func (c *Conn) ServerNode() string {
+	for _, f := range strings.Fields(c.serverInfo) {
+		if id, ok := strings.CutPrefix(f, "node/"); ok {
+			return id
+		}
+	}
+	return ""
+}
 
 // Dial connects and performs the protocol handshake. The context bounds
 // dialing and the handshake only; it does not govern the connection's
@@ -531,6 +545,52 @@ func (c *Conn) Update(ctx context.Context, dataset string, spec UpdateSpec) (Upd
 		return UpdateResult{}, err
 	}
 	return decodeUpdate(cl)
+}
+
+// DatasetInfo is one row of a wire catalog listing — the wire twin of
+// GET /v1/datasets, carrying the fields a routing tier needs to merge
+// listings across replicas.
+type DatasetInfo struct {
+	Name            string
+	Version         int64
+	Status          string // "ready", "building" or "rebuilding"
+	Objects         int64
+	StaticBytes     int64
+	DeltaInserts    int
+	DeltaTombstones int
+	Persisted       bool
+}
+
+// Datasets lists the server's catalog, sorted by name.
+func (c *Conn) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	cl, err := c.roundTrip(ctx, wire.OpCatalog, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := respError(cl); err != nil {
+		return nil, err
+	}
+	if cl.op != wire.OpCatalogResp {
+		return nil, fmt.Errorf("client: unexpected response opcode %#02x", cl.op)
+	}
+	entries, err := wire.DecodeCatalogResp(cl.payload)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]DatasetInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = DatasetInfo{
+			Name:            e.Name,
+			Version:         e.Version,
+			Status:          e.Status,
+			Objects:         e.Objects,
+			StaticBytes:     e.StaticBytes,
+			DeltaInserts:    e.DeltaInserts,
+			DeltaTombstones: e.DeltaTombstones,
+			Persisted:       e.Persisted,
+		}
+	}
+	return infos, nil
 }
 
 // Join runs a join and materializes its pairs, sorted canonically.

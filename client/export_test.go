@@ -1,0 +1,5 @@
+package client
+
+// DialAttempts reports how many dials the pool has started — the
+// observable the dial-backoff regression test pins.
+func (p *Pool) DialAttempts() int64 { return p.dials.Load() }

@@ -3,6 +3,18 @@ package client
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dial-backoff bounds: after a failed dial the pool waits dialBackoffMin
+// before trying again, doubling per consecutive failure up to
+// dialBackoffMax. A dead backend then costs each caller a cached error,
+// not a connect attempt — a routing tier retrying hundreds of requests
+// per second against an ejected backend must not turn into a SYN storm.
+const (
+	dialBackoffMin = 100 * time.Millisecond
+	dialBackoffMax = 3 * time.Second
 )
 
 // Pool hands out up to size multiplexed connections round-robin.
@@ -17,6 +29,16 @@ type Pool struct {
 	conns  []*Conn
 	next   int
 	closed bool
+
+	// Dial-backoff state, guarded by mu: consecutive failed dials, the
+	// earliest time the next dial may start, and the error served while
+	// waiting. A successful dial resets all three.
+	dialFails int
+	nextDial  time.Time
+	lastErr   error
+
+	// dials counts dial attempts, for the backoff regression test.
+	dials atomic.Int64
 }
 
 // NewPool returns a pool of at most size connections to addr. Nothing
@@ -28,13 +50,33 @@ func NewPool(addr string, size int) *Pool {
 	return &Pool{addr: addr, size: size}
 }
 
+// Addr returns the address the pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// Healthy reports whether the pool currently holds at least one live
+// connection. It never dials, so false also covers a pool that simply
+// has not seen traffic yet; after traffic, false means every pooled
+// connection has failed since.
+func (p *Pool) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		if c.Err() == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Conn returns a healthy pooled connection, dialing if the pool is not
 // yet full or a pooled connection has failed. The dial happens outside
 // the pool lock — a slow or hanging dial must not block other callers
 // from using the healthy connections already pooled — and when it fails
 // but a live connection exists, that connection is returned instead of
 // the dial error: the pool just serves below capacity until the next
-// call retries the dial.
+// call retries the dial. While the dial-backoff window from a previous
+// failure is open no dial is attempted at all: the call gets the
+// fallback connection, or the cached dial error when none exists.
 func (p *Pool) Conn(ctx context.Context) (*Conn, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -63,10 +105,19 @@ func (p *Pool) Conn(ctx context.Context) (*Conn, error) {
 		p.next++
 		fallback = p.conns[p.next%len(p.conns)]
 	}
+	if wait, lastErr := time.Until(p.nextDial), p.lastErr; wait > 0 && lastErr != nil {
+		p.mu.Unlock()
+		if fallback != nil {
+			return fallback, nil
+		}
+		return nil, lastErr
+	}
 	p.mu.Unlock()
 
+	p.dials.Add(1)
 	c, err := Dial(ctx, p.addr)
 	if err != nil {
+		p.noteDialFailure(err)
 		if fallback != nil {
 			return fallback, nil
 		}
@@ -74,6 +125,7 @@ func (p *Pool) Conn(ctx context.Context) (*Conn, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.dialFails, p.nextDial, p.lastErr = 0, time.Time{}, nil
 	if p.closed {
 		c.Close()
 		return nil, ErrClosed
@@ -90,11 +142,31 @@ func (p *Pool) Conn(ctx context.Context) (*Conn, error) {
 	return c, nil
 }
 
+// noteDialFailure opens (or extends) the dial-backoff window.
+func (p *Pool) noteDialFailure(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	backoff := dialBackoffMin << p.dialFails
+	if backoff > dialBackoffMax {
+		backoff = dialBackoffMax
+	}
+	// Cap the exponent well before the doubling could overflow; the
+	// window is already clamped to dialBackoffMax by then.
+	if p.dialFails < 8 {
+		p.dialFails++
+	}
+	p.nextDial = time.Now().Add(backoff)
+	p.lastErr = err
+}
+
 // Close closes every pooled connection; outstanding requests on them
-// fail with ErrClosed.
+// fail with ErrClosed. Close is idempotent — later calls are no-ops.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
 	p.closed = true
 	for _, c := range p.conns {
 		c.Close()

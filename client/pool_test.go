@@ -129,3 +129,74 @@ func TestPoolConnDialOutsideLock(t *testing.T) {
 	s.hangUpSilent()
 	<-parked
 }
+
+// refusingAddr returns an address that actively refuses connections: a
+// listener is bound to reserve the port, then closed.
+func refusingAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestPoolDialBackoff pins the dial-storm fix: a dead backend must cost
+// the pool a bounded number of connect attempts, not one per request.
+// 50 rapid Conn calls against a refusing listener may dial a handful of
+// times (concurrent callers can race past the first failure) but far
+// fewer than once per call, and each call still fails fast with the
+// cached dial error instead of blocking in the dialer.
+func TestPoolDialBackoff(t *testing.T) {
+	p := client.NewPool(refusingAddr(t), 2)
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if _, err := p.Conn(ctx); err == nil {
+			t.Fatal("Conn against a refusing listener succeeded")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("50 failing Conn calls took %v; backoff should make them near-instant", elapsed)
+	}
+	if n := p.DialAttempts(); n > 10 {
+		t.Fatalf("50 Conn calls caused %d dial attempts, want a handful under backoff", n)
+	}
+	if p.Healthy() {
+		t.Fatal("pool with zero live connections reports Healthy")
+	}
+}
+
+// TestPoolHealthyAndCloseIdempotent: Healthy tracks live connections
+// through the pool's lifecycle, and Close can be called repeatedly.
+func TestPoolHealthyAndCloseIdempotent(t *testing.T) {
+	s := newSilentAfterFirst(t)
+	p := client.NewPool(s.ln.Addr().String(), 1)
+	if p.Healthy() {
+		t.Fatal("undialed pool reports Healthy")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := p.Conn(ctx); err != nil {
+		t.Fatalf("Conn: %v", err)
+	}
+	if !p.Healthy() {
+		t.Fatal("pool with a live connection reports unhealthy")
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if p.Healthy() {
+		t.Fatal("closed pool reports Healthy")
+	}
+	if _, err := p.Conn(ctx); err != client.ErrClosed {
+		t.Fatalf("Conn after Close: err %v, want ErrClosed", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"touch"
 	"touch/client"
+	"touch/internal/router"
 	"touch/internal/server"
 	"touch/internal/testutil"
 )
@@ -644,6 +645,154 @@ func runBenchSuite(scale float64, seed int64, jsonPath string) error {
 			pt.QueriesPerS *= pipelineDepth
 			report.Points = append(report.Points, pt)
 		}
+	}
+
+	// Routed serving: the same pipelined range workload, one network hop
+	// further out — client → touchrouter wire front → backend replica.
+	// Two replicas serve the bench dataset behind a router with R=2;
+	// BaselineNs on router-range-cN carries the direct
+	// bin-range-pipelined-cN measurement at the same client count, so
+	// the routed/direct ratio (the budget is ≤ 2×) reads straight off
+	// the point. router-failover-latency is the wall time from killing
+	// the dataset's primary ring owner until a read through the router
+	// succeeds again — one failed backend attempt plus the in-call
+	// failover to the fallback owner.
+	if err := func() error {
+		type replica struct {
+			srv  *server.Server
+			addr string
+		}
+		replicas := make(map[string]*replica, 2)
+		var addrs []string
+		for _, id := range []string{"replica-a", "replica-b"} {
+			rsrv := server.New(server.Config{NodeID: id})
+			rsrv.Load("bench", a, touch.TOUCHConfig{})
+			rl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go rsrv.ServeWire(rl)
+			replicas[id] = &replica{srv: rsrv, addr: rl.Addr().String()}
+			addrs = append(addrs, rl.Addr().String())
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			for _, r := range replicas {
+				r.srv.ShutdownWire(ctx)
+			}
+		}()
+
+		rt, err := router.New(router.Config{
+			Backends:       addrs,
+			Replication:    2,
+			HealthInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		rt.Start()
+		defer rt.Close()
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go rt.ServeWire(rln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			rt.ShutdownWire(ctx)
+		}()
+		routerAddr := rln.Addr().String()
+
+		baseline := make(map[int]int64)
+		for _, pt := range report.Points {
+			switch pt.Name {
+			case "bin-range-pipelined-c1":
+				baseline[1] = pt.NsPerOp
+			case "bin-range-pipelined-c8":
+				baseline[8] = pt.NsPerOp
+			}
+		}
+
+		for _, clients := range []int{1, 8} {
+			conns := make([]*client.Conn, clients)
+			for i := range conns {
+				c, err := client.Dial(bctx, routerAddr)
+				if err != nil {
+					return fmt.Errorf("router-range: %w", err)
+				}
+				conns[i] = c
+			}
+			batches := make([]*client.Batch, clients)
+			gets := make([][]func() error, clients)
+			for cl := range batches {
+				batches[cl] = conns[cl].Batch()
+				gets[cl] = make([]func() error, 0, pipelineDepth)
+			}
+			runBatch := func(i int) error {
+				cl := i / binBatchesPerClient
+				b, g := batches[cl], gets[cl][:0]
+				for q := 0; q < pipelineDepth; q++ {
+					f := b.Range("bench", boxes[(i*pipelineDepth+q)%queryShapes])
+					g = append(g, func() error { _, _, err := f.Get(bctx); return err })
+				}
+				if err := b.Send(); err != nil {
+					return err
+				}
+				for _, get := range g {
+					if err := get(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := runBatch(0); err != nil { // warm router pools & probe pool
+				closeAll(conns)
+				return fmt.Errorf("router-range: %w", err)
+			}
+			pt, err := measureClients(fmt.Sprintf("router-range-c%d", clients),
+				clients, binBatchesPerClient, false, runBatch)
+			closeAll(conns)
+			if err != nil {
+				return err
+			}
+			pt.NsPerOp /= pipelineDepth
+			pt.QueriesPerS *= pipelineDepth
+			pt.BaselineNs = baseline[clients]
+			report.Points = append(report.Points, pt)
+		}
+
+		// Kill the primary the way a crash would and time the recovery a
+		// caller sees. The first read trips over the dead backend, fails
+		// over to the fallback owner inside the same call and ejects the
+		// corpse; the measured number is that whole detour.
+		owners := rt.Owners("bench")
+		primary, ok := replicas[owners[0]]
+		if !ok {
+			return fmt.Errorf("router-failover-latency: unknown primary %q", owners[0])
+		}
+		killCtx, killCancel := context.WithCancel(bctx)
+		killCancel()
+		start := time.Now()
+		primary.srv.ShutdownWire(killCtx)
+		for {
+			if _, _, err := rt.Range(bctx, "bench", boxes[0]); err == nil {
+				break
+			}
+			if time.Since(start) > 5*time.Second {
+				return fmt.Errorf("router-failover-latency: no successful read 5s after kill")
+			}
+		}
+		report.Points = append(report.Points, benchPoint{
+			Name:      "router-failover-latency",
+			Algorithm: string(touch.AlgTOUCH),
+			Clients:   1,
+			NsPerOp:   time.Since(start).Nanoseconds(),
+		})
+		return nil
+	}(); err != nil {
+		return err
 	}
 
 	// Incremental updates: what the delta layer costs. update-throughput

@@ -1,0 +1,153 @@
+// Command touchrouter is the stateless routing tier in front of a
+// fleet of touchserved replicas: it owns a consistent-hash ring over
+// dataset names and proxies every request — HTTP and binary wire alike
+// — to the ring owners over the wire protocol (see internal/router).
+//
+// Usage:
+//
+//	touchrouter -backends host1:9090,host2:9090[,...]
+//	            [-addr :8081] [-bin-addr ADDR] [-replication 2]
+//	            [-vnodes 128] [-pool 4] [-health-interval 2s]
+//	            [-timeout 10s] [-grace 15s] [-log-format text|json]
+//
+// -backends lists the replicas' wire-protocol addresses; the ring is
+// keyed by exactly these strings, so every router given the same list
+// computes the same placement. -replication is R, the number of
+// distinct ring owners per dataset: reads fail over among them,
+// updates go to the primary only.
+//
+// The router is stateless — kill one, start another, nothing is lost;
+// run several behind a TCP load balancer for a HA front tier. /healthz
+// answers 503 once every backend is unreachable, so a balancer drains
+// a router that can no longer serve. SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"touch/internal/router"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8081", "HTTP listen address (host:0 picks a free port)")
+		binAddr     = flag.String("bin-addr", "", "binary wire-protocol listen address (empty = HTTP only)")
+		backendsArg = flag.String("backends", "", "comma-separated touchserved wire addresses (required)")
+		replication = flag.Int("replication", 2, "ring owners per dataset (reads fail over among them)")
+		vnodes      = flag.Int("vnodes", router.DefaultVNodes, "virtual nodes per backend on the hash ring")
+		poolSize    = flag.Int("pool", 4, "wire connections kept per backend")
+		healthEvery = flag.Duration("health-interval", 2*time.Second, "backend health probe cadence")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request proxy budget")
+		grace       = flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "touchrouter: -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	var backends []string
+	for _, b := range strings.Split(*backendsArg, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	if len(backends) == 0 {
+		fatal("no backends: pass -backends host1:port,host2:port")
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:       backends,
+		Replication:    *replication,
+		VNodes:         *vnodes,
+		PoolSize:       *poolSize,
+		HealthInterval: *healthEvery,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		fatal("router init failed", "err", err)
+	}
+	logger.Info("touchrouter starting", "backends", len(backends), "replication", *replication)
+
+	// The initial sweep runs before the listeners open, so the first
+	// request already sees probed health state.
+	rt.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen failed", "addr", *addr, "err", err)
+	}
+	hs := &http.Server{
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout + 15*time.Second,
+		WriteTimeout:      *timeout + 30*time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	// The parseable startup line smoke tests grab the port from.
+	logger.Info(fmt.Sprintf("touchrouter listening on %s", ln.Addr()))
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	wireServing := false
+	if *binAddr != "" {
+		bln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fatal("listen -bin-addr failed", "addr", *binAddr, "err", err)
+		}
+		logger.Info(fmt.Sprintf("touchrouter wire listening on %s", bln.Addr()))
+		wireServing = true
+		go func() {
+			if err := rt.ServeWire(bln); err != nil {
+				errc <- err
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal("serve failed", "err", err)
+	case <-ctx.Done():
+	}
+
+	logger.Info("draining", "grace", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if wireServing {
+		if err := rt.ShutdownWire(shutdownCtx); err != nil {
+			fatal("wire shutdown failed", "err", err)
+		}
+	}
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fatal("shutdown failed", "err", err)
+	}
+	rt.Close()
+	logger.Info("drained, bye")
+}

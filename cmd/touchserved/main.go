@@ -9,6 +9,11 @@
 //	            [-max-body 8388608] [-workers 0] [-data-dir DIR]
 //	            [-load name=path ...] [-slow-query-ms N]
 //	            [-debug-addr ADDR] [-log-format text|json]
+//	            [-bin-addr ADDR] [-node-id ID]
+//
+// -node-id names this instance in the wire hello ("node/<id>") so a
+// routing tier (cmd/touchrouter) can label the backend stably; it
+// defaults to the wire listener's bound host:port.
 //
 // -load preloads a text-format dataset file (ReadDataset syntax) under
 // the given name, building its index before the listener opens; it may
@@ -64,6 +69,7 @@ func main() {
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown drain budget")
 		dataDir     = flag.String("data-dir", "", "snapshot directory for a durable catalog (empty = in-memory only)")
 		slowMs      = flag.Int("slow-query-ms", 0, "record requests slower than this many milliseconds in the slow-query log (0 = disabled)")
+		nodeID      = flag.String("node-id", "", "stable instance name advertised in the wire hello (default: the wire listener's host:port)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
@@ -170,10 +176,18 @@ func main() {
 	// admission slots and metrics — see internal/wire for the framing
 	// and the client package for the pipelining dialer.
 	wireServing := false
+	if *nodeID != "" {
+		srv.SetNodeID(*nodeID)
+	}
 	if *binAddr != "" {
 		bln, err := net.Listen("tcp", *binAddr)
 		if err != nil {
 			fatal("listen -bin-addr failed", "addr", *binAddr, "err", err)
+		}
+		if *nodeID == "" {
+			// Routers key their logs and metrics on this ID; the bound
+			// wire address is the natural default for one.
+			srv.SetNodeID(bln.Addr().String())
 		}
 		logger.Info(fmt.Sprintf("touchserved wire listening on %s", bln.Addr()))
 		wireServing = true

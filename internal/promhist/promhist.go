@@ -1,0 +1,115 @@
+// Package promhist provides the fixed-bucket duration histogram shared
+// by every Prometheus text exposition in this repo (touchserved's
+// /metrics, touchrouter's /metrics). One bucket layout everywhere means
+// histograms aggregate correctly across processes and tiers: a router
+// latency curve and a backend latency curve can be summed, subtracted
+// and histogram_quantile'd against each other without resampling.
+package promhist
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// buckets are the shared upper bounds (seconds) of every duration
+// histogram: log-spaced from 1µs to 30s, covering microsecond query
+// phases and multi-second joins in one fixed layout. Fixed buckets —
+// unlike sampled quantile rings — aggregate correctly across instances
+// and over time in Prometheus.
+var buckets = [...]float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10, 30,
+}
+
+// bucketsNs mirrors buckets in integer nanoseconds so the Observe hot
+// path compares without float conversion.
+var bucketsNs = func() [len(buckets)]int64 {
+	var ns [len(buckets)]int64
+	for i, s := range buckets {
+		ns[i] = int64(s * 1e9)
+	}
+	return ns
+}()
+
+// NumBuckets is the number of finite buckets; the +Inf overflow bucket
+// follows implicitly.
+const NumBuckets = len(buckets)
+
+// Bucket returns the upper bound (seconds) of finite bucket i.
+func Bucket(i int) float64 { return buckets[i] }
+
+// Histogram is a fixed-bucket duration histogram: one atomic counter
+// per bucket plus the +Inf overflow, the observation sum and count.
+// Observe is wait-free; render reads are torn at worst by one in-flight
+// observation. The zero value is ready to use; a Histogram must not be
+// copied after first use.
+type Histogram struct {
+	buckets [NumBuckets + 1]atomic.Int64
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	i := 0
+	for i < len(bucketsNs) && ns > bucketsNs[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(ns)
+	h.count.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) with the standard
+// Prometheus histogram_quantile interpolation: find the bucket holding
+// the rank, interpolate linearly inside it. ok is false on an empty
+// histogram; ranks landing in the +Inf bucket report the largest finite
+// bound.
+func (h *Histogram) Quantile(q float64) (seconds float64, ok bool) {
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range buckets {
+		cum += h.buckets[i].Load()
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = buckets[i-1]
+			}
+			hi := buckets[i]
+			inBucket := float64(h.buckets[i].Load())
+			if inBucket == 0 {
+				return hi, true
+			}
+			prev := float64(cum) - inBucket
+			return lo + (hi-lo)*(rank-prev)/inBucket, true
+		}
+	}
+	return buckets[len(buckets)-1], true
+}
+
+// Render writes one histogram family member's bucket/sum/count lines.
+// labels is the rendered label pairs without braces ("class=\"query\"");
+// the caller writes the # TYPE header once per family.
+func (h *Histogram) Render(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i, le := range buckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, le, cum)
+	}
+	cum += h.buckets[len(buckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+}

@@ -1,0 +1,88 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("dataset-%03d", i)
+	}
+	return out
+}
+
+// TestRingDeterministic: placement depends only on the backend set —
+// not on the order the backends were listed, and not on the process
+// that computed it (FNV is seedless), so a fleet of routers agrees.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"s1:9", "s2:9", "s3:9", "s4:9"}, 64)
+	b := NewRing([]string{"s4:9", "s2:9", "s1:9", "s3:9", "s2:9"}, 64) // shuffled, one duplicate
+	for _, key := range names(1000) {
+		oa, ob := a.Owners(key, 2), b.Owners(key, 2)
+		if len(oa) != 2 || len(ob) != 2 || oa[0] != ob[0] || oa[1] != ob[1] {
+			t.Fatalf("placement differs for %q: %v vs %v", key, oa, ob)
+		}
+		if oa[0] == oa[1] {
+			t.Fatalf("owners of %q are not distinct: %v", key, oa)
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, ownership splits within a
+// sane factor of even — no backend starves, none takes half the ring.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"s1:9", "s2:9", "s3:9", "s4:9"}
+	r := NewRing(nodes, DefaultVNodes)
+	counts := map[string]int{}
+	keys := names(1000)
+	for _, key := range keys {
+		counts[r.Owners(key, 1)[0]]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys, want roughly even (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the property consistent hashing buys:
+// growing 4 backends to 5 moves roughly 1/5 of the primaries — and
+// every key that moved, moved to the new backend, so four fifths of a
+// warm fleet stays warm.
+func TestRingMinimalDisruption(t *testing.T) {
+	old := NewRing([]string{"s1:9", "s2:9", "s3:9", "s4:9"}, DefaultVNodes)
+	grown := NewRing([]string{"s1:9", "s2:9", "s3:9", "s4:9", "s5:9"}, DefaultVNodes)
+	keys := names(1000)
+	moved := 0
+	for _, key := range keys {
+		was, is := old.Owners(key, 1)[0], grown.Owners(key, 1)[0]
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "s5:9" {
+			t.Fatalf("key %q moved %s -> %s; keys may only move to the added backend", key, was, is)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.08 || frac > 0.40 {
+		t.Fatalf("adding 1 of 5 backends moved %.1f%% of keys, want ~20%%", 100*frac)
+	}
+}
+
+// TestRingOwnersBounds: degenerate shapes stay well-defined.
+func TestRingOwnersBounds(t *testing.T) {
+	if got := NewRing(nil, 8).Owners("x", 2); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+	one := NewRing([]string{"only:9"}, 8)
+	if got := one.Owners("x", 3); len(got) != 1 || got[0] != "only:9" {
+		t.Fatalf("single-node ring owners = %v", got)
+	}
+	if got := one.Owners("x", 0); got != nil {
+		t.Fatalf("n=0 owners = %v, want nil", got)
+	}
+}

@@ -282,7 +282,7 @@ func (s *Server) serveWireConn(nc net.Conn) {
 	if err != nil {
 		return
 	}
-	if c.w.WriteHello(BuildInfo()) != nil || c.w.Flush() != nil || clientV != wire.Version {
+	if c.w.WriteHello(s.helloInfo()) != nil || c.w.Flush() != nil || clientV != wire.Version {
 		return
 	}
 	nc.SetDeadline(time.Time{})
@@ -322,7 +322,7 @@ func (c *binConn) readLoop() {
 		switch op {
 		case wire.OpCancel:
 			c.cancelTag(tag)
-		case wire.OpRange, wire.OpPoint, wire.OpKNN, wire.OpJoin, wire.OpUpdate:
+		case wire.OpRange, wire.OpPoint, wire.OpKNN, wire.OpJoin, wire.OpUpdate, wire.OpCatalog:
 			req := c.getReq()
 			req.op, req.tag, req.enq = op, tag, time.Now()
 			req.buf = append(req.buf[:0], payload...)
@@ -466,6 +466,8 @@ func (c *binConn) handle(req *wireReq) {
 		class = classWireJoin
 	case wire.OpUpdate:
 		class = classWireUpdate
+	case wire.OpCatalog:
+		class = classWireCatalog
 	}
 	s.met.requests[class].Add(1)
 	s.met.observeWireDepth(len(c.queue) + 1)
@@ -539,7 +541,38 @@ func (c *binConn) handle(req *wireReq) {
 		status = c.handleJoin(req)
 	case wire.OpUpdate:
 		status = c.handleUpdate(req)
+	case wire.OpCatalog:
+		status = c.handleCatalog(req)
 	}
+}
+
+// handleCatalog answers OpCatalog with the serving catalog — the wire
+// twin of GET /v1/datasets, carrying the rows a routing tier needs to
+// merge listings across replicas.
+func (c *binConn) handleCatalog(req *wireReq) int {
+	if len(req.buf) != 0 {
+		c.respondErrorf(req.tag, codeBadRequest, "catalog request carries a %d-byte payload, want empty", len(req.buf))
+		return http.StatusBadRequest
+	}
+	if !c.checkAlive() {
+		return statusClientClosed
+	}
+	infos := c.s.cat.list()
+	entries := make([]wire.CatalogEntry, len(infos))
+	for i, d := range infos {
+		entries[i] = wire.CatalogEntry{
+			Name:            d.Name,
+			Version:         d.Version,
+			Status:          d.Status,
+			Objects:         int64(d.Objects),
+			StaticBytes:     d.StaticBytes,
+			DeltaInserts:    d.DeltaInserts,
+			DeltaTombstones: d.DeltaTombstones,
+			Persisted:       d.Persisted,
+		}
+	}
+	c.respond(wire.OpCatalogResp, req.tag, wire.AppendCatalogResp(nil, entries))
+	return http.StatusOK
 }
 
 // checkAlive is the query-path boundary check: single-probe queries run

@@ -313,15 +313,15 @@ func TestQPSWindowedEstimate(t *testing.T) {
 func TestRejectsStayOutOfLatencyHistograms(t *testing.T) {
 	m := newMetrics()
 	m.observe(classQuery, http.StatusTooManyRequests, time.Microsecond, false)
-	if n := m.duration[classQuery].count.Load(); n != 0 {
+	if n := m.duration[classQuery].Count(); n != 0 {
 		t.Fatalf("rejected request polluted the duration histogram (count %d)", n)
 	}
 	m.observe(classQuery, http.StatusOK, time.Millisecond, true)
-	if n := m.duration[classQuery].count.Load(); n != 1 {
+	if n := m.duration[classQuery].Count(); n != 1 {
 		t.Fatalf("admitted request not recorded (count %d)", n)
 	}
 	// The derived p50 must land in the bucket holding 1ms.
-	p50, ok := m.duration[classQuery].quantile(0.50)
+	p50, ok := m.duration[classQuery].Quantile(0.50)
 	if !ok || p50 < 0.0005 || p50 > 0.005 {
 		t.Fatalf("derived p50 = %gs, want ≈ 0.001s", p50)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"touch"
+	"touch/internal/promhist"
 	"touch/internal/trace"
 )
 
@@ -27,10 +28,11 @@ const (
 	classWireQuery
 	classWireJoin
 	classWireUpdate
+	classWireCatalog
 	nClasses
 )
 
-var classNames = [nClasses]string{"query", "join", "load", "update", "catalog", "other", "wire_query", "wire_join", "wire_update"}
+var classNames = [nClasses]string{"query", "join", "load", "update", "catalog", "other", "wire_query", "wire_join", "wire_update", "wire_catalog"}
 
 // trackedCodes are the response codes the server emits; anything else
 // lands in the trailing "other" bucket.
@@ -67,95 +69,6 @@ func (r *latencyRing) observe(d time.Duration) {
 	r.buf[i%ringSize].Store(ns)
 }
 
-// durationBuckets are the shared upper bounds (seconds) of every
-// duration histogram: log-spaced from 1µs to 30s, covering microsecond
-// query phases and multi-second joins in one fixed layout. Fixed
-// buckets — unlike the sampled quantile rings they replaced — aggregate
-// correctly across instances and over time in Prometheus.
-var durationBuckets = [...]float64{
-	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
-	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
-	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
-	1, 2.5, 5, 10, 30,
-}
-
-// durationBucketsNs mirrors durationBuckets in integer nanoseconds so
-// the observe hot path compares without float conversion.
-var durationBucketsNs = func() [len(durationBuckets)]int64 {
-	var ns [len(durationBuckets)]int64
-	for i, s := range durationBuckets {
-		ns[i] = int64(s * 1e9)
-	}
-	return ns
-}()
-
-// histogram is a fixed-bucket duration histogram: one atomic counter
-// per bucket plus the +Inf overflow, the observation sum and count.
-// Observe is wait-free; render reads are torn at worst by one in-flight
-// observation.
-type histogram struct {
-	buckets [len(durationBuckets) + 1]atomic.Int64
-	sumNs   atomic.Int64
-	count   atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ns := int64(d)
-	i := 0
-	for i < len(durationBucketsNs) && ns > durationBucketsNs[i] {
-		i++
-	}
-	h.buckets[i].Add(1)
-	h.sumNs.Add(ns)
-	h.count.Add(1)
-}
-
-// quantile estimates the q-quantile (0 < q < 1) with the standard
-// Prometheus histogram_quantile interpolation: find the bucket holding
-// the rank, interpolate linearly inside it. ok is false on an empty
-// histogram; ranks landing in the +Inf bucket report the largest finite
-// bound.
-func (h *histogram) quantile(q float64) (seconds float64, ok bool) {
-	total := h.count.Load()
-	if total == 0 {
-		return 0, false
-	}
-	rank := q * float64(total)
-	cum := int64(0)
-	for i := range durationBuckets {
-		cum += h.buckets[i].Load()
-		if float64(cum) >= rank {
-			lo := 0.0
-			if i > 0 {
-				lo = durationBuckets[i-1]
-			}
-			hi := durationBuckets[i]
-			inBucket := float64(h.buckets[i].Load())
-			if inBucket == 0 {
-				return hi, true
-			}
-			prev := float64(cum) - inBucket
-			return lo + (hi-lo)*(rank-prev)/inBucket, true
-		}
-	}
-	return durationBuckets[len(durationBuckets)-1], true
-}
-
-// render writes one histogram family member's bucket/sum/count lines.
-// labels is the rendered label pairs without braces ("class=\"query\"");
-// the caller writes the # TYPE header once per family.
-func (h *histogram) render(w io.Writer, name, labels string) {
-	cum := int64(0)
-	for i, le := range durationBuckets {
-		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, le, cum)
-	}
-	cum += h.buckets[len(durationBuckets)].Load()
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, cum)
-	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
-}
-
 // dsCounters are the per-dataset engine-work counters, fed from request
 // spans: cumulative box comparisons and replica emissions answered from
 // one dataset.
@@ -184,10 +97,10 @@ type metrics struct {
 	// duration histograms every admitted request's wall time per class;
 	// the legacy touchserved_latency_seconds quantile lines are derived
 	// from it at scrape time.
-	duration [nClasses]histogram
+	duration [nClasses]promhist.Histogram
 	// phase histograms engine phase wall times across all requests,
 	// indexed by trace.Phase and fed from the per-request spans.
-	phase [trace.NumPhases]histogram
+	phase [trace.NumPhases]promhist.Histogram
 
 	// ds maps dataset name to its cumulative engine-work counters. The
 	// read path resolves the pointer once per request (no allocation);
@@ -247,7 +160,7 @@ func (m *metrics) observe(class, status int, d time.Duration, admitted bool) {
 	m.responses[class][codeIndex(status)].Add(1)
 	m.times.observe(time.Duration(time.Now().UnixNano()))
 	if admitted {
-		m.duration[class].observe(d)
+		m.duration[class].Observe(d)
 	}
 }
 
@@ -258,7 +171,7 @@ func (m *metrics) observe(class, status int, d time.Duration, admitted bool) {
 func (m *metrics) observeSpan(sp *touch.Span) {
 	for i, d := range sp.Durations {
 		if d > 0 {
-			m.phase[i].observe(d)
+			m.phase[i].Observe(d)
 		}
 	}
 }
@@ -385,12 +298,12 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors, co
 	// from these at scrape time.
 	fmt.Fprintf(w, "# TYPE touchserved_request_duration_seconds histogram\n")
 	for i := 0; i < nClasses; i++ {
-		m.duration[i].render(w, "touchserved_request_duration_seconds",
+		m.duration[i].Render(w, "touchserved_request_duration_seconds",
 			fmt.Sprintf("class=%q", classNames[i]))
 	}
 	fmt.Fprintf(w, "# TYPE touchserved_phase_duration_seconds histogram\n")
 	for _, p := range trace.Phases() {
-		m.phase[p].render(w, "touchserved_phase_duration_seconds",
+		m.phase[p].Render(w, "touchserved_phase_duration_seconds",
 			fmt.Sprintf("phase=%q", p.Name()))
 	}
 
@@ -398,11 +311,11 @@ func (m *metrics) render(w io.Writer, datasets []datasetInfo, snapshotErrors, co
 	// interpolated from the histograms above instead of a sampled ring.
 	fmt.Fprintf(w, "# TYPE touchserved_latency_seconds gauge\n")
 	for _, class := range []int{classQuery, classJoin, classWireQuery, classWireJoin} {
-		if p50, ok := m.duration[class].quantile(0.50); ok {
+		if p50, ok := m.duration[class].Quantile(0.50); ok {
 			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.5\"} %g\n",
 				classNames[class], p50)
 		}
-		if p99, ok := m.duration[class].quantile(0.99); ok {
+		if p99, ok := m.duration[class].Quantile(0.99); ok {
 			fmt.Fprintf(w, "touchserved_latency_seconds{class=%q,quantile=\"0.99\"} %g\n",
 				classNames[class], p99)
 		}

@@ -136,6 +136,12 @@ type Config struct {
 	// failures, recovery progress, slow and failed requests). Default
 	// discards them.
 	Logger *slog.Logger
+	// NodeID names this server instance in the wire hello info string
+	// (as a "node/<id>" token), so routing tiers can label a backend
+	// stably across address changes. Deployments that learn their
+	// address only after binding the wire listener can set it late with
+	// SetNodeID. Empty omits the token.
+	NodeID string
 
 	// build replaces touch.BuildIndex in tests (slow/observable builds).
 	build buildFunc
@@ -211,6 +217,10 @@ type Server struct {
 	// Config.SlowQueryThreshold is 0.
 	slow *slowLog
 
+	// nodeID is the instance name advertised in the wire hello; atomic
+	// because SetNodeID may race with connections handshaking.
+	nodeID atomic.Pointer[string]
+
 	// testHookWorker, when set, runs inside query and join handlers
 	// before the engine call, under the request context — tests block it
 	// to hold requests in flight or to park them past their deadline.
@@ -232,6 +242,9 @@ func New(cfg Config) *Server {
 		slots: make(chan struct{}, cfg.MaxInFlight),
 	}
 	s.cat.compactAt = cfg.CompactThreshold
+	if cfg.NodeID != "" {
+		s.SetNodeID(cfg.NodeID)
+	}
 	s.wire.lns = make(map[net.Listener]struct{})
 	s.wire.conns = make(map[net.Conn]context.CancelFunc)
 	if cfg.SlowQueryThreshold > 0 {
@@ -253,6 +266,27 @@ func New(cfg Config) *Server {
 		}
 	}
 	return s
+}
+
+// SetNodeID (re)names this instance in the wire hello info string.
+// Callers that derive the ID from a bound listener address set it after
+// net.Listen and before ServeWire; connections already past their
+// handshake keep the hello they saw. Whitespace is rewritten to "-" —
+// the hello info is a space-separated token list.
+func (s *Server) SetNodeID(id string) {
+	id = strings.Join(strings.Fields(id), "-")
+	s.nodeID.Store(&id)
+}
+
+// helloInfo is the info string of the server's wire hello: the build
+// string, plus a "node/<id>" token naming this instance when one is
+// configured.
+func (s *Server) helloInfo() string {
+	info := BuildInfo()
+	if id := s.nodeID.Load(); id != nil && *id != "" {
+		info += " node/" + *id
+	}
+	return info
 }
 
 // logger returns the configured operational logger (never nil).

@@ -29,6 +29,11 @@ func wireSeed(t testing.TB) []byte {
 		{wire.OpJoin, wire.AppendJoinReq(nil, "d", 0, 0, true, "probe", nil)},
 		{wire.OpJoin, wire.AppendJoinReqFlags(nil, "d", 0, 0, wire.FlagTrace, "probe", nil)},
 		{wire.OpCancel, nil},
+		{wire.OpCatalog, nil},
+		{wire.OpCatalogResp, wire.AppendCatalogResp(nil, []wire.CatalogEntry{
+			{Name: "d", Version: 3, Status: "ready", Objects: 7, StaticBytes: 512, DeltaInserts: 1, DeltaTombstones: 2, Persisted: true},
+			{Name: "e", Status: "building"},
+		})},
 	}
 	for i, fr := range frames {
 		if err := w.WriteFrame(fr.op, uint32(i+1), fr.payload); err != nil {
@@ -127,6 +132,20 @@ func FuzzWireDecode(f *testing.F) {
 					t.Fatalf("join re-decode: %v", err)
 				}
 				enc2 = wire.AppendJoinReqFlags(nil, string(jr2.Name), jr2.Eps, jr2.Workers, joinFlags(jr2), string(jr2.ProbeName), jr2.Boxes)
+			case wire.OpCatalogResp:
+				entries, err := wire.DecodeCatalogResp(payload)
+				if err != nil {
+					continue
+				}
+				if len(entries) > len(payload)/37 {
+					t.Fatalf("catalog decode conjured %d entries from a %d-byte payload", len(entries), len(payload))
+				}
+				enc = wire.AppendCatalogResp(nil, entries)
+				e2, err := wire.DecodeCatalogResp(enc)
+				if err != nil {
+					t.Fatalf("catalog re-decode: %v", err)
+				}
+				enc2 = wire.AppendCatalogResp(nil, e2)
 			default:
 				continue
 			}

@@ -48,6 +48,7 @@
 //	OpCancel (empty; tag names the request to abort) → nothing of its own
 //	OpUpdate str name | u32 nDel | nDel×u32 ids |
 //	         u32 nIns | nIns×box                     → OpUpdateDone
+//	OpCatalog (empty)                                → OpCatalogResp
 //
 // The join probe side is either inline boxes (u32 n | n×box) or, with
 // FlagNamedProbe set, a loaded dataset's name (str). str is u16 length +
@@ -97,12 +98,13 @@ const (
 
 // Request opcodes (client → server).
 const (
-	OpRange  byte = 0x01
-	OpPoint  byte = 0x02
-	OpKNN    byte = 0x03
-	OpJoin   byte = 0x04
-	OpCancel byte = 0x05
-	OpUpdate byte = 0x06
+	OpRange   byte = 0x01
+	OpPoint   byte = 0x02
+	OpKNN     byte = 0x03
+	OpJoin    byte = 0x04
+	OpCancel  byte = 0x05
+	OpUpdate  byte = 0x06
+	OpCatalog byte = 0x07
 )
 
 // Response opcodes (server → client). Every request gets exactly one
@@ -121,6 +123,10 @@ const (
 	// tracing, the server emits exactly one OpTrace frame with the
 	// request's span immediately before the terminal response.
 	OpTrace byte = 0x88
+	// OpCatalogResp is the terminal response of OpCatalog: the serving
+	// catalog as a list of dataset rows, so a routing tier can merge
+	// listings across replicas without touching the HTTP surface.
+	OpCatalogResp byte = 0x89
 )
 
 // Join request flags.
@@ -223,6 +229,11 @@ func NewReader(r io.Reader, maxFrame int) *Reader {
 // hello must be consumed from the same buffered stream as the frames
 // that follow it).
 func (r *Reader) ReadHello() (uint32, string, error) { return ReadHello(r.br) }
+
+// Buffered reports how many bytes are already in the read buffer — a
+// proxy uses it to coalesce frames that arrived back-to-back without
+// risking a blocking read between them.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
 
 // ReadFrame reads one frame. io.EOF is returned only at a clean frame
 // boundary; a connection dying mid-frame is io.ErrUnexpectedEOF. The
@@ -882,6 +893,117 @@ func DecodeUpdateResp(p []byte) (UpdateResp, error) {
 		*dst = int(w)
 	}
 	return r, c.done()
+}
+
+// MaxCatalogEntries caps the dataset count an OpCatalogResp frame may
+// claim, bounding the decode allocation.
+const MaxCatalogEntries = 65536
+
+// CatalogEntry is one dataset row of an OpCatalogResp payload: the
+// subset of the HTTP catalog listing a routing tier needs to merge
+// listings and reason about replica freshness.
+type CatalogEntry struct {
+	Name            string
+	Version         int64
+	Status          string // "ready" | "building"
+	Objects         int64
+	StaticBytes     int64
+	DeltaInserts    int
+	DeltaTombstones int
+	Persisted       bool
+}
+
+// catalogEntryMinSize is the smallest encoding of one entry (both
+// strings empty): 2+8+2+8+8+4+4+1 bytes.
+const catalogEntryMinSize = 37
+
+// AppendCatalogResp encodes an OpCatalogResp payload:
+//
+//	u32 n | n × (str name | u64 version | str status | u64 objects |
+//	             u64 staticBytes | u32 deltaInserts | u32 deltaTombstones |
+//	             u8 persisted)
+func AppendCatalogResp(dst []byte, entries []CatalogEntry) []byte {
+	dst = AppendU32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = AppendStr(dst, e.Name)
+		dst = AppendU64(dst, uint64(e.Version))
+		dst = AppendStr(dst, e.Status)
+		dst = AppendU64(dst, uint64(e.Objects))
+		dst = AppendU64(dst, uint64(e.StaticBytes))
+		dst = AppendU32(dst, uint32(e.DeltaInserts))
+		dst = AppendU32(dst, uint32(e.DeltaTombstones))
+		var p byte
+		if e.Persisted {
+			p = 1
+		}
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// DecodeCatalogResp decodes an OpCatalogResp payload. The strings are
+// copied — catalog listings are rare and their rows outlive the frame.
+func DecodeCatalogResp(p []byte) ([]CatalogEntry, error) {
+	c := cursor{b: p}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxCatalogEntries {
+		return nil, malformed("catalog claims %d entries, cap is %d", n, MaxCatalogEntries)
+	}
+	if int(n)*catalogEntryMinSize > c.remaining() {
+		return nil, malformed("catalog claims %d entries, payload holds at most %d", n, c.remaining()/catalogEntryMinSize)
+	}
+	entries := make([]CatalogEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var e CatalogEntry
+		nb, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		e.Name = string(nb)
+		v, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		e.Version = int64(v)
+		sb, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		e.Status = string(sb)
+		o, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		e.Objects = int64(o)
+		b, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		e.StaticBytes = int64(b)
+		di, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		e.DeltaInserts = int(di)
+		dt, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		e.DeltaTombstones = int(dt)
+		pb, err := c.take(1)
+		if err != nil {
+			return nil, err
+		}
+		if pb[0] > 1 {
+			return nil, malformed("catalog persisted flag %#02x is not a bool", pb[0])
+		}
+		e.Persisted = pb[0] == 1
+		entries = append(entries, e)
+	}
+	return entries, c.done()
 }
 
 // AppendErrorResp encodes an OpError payload: a machine-readable code

@@ -8,7 +8,10 @@
 # crash recovery: two datasets in a durable catalog, kill -9, restart,
 # and the catalog must come back identical — same versions, same
 # answers, no rebuilds — with corrupt snapshot files quarantined, not
-# fatal. CI runs this via `make serve-smoke`.
+# fatal. A third phase boots two replicas behind a touchrouter: routed
+# answers must match a direct backend byte-for-byte, and kill -9 on one
+# replica must leave reads working while the router's metrics record
+# the ejection. CI runs this via `make serve-smoke`.
 set -eu
 
 WORK=$(mktemp -d)
@@ -20,11 +23,12 @@ DATA="$WORK/smoke.txt"
 # signals: kill the server if one is still up, reap it so no orphan
 # outlives the script, then drop the temp dir.
 cleanup() {
-    if [ -n "${PID:-}" ]; then
-        kill "$PID" 2>/dev/null || true
-        wait "$PID" 2>/dev/null || true
-        PID=
-    fi
+    for P in "${PID:-}" "${BPID1:-}" "${BPID2:-}" "${RPID:-}"; do
+        [ -n "$P" ] || continue
+        kill "$P" 2>/dev/null || true
+        wait "$P" 2>/dev/null || true
+    done
+    PID= BPID1= BPID2= RPID=
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -44,6 +48,8 @@ fail() {
 go build -o "$BIN" ./cmd/touchserved
 WIREBIN="$WORK/touchwire"
 go build -o "$WIREBIN" ./cmd/touchwire
+RBIN="$WORK/touchrouter"
+go build -o "$RBIN" ./cmd/touchrouter
 
 # Three known boxes so every query has a predictable answer.
 printf '0 0 0 10 10 10\n5 5 5 15 15 15\n20 20 20 30 30 30\n' > "$DATA"
@@ -274,5 +280,98 @@ STATUS=0
 wait "$PID" || STATUS=$?
 [ "$STATUS" = "0" ] || fail "recovered server exited with status $STATUS"
 PID=
+
+# --- routing tier -------------------------------------------------------
+# Two replicas serving the same dataset behind a touchrouter. Routed
+# query answers must be byte-identical to a direct backend's; the
+# routed join differs only by the stats object (the wire protocol the
+# router proxies over doesn't transmit it). Then kill -9 one replica:
+# reads through the router must keep succeeding — the first one fails
+# over inside the same call — and the router's metrics must record the
+# ejection.
+
+# wait_for LOGFILE PREFIX: block until the startup line "PREFIX ADDR"
+# appears in LOGFILE, echo ADDR.
+wait_for() {
+    i=0
+    while [ $i -lt 100 ]; do
+        A=$(sed -n "s/.*$2 \([^ \"]*\).*/\1/p" "$1" | head -n 1)
+        [ -n "$A" ] && { echo "$A"; return 0; }
+        i=$((i + 1))
+        sleep 0.1
+    done
+    return 1
+}
+
+BLOG1="$WORK/replica-a.log"
+BLOG2="$WORK/replica-b.log"
+"$BIN" -addr 127.0.0.1:0 -bin-addr 127.0.0.1:0 -node-id replica-a -load smoke="$DATA" > "$BLOG1" 2>&1 &
+BPID1=$!
+"$BIN" -addr 127.0.0.1:0 -bin-addr 127.0.0.1:0 -node-id replica-b -load smoke="$DATA" > "$BLOG2" 2>&1 &
+BPID2=$!
+WADDR1=$(wait_for "$BLOG1" "touchserved wire listening on") || fail "replica-a wire address"
+WADDR2=$(wait_for "$BLOG2" "touchserved wire listening on") || fail "replica-b wire address"
+HADDR1=$(wait_for "$BLOG1" "touchserved listening on") || fail "replica-a http address"
+
+LOG="$WORK/router.log"
+"$RBIN" -addr 127.0.0.1:0 -backends "$WADDR1,$WADDR2" -replication 2 \
+    -health-interval 200ms > "$LOG" 2>&1 &
+RPID=$!
+RADDR=$(wait_for "$LOG" "touchrouter listening on") || fail "router address"
+RBASE="http://$RADDR"
+echo "serve-smoke: router on $RBASE over $WADDR1 $WADDR2"
+
+rpost() { curl -sf -X POST "$RBASE$1" -H 'Content-Type: application/json' -d "$2"; }
+dpost() { curl -sf -X POST "http://$HADDR1$1" -H 'Content-Type: application/json' -d "$2"; }
+
+for Q in '{"type":"range","box":[0,0,0,50,50,50]}' \
+         '{"type":"point","point":[6,6,6]}' \
+         '{"type":"knn","point":[1,1,1],"k":2}'; do
+    R=$(rpost /v1/datasets/smoke/query "$Q") || fail "routed query $Q"
+    D=$(dpost /v1/datasets/smoke/query "$Q") || fail "direct query $Q"
+    [ "$R" = "$D" ] || fail "routed answer differs from direct:
+routed: $R
+direct: $D"
+done
+RJ=$(rpost /v1/datasets/smoke/join '{"boxes":[[4,4,4,6,6,6]]}') || fail "routed join"
+DJ=$(dpost /v1/datasets/smoke/join '{"boxes":[[4,4,4,6,6,6]]}' | strip_stats) || fail "direct join"
+[ "$RJ" = "$DJ" ] || fail "routed join differs from direct:
+routed: $RJ
+direct: $DJ"
+
+# Merged catalog: one row for smoke, provenance naming both replicas.
+CAT=$(curl -sf "$RBASE/v1/datasets") || fail "routed catalog"
+echo "$CAT" | grep -q '"backends":\["replica-a","replica-b"\]' \
+    || fail "catalog provenance: $CAT"
+
+kill -9 "$BPID1"
+wait "$BPID1" 2>/dev/null || true
+BPID1=
+
+# Every read through the router must keep succeeding while the health
+# checker notices the corpse; stop once the metrics show it ejected.
+i=0
+while :; do
+    OUT=$(rpost /v1/datasets/smoke/query '{"type":"range","box":[0,0,0,50,50,50]}') \
+        || fail "routed read failed after backend kill"
+    echo "$OUT" | grep -q '"count":3' || fail "routed read wrong after kill: $OUT"
+    curl -sf "$RBASE/metrics" \
+        | grep -q 'touchrouter_backend_healthy{backend="replica-a"[^}]*} 0' && break
+    i=$((i + 1))
+    [ $i -lt 100 ] || fail "router never ejected the killed backend"
+    sleep 0.1
+done
+EJ=$(curl -sf "$RBASE/metrics" | sed -n 's/^touchrouter_ejections_total \(.*\)/\1/p')
+[ "${EJ:-0}" -ge 1 ] || fail "ejections_total is ${EJ:-unset} after kill"
+
+kill -TERM "$RPID"
+STATUS=0
+wait "$RPID" || STATUS=$?
+[ "$STATUS" = "0" ] || fail "router exited with status $STATUS"
+grep -q 'drained, bye' "$LOG" || fail "no router clean-drain line"
+RPID=
+kill -TERM "$BPID2"
+wait "$BPID2" 2>/dev/null || true
+BPID2=
 
 echo "serve-smoke: OK"
